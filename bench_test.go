@@ -1,0 +1,297 @@
+package odh
+
+// One benchmark per table and figure of the paper's evaluation (§4 and
+// §5). Each benchmark runs its experiment once per b.N iteration at a
+// reduced scale and reports the paper's headline metric through
+// b.ReportMetric, so `go test -bench . -benchmem` regenerates every
+// artifact. The iotx CLI (cmd/iotx) prints the full tables; these benches
+// are the reproducible entry point EXPERIMENTS.md records.
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"odh/internal/iotx"
+)
+
+// benchScale keeps the full bench suite within minutes.
+func benchScale() iotx.Scale {
+	return iotx.Scale{
+		TDAccountUnit:    10,
+		TDFreqUnitHz:     4,
+		TDDuration:       10 * time.Second,
+		LDSensorUnit:     150,
+		LDMeanIntervalMs: 23_000,
+		LDDuration:       8 * time.Minute,
+		CaseStudyDivisor: 200,
+		QueriesPerTpl:    10,
+		BatchSize:        64,
+		Seed:             1,
+	}
+}
+
+// BenchmarkTable2WAMS regenerates Table 2: CPU load of the WAMS PMU
+// settings at real-time arrival rate (RTS ingest path).
+func BenchmarkTable2WAMS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := iotx.RunTable2(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].AvgCPU*100, "maxsetting-cpu-%")
+		b.ReportMetric(rows[len(rows)-1].AvgInsert, "insert-pts/s")
+	}
+}
+
+// BenchmarkTable3Vehicles regenerates Table 3: connected-vehicle fleets
+// through the MG ingest path.
+func BenchmarkTable3Vehicles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := iotx.RunTable3(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.AvgInsert, "insert-pts/s")
+		b.ReportMetric(last.AvgIOBytesSec, "io-B/s")
+	}
+}
+
+// BenchmarkFigure5TDInsert regenerates Figure 5 on a diagonal subset of
+// the TD grid: insert throughput of ODH vs the relational baselines.
+func BenchmarkFigure5TDInsert(b *testing.B) {
+	pairs := [][2]int{{1, 1}, {2, 2}, {3, 3}, {5, 5}}
+	for i := 0; i < b.N; i++ {
+		points, err := iotx.RunFigure5(benchScale(), pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var odh, rdb float64
+		for _, p := range points {
+			if p.Dataset == "TD(5,5)" {
+				switch p.System {
+				case "ODH":
+					odh = p.Throughput
+				case "RDB":
+					rdb = p.Throughput
+				}
+			}
+		}
+		b.ReportMetric(odh, "odh-pts/s")
+		b.ReportMetric(odh/rdb, "odh/rdb-x")
+	}
+}
+
+// BenchmarkFigure6LDInsert regenerates Figure 6 on LD(1..4).
+func BenchmarkFigure6LDInsert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := iotx.RunFigure6(benchScale(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var odh, rdb float64
+		for _, p := range points {
+			if p.Dataset == "LD(4)" {
+				switch p.System {
+				case "ODH":
+					odh = p.Throughput
+				case "RDB":
+					rdb = p.Throughput
+				}
+			}
+		}
+		b.ReportMetric(odh, "odh-pts/s")
+		b.ReportMetric(odh/rdb, "odh/rdb-x")
+	}
+}
+
+// BenchmarkTable7Storage regenerates Table 7: storage cost of the
+// selected datasets; the headline is the RDB/ODH storage ratio (the paper
+// reports ODH smaller by a factor of more than 3).
+func BenchmarkTable7Storage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := iotx.RunTable7(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64 = 1 << 30
+		for _, r := range rows {
+			ratio := float64(r.Bytes["RDB"]) / float64(r.Bytes["ODH"])
+			if ratio < worst {
+				worst = ratio
+			}
+		}
+		b.ReportMetric(worst, "min-rdb/odh-x")
+	}
+}
+
+// BenchmarkTable8Query regenerates Table 8: the eight query templates on
+// the three candidates; headline metrics are ODH's TQ3 win ratio and LQ1
+// loss ratio (the paper's two poles).
+func BenchmarkTable8Query(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := iotx.RunTable8(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		perf := map[string]float64{}
+		for _, r := range results {
+			perf[r.System+"/"+r.Template] = r.DPPerSec
+		}
+		b.ReportMetric(perf["ODH/TQ3"]/perf["RDB/TQ3"], "tq3-odh/rdb-x")
+		b.ReportMetric(perf["ODH/LQ1"]/perf["RDB/LQ1"], "lq1-odh/rdb-x")
+	}
+}
+
+// BenchmarkFigure7TagWidth regenerates Figure 7: tag count vs write data
+// throughput; the headline is the ODH/RDB gap at 1 tag (where the paper
+// says the gap is largest).
+func BenchmarkFigure7TagWidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := iotx.RunFigure7(benchScale(), []int{1, 8, 15})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var odh1, rdb1 float64
+		for _, p := range points {
+			if p.Tags == 1 {
+				switch p.System {
+				case "ODH":
+					odh1 = p.Throughput
+				case "RDB":
+					rdb1 = p.Throughput
+				}
+			}
+		}
+		b.ReportMetric(odh1/rdb1, "1tag-odh/rdb-x")
+	}
+}
+
+// BenchmarkCompressionLD1 regenerates the §5.3 compression note: linear
+// compression with max deviation 0.1 on LD(1) vs the relational baseline.
+func BenchmarkCompressionLD1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := iotx.RunCompression(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FactorVsRDB, "rdb/odh-lossy-x")
+	}
+}
+
+// BenchmarkAblationBatchSize quantifies the I/O-amortization claim behind
+// the batch structures: ingest throughput as b varies.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for _, batch := range []int{1, 8, 64, 512} {
+		b.Run(sizeName(batch), func(b *testing.B) {
+			scale := benchScale()
+			scale.BatchSize = batch
+			cfg := scale.TDConfigFor(2, 2)
+			for i := 0; i < b.N; i++ {
+				sys, err := iotx.NewODH(iotx.SystemConfig{BatchSize: batch})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := iotx.RunWS1TD(sys, cfg)
+				sys.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AvgThroughput, "pts/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCompression compares the ingest path with and without
+// the compression pipeline on per-source IRTS batches (TD), where the
+// codecs see temporal locality. (On MG blobs the columns run across group
+// members, so lossless codecs gain little there — the MG savings come
+// from the data model itself and from lossy policies.)
+func BenchmarkAblationCompression(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "compressed"
+		if disable {
+			name = "raw"
+		}
+		b.Run(name, func(b *testing.B) {
+			scale := benchScale()
+			cfg := scale.TDConfigFor(2, 2)
+			for i := 0; i < b.N; i++ {
+				sys, err := iotx.NewODH(iotx.SystemConfig{BatchSize: scale.BatchSize, DisableCompression: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := iotx.RunWS1TD(sys, cfg)
+				if err != nil {
+					sys.Close()
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AvgThroughput, "pts/s")
+				b.ReportMetric(float64(sys.BlobBytes()), "blob-B")
+				sys.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTagLayout compares tag-oriented vs row-oriented blob
+// layouts for a single-tag query (the tag-oriented approach's raison
+// d'être).
+func BenchmarkAblationTagLayout(b *testing.B) {
+	for _, rowOriented := range []bool{false, true} {
+		name := "tag-oriented"
+		if rowOriented {
+			name = "row-oriented"
+		}
+		b.Run(name, func(b *testing.B) {
+			scale := benchScale()
+			cfg := scale.LDConfigFor(2)
+			sys, err := iotx.NewODH(iotx.SystemConfig{BatchSize: scale.BatchSize, RowOrientedBlobs: rowOriented})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			if _, err := iotx.RunWS1LD(sys, cfg, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := iotx.RunWS2Template(sys, "LQ2", 5, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.DPPerSec, "dp/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMGvsIRTS compares MG-grouped ingest against forcing
+// low-frequency sources through per-source IRTS batches (Table 1's
+// rationale: a lone low-frequency source takes too long to fill a batch,
+// leaving most data in partially filled blobs).
+func BenchmarkAblationMGvsIRTS(b *testing.B) {
+	scale := benchScale()
+	cfg := scale.LDConfigFor(2)
+	run := func(b *testing.B, groupSize int) {
+		for i := 0; i < b.N; i++ {
+			sys, err := iotx.NewODH(iotx.SystemConfig{BatchSize: scale.BatchSize, GroupSize: groupSize})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := iotx.RunWS1LD(sys, cfg, 0)
+			sys.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.AvgThroughput, "pts/s")
+			b.ReportMetric(float64(res.StorageBytes), "storage-B")
+		}
+	}
+	b.Run("mg-64", func(b *testing.B) { run(b, 64) })
+	b.Run("mg-1-(irts-like)", func(b *testing.B) { run(b, 1) })
+}
+
+func sizeName(n int) string { return "b" + strconv.Itoa(n) }

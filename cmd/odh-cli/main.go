@@ -1,0 +1,143 @@
+// Command odh-cli is an interactive SQL shell over a historian directory.
+// Besides SQL, it accepts dot commands:
+//
+//	.schema          list schema types and virtual tables
+//	.tables          list relational tables
+//	.stats <source>  show a data source's catalog statistics
+//	.flush           flush ingest buffers
+//	.quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"odh"
+)
+
+func main() {
+	dir := flag.String("dir", "", "historian directory (empty = in-memory scratch)")
+	flag.Parse()
+
+	h, err := odh.Open(*dir, odh.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+	fmt.Printf("odh-cli (dir=%q) — enter SQL or .help\n", *dir)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for {
+		fmt.Print("odh> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			if !dotCommand(h, line) {
+				return
+			}
+			continue
+		}
+		runSQL(h, line)
+	}
+}
+
+func dotCommand(h *odh.Historian, line string) bool {
+	cmd, arg, _ := strings.Cut(line, " ")
+	switch cmd {
+	case ".quit", ".exit":
+		return false
+	case ".help":
+		fmt.Println("SQL statements end at the newline. Dot commands: .schema .tables .stats <id> .flush .quit")
+	case ".flush":
+		if err := h.Flush(); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Println("flushed")
+		}
+	case ".stats":
+		id, err := strconv.ParseInt(strings.TrimSpace(arg), 10, 64)
+		if err != nil {
+			fmt.Println("usage: .stats <source-id>")
+			break
+		}
+		st := h.Stats(id)
+		fmt.Printf("batches=%d points=%d blobBytes=%d range=[%d, %d] maxSpan=%dms\n",
+			st.BatchCount, st.PointCount, st.BlobBytes, st.FirstTS, st.LastTS, st.MaxSpanMs)
+	case ".schema":
+		for _, s := range h.Schemas() {
+			tags := make([]string, len(s.Tags))
+			for i, tag := range s.Tags {
+				tags[i] = tag.Name
+			}
+			fmt.Printf("schema %s (%s, %s, %s)\n", s.Name, s.IDColumn(), s.TSColumn(), strings.Join(tags, ", "))
+		}
+		for _, name := range h.VirtualTables() {
+			fmt.Printf("virtual table %s\n", name)
+		}
+		total := h.TotalStats()
+		fmt.Printf("points=%d batches=%d storage=%d bytes\n",
+			total.PointsWritten, total.BatchesFlushed, total.StorageBytes)
+	case ".tables":
+		for _, name := range h.Tables() {
+			fmt.Printf("table %s\n", name)
+		}
+		for _, name := range h.VirtualTables() {
+			fmt.Printf("virtual table %s\n", name)
+		}
+	default:
+		fmt.Println("unknown command; try .help")
+	}
+	return true
+}
+
+func runSQL(h *odh.Historian, sql string) {
+	start := time.Now()
+	res, err := h.Query(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if res.PlanText != "" {
+		fmt.Print(res.PlanText)
+		return
+	}
+	if res.Columns == nil {
+		fmt.Printf("ok (%d rows affected, %v)\n", res.RowsAffected, time.Since(start).Round(time.Microsecond))
+		return
+	}
+	fmt.Println(strings.Join(res.Columns, " | "))
+	n := 0
+	for {
+		row, ok, err := res.Next()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		if !ok {
+			break
+		}
+		n++
+		if n <= 40 {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		} else if n == 41 {
+			fmt.Println("... (display truncated; counting remaining rows)")
+		}
+	}
+	fmt.Printf("(%d rows, %v, %d blob bytes read)\n", n, time.Since(start).Round(time.Microsecond), res.BlobBytes())
+}

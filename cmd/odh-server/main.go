@@ -1,0 +1,62 @@
+// Command odh-server exposes a historian over TCP with the line protocol
+// implemented in internal/server (the paper's Figure 2 data-server
+// endpoint):
+//
+//	WRITE <source> <ts-ms> <v1> [v2 ...]
+//	SQL <statement>
+//	FLUSH / PING / QUIT
+//
+// Example:
+//
+//	odh-server -dir ./data -init "CREATE TABLE sensor_info (id BIGINT, area VARCHAR(8))"
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"odh"
+	"odh/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7483", "listen address")
+		dir     = flag.String("dir", "", "historian directory (empty = in-memory)")
+		initSQL = flag.String("init", "", "semicolon-separated SQL statements run at startup")
+		batchSz = flag.Int("batch", 128, "ODH batch size b")
+	)
+	flag.Parse()
+
+	h, err := odh.Open(*dir, odh.Options{BatchSize: *batchSz})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+
+	for _, stmt := range strings.Split(*initSQL, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if _, err := h.Query(stmt); err != nil {
+			log.Fatalf("init %q: %v", stmt, err)
+		}
+	}
+
+	srv := server.New(h)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("odh-server listening on %s (dir=%q)", bound, *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Println("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,135 @@
+// Maintenance: the lifecycle the paper's Table 1 implies for
+// low-frequency fleets, end to end. Data ingests through MG (cheap slice
+// queries over recent windows), a reorganizer converts aging stripes into
+// per-source RTS/IRTS batches (cheap per-source history), a coalescing
+// pass restores the b-points-per-record invariant after out-of-order
+// arrivals, and a retention pass ages out data past its lifecycle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"odh"
+)
+
+func main() {
+	sensors := flag.Int("sensors", 200, "fleet size")
+	hours := flag.Int("hours", 6, "simulated hours of data")
+	flag.Parse()
+
+	h, err := odh.Open("", odh.Options{BatchSize: 64, GroupSize: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+
+	schema, err := h.CreateSchema(odh.SchemaType{
+		Name: "station",
+		Tags: []odh.TagDef{
+			{Name: "temperature", Compression: odh.CompressionPolicy{MaxDev: 0.05}},
+			{Name: "humidity", Compression: odh.CompressionPolicy{MaxDev: 0.5}},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := h.CreateVirtualTable("station_v", "station"); err != nil {
+		log.Fatal(err)
+	}
+	const interval = 5 * time.Minute
+	srcs := make([]odh.DataSource, *sensors)
+	for i := range srcs {
+		srcs[i] = odh.DataSource{
+			ID: int64(i + 1), SchemaID: schema.ID,
+			Regular: false, IntervalMs: interval.Milliseconds(),
+		}
+	}
+	if _, err := h.RegisterSources(srcs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1 — ingest with jitter and occasional duplicate deliveries
+	// (the messy reality MG bucketing and the overflow path absorb).
+	rng := rand.New(rand.NewSource(5))
+	base := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC).UnixMilli()
+	end := base + int64(*hours)*time.Hour.Milliseconds()
+	w := h.Writer()
+	points := 0
+	for _, src := range srcs {
+		ts := base + rng.Int63n(interval.Milliseconds())
+		for ts < end {
+			temp := 18 + 6*rng.Float64()
+			if err := w.WritePoint(src.ID, ts, temp, 40+20*rng.Float64()); err != nil {
+				log.Fatal(err)
+			}
+			points++
+			if rng.Intn(20) == 0 { // duplicate delivery inside the window
+				if err := w.WritePoint(src.ID, ts+7, temp, 41); err != nil {
+					log.Fatal(err)
+				}
+				points++
+			}
+			ts += interval.Milliseconds()/2 + rng.Int63n(interval.Milliseconds())
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	report(h, fmt.Sprintf("after ingest (%d points)", points))
+
+	// Phase 2 — reorganize everything older than the last hour into
+	// per-source batches (Table 1: historical queries want RTS/IRTS).
+	cut := end - time.Hour.Milliseconds()
+	if err := h.Reorganize("station", cut); err != nil {
+		log.Fatal(err)
+	}
+	report(h, "after reorganize")
+
+	// Phase 3 — retention: age out the first half of the window.
+	// Retention is batch-granular, so it runs before coalescing: merged
+	// batches span long ranges and would straddle any cutoff.
+	dropped, err := h.DropBefore("station", base+int64(*hours)*time.Hour.Milliseconds()/2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retention: dropped %d batch records\n", dropped)
+	report(h, "after retention")
+
+	// Phase 4 — coalesce fragmented batches (per-sensor ingest order and
+	// duplicate overflows leave undersized records behind).
+	before, after, err := h.Coalesce("station")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("coalesce: %d batches -> %d\n", before, after)
+	report(h, "after coalesce")
+
+	// The SQL surface keeps working across every phase; downsample what
+	// remains into 30-minute buckets.
+	res, err := h.Query(fmt.Sprintf(
+		`SELECT TIME_BUCKET(%d, timestamp) AS bucket, COUNT(*), AVG(temperature)
+		 FROM station_v GROUP BY TIME_BUCKET(%d, timestamp) ORDER BY bucket`,
+		30*time.Minute.Milliseconds(), 30*time.Minute.Milliseconds()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := res.FetchAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("30-minute roll-up of surviving data:")
+	for _, r := range rows {
+		fmt.Printf("  %s  n=%-5d avg=%.2f\n",
+			time.UnixMilli(r[0].AsInt()).UTC().Format("15:04"), r[1].AsInt(), r[2].AsFloat())
+	}
+}
+
+func report(h *odh.Historian, phase string) {
+	st := h.TotalStats()
+	fmt.Printf("%-28s storage=%.2f MB blobs=%.2f MB\n",
+		phase+":", float64(st.StorageBytes)/(1<<20), float64(st.BlobBytes)/(1<<20))
+}

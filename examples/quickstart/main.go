@@ -1,0 +1,109 @@
+// Quickstart: the paper's §3 running example — environment monitoring
+// sensors producing (timestamp, id, temperature, wind) records, exposed
+// through the environ_data_v virtual table and fused with a relational
+// sensor_info table by plain SQL.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"odh"
+)
+
+func main() {
+	// An empty dir opens an in-memory historian; pass a path to persist.
+	h, err := odh.Open("", odh.Options{BatchSize: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer h.Close()
+
+	// 1. Declare the schema type and expose it as a virtual table.
+	schema, err := h.CreateSchema(odh.SchemaType{
+		Name: "environ",
+		Tags: []odh.TagDef{{Name: "temperature"}, {Name: "wind"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := h.CreateVirtualTable("environ_data_v", "environ"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Business data lives in ordinary relational tables, same database.
+	mustQuery(h, `CREATE TABLE sensor_info (id BIGINT, area VARCHAR(8))`)
+
+	// 3. Register sensors: regular 1-minute sampling.
+	base := time.Date(2013, 11, 18, 0, 0, 0, 0, time.UTC).UnixMilli()
+	for i := int64(1); i <= 6; i++ {
+		if _, err := h.RegisterSource(odh.DataSource{
+			ID: i, SchemaID: schema.ID, Regular: true, IntervalMs: 60_000,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		area := "S1"
+		if i > 3 {
+			area = "S2"
+		}
+		mustQuery(h, fmt.Sprintf(`INSERT INTO sensor_info VALUES (%d, '%s')`, i, area))
+	}
+
+	// 4. Ingest through the writer API (non-transactional, batched).
+	// Points arrive in time order, as they would from live sensors.
+	w := h.Writer()
+	for j := 0; j < 120; j++ {
+		ts := base + int64(j)*60_000
+		for i := int64(1); i <= 6; i++ {
+			temperature := 15 + float64(i) + 0.02*float64(j)
+			wind := 2 + 0.5*float64(i%3)
+			if err := w.WritePoint(i, ts, temperature, wind); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. The paper's example query, verbatim: fuse operational and
+	// relational data in one SELECT.
+	sql := `SELECT timestamp, temperature, wind
+	        FROM environ_data_v a, sensor_info b
+	        WHERE a.id = b.id AND b.area = 'S1'
+	        AND timestamp BETWEEN '2013-11-18 00:00:00' AND '2013-11-18 00:30:00'`
+	res, err := h.Query(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := res.FetchAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("area S1, first half hour: %d rows\n", len(rows))
+	for _, r := range rows[:3] {
+		fmt.Printf("  ts=%s temperature=%.2f wind=%.1f\n", r[0], r[1].AsFloat(), r[2].AsFloat())
+	}
+
+	// 6. Aggregate over the same virtual table.
+	res, err = h.Query(`SELECT id, AVG(temperature) FROM environ_data_v GROUP BY id ORDER BY id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, _ = res.FetchAll()
+	fmt.Println("average temperature per sensor:")
+	for _, r := range rows {
+		fmt.Printf("  sensor %d: %.2f\n", r[0].AsInt(), r[1].AsFloat())
+	}
+
+	st := h.TotalStats()
+	fmt.Printf("ingested %d points in %d batches, %d blob bytes on disk\n",
+		st.PointsWritten, st.BatchesFlushed, st.BlobBytes)
+}
+
+func mustQuery(h *odh.Historian, sql string) {
+	if _, err := h.Query(sql); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module odh
+
+go 1.22

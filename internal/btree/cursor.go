@@ -1,0 +1,193 @@
+package btree
+
+import (
+	"bytes"
+
+	"odh/internal/pagestore"
+)
+
+// Cursor iterates leaf entries in ascending key order. A cursor takes a
+// read snapshot of each leaf it visits (the copy keeps pin lifetimes short
+// and makes iteration safe while other goroutines read). Writers must not
+// run concurrently with an open cursor unless the caller coordinates; the
+// historian's scan paths hold the tree read lock per leaf, which matches
+// the paper's dirty-read isolation (readers may see a mix of old and new
+// batches but never a torn page).
+type Cursor struct {
+	t     *Tree
+	leaf  pagestore.PageID
+	cells []cursorCell
+	pos   int
+	err   error
+}
+
+type cursorCell struct {
+	key []byte
+	val []byte
+	ovf bool
+}
+
+// Seek positions the cursor at the first entry with key >= target.
+func (t *Tree) Seek(target []byte) *Cursor {
+	c := &Cursor{t: t}
+	t.mu.RLock()
+	leafID, err := t.findLeaf(target)
+	t.mu.RUnlock()
+	if err != nil {
+		c.err = err
+		return c
+	}
+	if err := c.loadLeaf(leafID); err != nil {
+		c.err = err
+		return c
+	}
+	// Position within the leaf; key may belong to the next leaf if the
+	// target is past this leaf's last entry.
+	for c.pos = 0; c.pos < len(c.cells); c.pos++ {
+		if bytes.Compare(c.cells[c.pos].key, target) >= 0 {
+			return c
+		}
+	}
+	c.advanceLeaf()
+	return c
+}
+
+// First positions the cursor at the smallest entry.
+func (t *Tree) First() *Cursor {
+	return t.Seek(nil)
+}
+
+// loadLeaf snapshots the cells of leaf pid.
+func (c *Cursor) loadLeaf(pid pagestore.PageID) error {
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
+	fr, err := c.t.store.Get(pid)
+	if err != nil {
+		return err
+	}
+	defer fr.Unpin()
+	n := node{fr.Data()}
+	c.leaf = pid
+	c.cells = c.cells[:0]
+	for i := 0; i < n.ncells(); i++ {
+		key, val, ovf := n.leafCell(i)
+		c.cells = append(c.cells, cursorCell{
+			key: append([]byte(nil), key...),
+			val: append([]byte(nil), val...),
+			ovf: ovf,
+		})
+	}
+	c.pos = 0
+	return nil
+}
+
+// advanceLeaf moves to the next non-empty leaf (skipping empty leaves left
+// by deletions); the cursor becomes invalid at the end of the tree.
+func (c *Cursor) advanceLeaf() {
+	for {
+		c.t.mu.RLock()
+		fr, err := c.t.store.Get(c.leaf)
+		if err != nil {
+			c.t.mu.RUnlock()
+			c.err = err
+			c.cells = nil
+			return
+		}
+		next := node{fr.Data()}.next()
+		fr.Unpin()
+		c.t.mu.RUnlock()
+		if next == pagestore.InvalidPage {
+			c.cells = nil
+			c.pos = 0
+			return
+		}
+		if err := c.loadLeaf(next); err != nil {
+			c.err = err
+			c.cells = nil
+			return
+		}
+		if len(c.cells) > 0 {
+			return
+		}
+	}
+}
+
+// Valid reports whether the cursor is positioned at an entry.
+func (c *Cursor) Valid() bool { return c.err == nil && c.pos < len(c.cells) }
+
+// Err returns the first error the cursor encountered, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Key returns the current entry's key. Valid only while Valid() is true.
+func (c *Cursor) Key() []byte { return c.cells[c.pos].key }
+
+// Value returns the current entry's value, fetching overflow chains as
+// needed.
+func (c *Cursor) Value() ([]byte, error) {
+	cell := c.cells[c.pos]
+	if !cell.ovf {
+		return cell.val, nil
+	}
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
+	return c.t.readOverflow(cell.val)
+}
+
+// ValueSize returns the stored size of the current value without fetching
+// overflow pages; the query planner uses it to account blob bytes.
+func (c *Cursor) ValueSize() int {
+	cell := c.cells[c.pos]
+	if !cell.ovf {
+		return len(cell.val)
+	}
+	if len(cell.val) < 8 {
+		return 0
+	}
+	return int(uint32(cell.val[0]) | uint32(cell.val[1])<<8 | uint32(cell.val[2])<<16 | uint32(cell.val[3])<<24)
+}
+
+// Next advances to the following entry.
+func (c *Cursor) Next() {
+	if !c.Valid() {
+		return
+	}
+	c.pos++
+	if c.pos >= len(c.cells) {
+		c.advanceLeaf()
+	}
+}
+
+// Scan invokes fn for every entry with lo <= key < hi (hi nil = unbounded).
+// Iteration stops early when fn returns false.
+func (t *Tree) Scan(lo, hi []byte, fn func(key, val []byte) bool) error {
+	c := t.Seek(lo)
+	for c.Valid() {
+		if hi != nil && bytes.Compare(c.Key(), hi) >= 0 {
+			break
+		}
+		val, err := c.Value()
+		if err != nil {
+			return err
+		}
+		if !fn(c.Key(), val) {
+			break
+		}
+		c.Next()
+	}
+	return c.Err()
+}
+
+// CountRange returns the number of entries and total value bytes in
+// [lo, hi). The planner uses it for cost estimation on small ranges.
+func (t *Tree) CountRange(lo, hi []byte) (n int, bytesTotal int64, err error) {
+	c := t.Seek(lo)
+	for c.Valid() {
+		if hi != nil && bytes.Compare(c.Key(), hi) >= 0 {
+			break
+		}
+		n++
+		bytesTotal += int64(c.ValueSize())
+		c.Next()
+	}
+	return n, bytesTotal, c.Err()
+}

@@ -1,0 +1,602 @@
+// Package catalog implements the ODH configuration component (paper §3):
+// it manages schema types, data sources, virtual-table registrations, MG
+// group assignment, and the per-source statistics that feed the query
+// optimizer's cost model. Metadata persists in B-trees inside the same
+// page store as the data, so a reopened historian recovers its full
+// configuration.
+package catalog
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"odh/internal/btree"
+	"odh/internal/keyenc"
+	"odh/internal/model"
+	"odh/internal/pagestore"
+)
+
+// DefaultGroupSize is the number of low-frequency sources packed into one
+// MG group when the historian does not override it (it normally uses the
+// configured batch size b, mirroring "the MG structure packs b operational
+// points by timestamp from a group of data sources").
+const DefaultGroupSize = 64
+
+// Catalog is the metadata store. All methods are safe for concurrent use.
+type Catalog struct {
+	mu sync.RWMutex
+
+	schemas   *btree.Tree // schema id -> JSON SchemaType
+	sources   *btree.Tree // source id -> encoded DataSource
+	stats     *btree.Tree // source id -> encoded SourceStats
+	vtables   *btree.Tree // name -> schema id
+	counters  *btree.Tree // name -> next id
+	groupSize int
+
+	bySchemaName map[string]*model.SchemaType
+	bySchemaID   map[int64]*model.SchemaType
+	srcCache     map[int64]*model.DataSource
+	groupMembers map[int64][]int64 // group id -> ordered member source ids
+	openGroup    map[int64]int64   // schema id -> group currently filling
+	vtableCache  map[string]int64
+	schemaAgg    map[int64]model.SourceStats // aggregated stats per schema
+	sourceCount  map[int64]int64             // sources per schema
+}
+
+// Open loads (or initializes) the catalog inside store.
+func Open(store *pagestore.Store, groupSize int) (*Catalog, error) {
+	if groupSize <= 0 {
+		groupSize = DefaultGroupSize
+	}
+	c := &Catalog{
+		groupSize:    groupSize,
+		bySchemaName: make(map[string]*model.SchemaType),
+		bySchemaID:   make(map[int64]*model.SchemaType),
+		srcCache:     make(map[int64]*model.DataSource),
+		groupMembers: make(map[int64][]int64),
+		openGroup:    make(map[int64]int64),
+		vtableCache:  make(map[string]int64),
+		schemaAgg:    make(map[int64]model.SourceStats),
+		sourceCount:  make(map[int64]int64),
+	}
+	var err error
+	if c.schemas, err = btree.Open(store, "cat.schemas"); err != nil {
+		return nil, err
+	}
+	if c.sources, err = btree.Open(store, "cat.sources"); err != nil {
+		return nil, err
+	}
+	if c.stats, err = btree.Open(store, "cat.stats"); err != nil {
+		return nil, err
+	}
+	if c.vtables, err = btree.Open(store, "cat.vtables"); err != nil {
+		return nil, err
+	}
+	if c.counters, err = btree.Open(store, "cat.counters"); err != nil {
+		return nil, err
+	}
+	if err := c.load(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// load rebuilds the in-memory caches from the persistent trees.
+func (c *Catalog) load() error {
+	if err := c.schemas.Scan(nil, nil, func(k, v []byte) bool {
+		var s model.SchemaType
+		if json.Unmarshal(v, &s) == nil {
+			c.bySchemaID[s.ID] = &s
+			c.bySchemaName[s.Name] = &s
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if err := c.sources.Scan(nil, nil, func(k, v []byte) bool {
+		ds, err := decodeSource(v)
+		if err != nil {
+			return true
+		}
+		c.srcCache[ds.ID] = ds
+		c.sourceCount[ds.SchemaID]++
+		if ds.Group != 0 {
+			c.groupMembers[ds.Group] = append(c.groupMembers[ds.Group], ds.ID)
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	// Group member lists must be in slot order; sources were scanned in id
+	// order which may differ.
+	for g, members := range c.groupMembers {
+		sort.Slice(members, func(i, j int) bool {
+			return c.srcCache[members[i]].GroupSlot < c.srcCache[members[j]].GroupSlot
+		})
+		c.groupMembers[g] = members
+		// Reopen the group for filling if it has free slots.
+		if len(members) < c.groupSize {
+			c.openGroup[c.srcCache[members[0]].SchemaID] = g
+		}
+	}
+	if err := c.vtables.Scan(nil, nil, func(k, v []byte) bool {
+		name, _, err := keyenc.String(k)
+		if err == nil && len(v) == 8 {
+			c.vtableCache[name] = int64(binary.LittleEndian.Uint64(v))
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	return c.stats.Scan(nil, nil, func(k, v []byte) bool {
+		id, _, err := keyenc.Int64(k)
+		if err != nil {
+			return true
+		}
+		st, err := decodeStats(v)
+		if err != nil {
+			return true
+		}
+		var schemaID int64
+		if id < 0 {
+			// Group stats live under the negated group id.
+			members := c.groupMembers[-id]
+			if len(members) == 0 {
+				return true
+			}
+			schemaID = c.srcCache[members[0]].SchemaID
+		} else {
+			ds, ok := c.srcCache[id]
+			if !ok {
+				return true
+			}
+			schemaID = ds.SchemaID
+		}
+		agg := c.schemaAgg[schemaID]
+		agg.Merge(st)
+		c.schemaAgg[schemaID] = agg
+		return true
+	})
+}
+
+// nextID allocates a monotonically increasing id for the named counter.
+// Caller holds c.mu for writing.
+func (c *Catalog) nextID(name string) (int64, error) {
+	key := keyenc.AppendString(nil, name)
+	var next int64 = 1
+	if v, err := c.counters.Get(key); err == nil {
+		next = int64(binary.LittleEndian.Uint64(v)) + 1
+	} else if err != btree.ErrNotFound {
+		return 0, err
+	}
+	if err := c.counters.Put(key, binary.LittleEndian.AppendUint64(nil, uint64(next))); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// CreateSchemaType registers a schema type with default id/timestamp
+// column names and returns it.
+func (c *Catalog) CreateSchemaType(name string, tags []model.TagDef) (*model.SchemaType, error) {
+	return c.CreateSchema(model.SchemaType{Name: name, Tags: tags})
+}
+
+// CreateSchema registers a fully specified schema type (custom id and
+// timestamp column names included). The ID field is assigned by the
+// catalog.
+func (c *Catalog) CreateSchema(st model.SchemaType) (*model.SchemaType, error) {
+	if st.Name == "" {
+		return nil, fmt.Errorf("catalog: empty schema type name")
+	}
+	if len(st.Tags) == 0 {
+		return nil, fmt.Errorf("catalog: schema type %q has no tags", st.Name)
+	}
+	seen := map[string]bool{st.IDColumn(): true, st.TSColumn(): true}
+	for _, t := range st.Tags {
+		if t.Name == "" || seen[t.Name] {
+			return nil, fmt.Errorf("catalog: schema type %q: empty, duplicate, or reserved tag %q", st.Name, t.Name)
+		}
+		seen[t.Name] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.bySchemaName[st.Name]; ok {
+		return nil, fmt.Errorf("catalog: schema type %q already exists", st.Name)
+	}
+	id, err := c.nextID("schema")
+	if err != nil {
+		return nil, err
+	}
+	st.ID = id
+	s := &st
+	buf, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.schemas.Put(keyenc.AppendInt64(nil, id), buf); err != nil {
+		return nil, err
+	}
+	c.bySchemaID[id] = s
+	c.bySchemaName[st.Name] = s
+	return s, nil
+}
+
+// SchemaByName looks up a schema type by name.
+func (c *Catalog) SchemaByName(name string) (*model.SchemaType, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.bySchemaName[name]
+	return s, ok
+}
+
+// SchemaByID looks up a schema type by id.
+func (c *Catalog) SchemaByID(id int64) (*model.SchemaType, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.bySchemaID[id]
+	return s, ok
+}
+
+// Schemas returns all schema types.
+func (c *Catalog) Schemas() []*model.SchemaType {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*model.SchemaType, 0, len(c.bySchemaID))
+	for _, s := range c.bySchemaID {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RegisterSource adds a data source. Low-frequency sources are assigned to
+// an MG group (filling groups up to the configured group size). The stored
+// source (with group assignment) is returned.
+func (c *Catalog) RegisterSource(ds model.DataSource) (*model.DataSource, error) {
+	out, err := c.RegisterSources([]model.DataSource{ds})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// RegisterSources batch-registers sources, amortizing the persistent
+// writes. This is the path the paper's "massive amount of sensors"
+// scenarios use (millions of smart meters register at provisioning time).
+func (c *Catalog) RegisterSources(list []model.DataSource) ([]*model.DataSource, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*model.DataSource, 0, len(list))
+	for _, ds := range list {
+		if _, ok := c.bySchemaID[ds.SchemaID]; !ok {
+			return nil, fmt.Errorf("catalog: source %d: unknown schema %d", ds.ID, ds.SchemaID)
+		}
+		if ds.ID == 0 {
+			id, err := c.nextID("source")
+			if err != nil {
+				return nil, err
+			}
+			ds.ID = id
+		}
+		if _, dup := c.srcCache[ds.ID]; dup {
+			return nil, fmt.Errorf("catalog: source %d already registered", ds.ID)
+		}
+		if ds.IngestStructure() == model.MG {
+			if err := c.assignGroup(&ds); err != nil {
+				return nil, err
+			}
+		} else {
+			ds.Group, ds.GroupSlot = 0, 0
+		}
+		stored := ds
+		if err := c.sources.Put(keyenc.AppendInt64(nil, ds.ID), encodeSource(&stored)); err != nil {
+			return nil, err
+		}
+		c.srcCache[stored.ID] = &stored
+		c.sourceCount[stored.SchemaID]++
+		out = append(out, &stored)
+	}
+	return out, nil
+}
+
+// assignGroup places ds into the schema's currently filling MG group,
+// opening a new group when full. Caller holds c.mu.
+func (c *Catalog) assignGroup(ds *model.DataSource) error {
+	g, ok := c.openGroup[ds.SchemaID]
+	if ok && len(c.groupMembers[g]) >= c.groupSize {
+		ok = false
+	}
+	if !ok {
+		id, err := c.nextID("group")
+		if err != nil {
+			return err
+		}
+		g = id
+		c.openGroup[ds.SchemaID] = g
+	}
+	ds.Group = g
+	ds.GroupSlot = len(c.groupMembers[g])
+	c.groupMembers[g] = append(c.groupMembers[g], ds.ID)
+	return nil
+}
+
+// Source looks up a data source.
+func (c *Catalog) Source(id int64) (*model.DataSource, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ds, ok := c.srcCache[id]
+	return ds, ok
+}
+
+// SourcesBySchema returns the ids of every source of a schema type, in
+// ascending order.
+func (c *Catalog) SourcesBySchema(schemaID int64) []int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []int64
+	for id, ds := range c.srcCache {
+		if ds.SchemaID == schemaID {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SourceCount returns the number of sources registered for a schema.
+func (c *Catalog) SourceCount(schemaID int64) int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sourceCount[schemaID]
+}
+
+// GroupMembers returns the ordered member sources of an MG group.
+func (c *Catalog) GroupMembers(group int64) []int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	members := c.groupMembers[group]
+	out := make([]int64, len(members))
+	copy(out, members)
+	return out
+}
+
+// GroupsBySchema returns all MG group ids containing sources of schemaID.
+func (c *Catalog) GroupsBySchema(schemaID int64) []int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []int64
+	for g, members := range c.groupMembers {
+		if len(members) > 0 && c.srcCache[members[0]].SchemaID == schemaID {
+			out = append(out, g)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GroupSize returns the configured MG group capacity.
+func (c *Catalog) GroupSize() int { return c.groupSize }
+
+// CreateVirtualTable exposes a schema type under a table name for SQL.
+func (c *Catalog) CreateVirtualTable(name string, schemaID int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.bySchemaID[schemaID]; !ok {
+		return fmt.Errorf("catalog: unknown schema %d", schemaID)
+	}
+	if _, dup := c.vtableCache[name]; dup {
+		return fmt.Errorf("catalog: virtual table %q already exists", name)
+	}
+	if err := c.vtables.Put(keyenc.AppendString(nil, name),
+		binary.LittleEndian.AppendUint64(nil, uint64(schemaID))); err != nil {
+		return err
+	}
+	c.vtableCache[name] = schemaID
+	return nil
+}
+
+// VirtualTable resolves a virtual table name to its schema type.
+func (c *Catalog) VirtualTable(name string) (*model.SchemaType, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	id, ok := c.vtableCache[name]
+	if !ok {
+		return nil, false
+	}
+	s, ok := c.bySchemaID[id]
+	return s, ok
+}
+
+// VirtualTables returns the registered virtual table names.
+func (c *Catalog) VirtualTables() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.vtableCache))
+	for name := range c.vtableCache {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns the persisted statistics for a source (zero value when the
+// source has no persisted batches yet).
+func (c *Catalog) Stats(source int64) model.SourceStats {
+	v, err := c.stats.Get(keyenc.AppendInt64(nil, source))
+	if err != nil {
+		return model.SourceStats{}
+	}
+	st, err := decodeStats(v)
+	if err != nil {
+		return model.SourceStats{}
+	}
+	return st
+}
+
+// UpdateStats merges delta into a source's persisted statistics and the
+// schema-level aggregate used by the cost model.
+func (c *Catalog) UpdateStats(source int64, delta model.SourceStats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := keyenc.AppendInt64(nil, source)
+	st := model.SourceStats{}
+	if v, err := c.stats.Get(key); err == nil {
+		if dec, err := decodeStats(v); err == nil {
+			st = dec
+		}
+	}
+	st.Merge(delta)
+	if err := c.stats.Put(key, encodeStats(st)); err != nil {
+		return err
+	}
+	if ds, ok := c.srcCache[source]; ok {
+		agg := c.schemaAgg[ds.SchemaID]
+		agg.Merge(delta)
+		c.schemaAgg[ds.SchemaID] = agg
+	}
+	return nil
+}
+
+// UpdateGroupStats merges delta into an MG group's statistics (stored
+// under the negated group id so groups and sources share one tree without
+// colliding) and the schema-level aggregate. Per-member statistics are not
+// maintained on the MG path — one MG record carries up to groupSize
+// sources, and the reorganizer establishes per-source stats when it
+// converts MG data to RTS/IRTS.
+func (c *Catalog) UpdateGroupStats(group int64, delta model.SourceStats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := keyenc.AppendInt64(nil, -group)
+	st := model.SourceStats{}
+	if v, err := c.stats.Get(key); err == nil {
+		if dec, err := decodeStats(v); err == nil {
+			st = dec
+		}
+	}
+	st.Merge(delta)
+	if err := c.stats.Put(key, encodeStats(st)); err != nil {
+		return err
+	}
+	if members := c.groupMembers[group]; len(members) > 0 {
+		if ds, ok := c.srcCache[members[0]]; ok {
+			agg := c.schemaAgg[ds.SchemaID]
+			agg.Merge(delta)
+			c.schemaAgg[ds.SchemaID] = agg
+		}
+	}
+	return nil
+}
+
+// GroupStats returns the persisted statistics of an MG group.
+func (c *Catalog) GroupStats(group int64) model.SourceStats {
+	v, err := c.stats.Get(keyenc.AppendInt64(nil, -group))
+	if err != nil {
+		return model.SourceStats{}
+	}
+	st, err := decodeStats(v)
+	if err != nil {
+		return model.SourceStats{}
+	}
+	return st
+}
+
+// SchemaStats returns the aggregate statistics of all sources of a schema,
+// the primary input to the planner's ValueBlob-bytes cost model.
+func (c *Catalog) SchemaStats(schemaID int64) model.SourceStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.schemaAgg[schemaID]
+}
+
+// RouterLookup models the paper's data-router metadata access: every ODH
+// query resolves its sources' placement through catalog reads before data
+// access ("for each query, the data router looks up the metadata to locate
+// the required data ... currently completed by SQL statements"). It
+// returns the stats rows it read, so the caller observes real I/O cost.
+func (c *Catalog) RouterLookup(sources []int64) []model.SourceStats {
+	out := make([]model.SourceStats, 0, len(sources))
+	for _, id := range sources {
+		out = append(out, c.Stats(id))
+	}
+	return out
+}
+
+// --- binary codecs ---
+
+func encodeSource(ds *model.DataSource) []byte {
+	b := binary.AppendVarint(nil, ds.ID)
+	b = binary.AppendVarint(b, ds.SchemaID)
+	if ds.Regular {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendVarint(b, ds.IntervalMs)
+	b = binary.AppendVarint(b, ds.Group)
+	b = binary.AppendVarint(b, int64(ds.GroupSlot))
+	b = binary.AppendUvarint(b, uint64(len(ds.Name)))
+	return append(b, ds.Name...)
+}
+
+func decodeSource(b []byte) (*model.DataSource, error) {
+	var ds model.DataSource
+	var n int
+	if ds.ID, n = binary.Varint(b); n <= 0 {
+		return nil, fmt.Errorf("catalog: corrupt source record")
+	}
+	b = b[n:]
+	if ds.SchemaID, n = binary.Varint(b); n <= 0 {
+		return nil, fmt.Errorf("catalog: corrupt source record")
+	}
+	b = b[n:]
+	if len(b) < 1 {
+		return nil, fmt.Errorf("catalog: corrupt source record")
+	}
+	ds.Regular = b[0] == 1
+	b = b[1:]
+	if ds.IntervalMs, n = binary.Varint(b); n <= 0 {
+		return nil, fmt.Errorf("catalog: corrupt source record")
+	}
+	b = b[n:]
+	if ds.Group, n = binary.Varint(b); n <= 0 {
+		return nil, fmt.Errorf("catalog: corrupt source record")
+	}
+	b = b[n:]
+	slot, n := binary.Varint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("catalog: corrupt source record")
+	}
+	ds.GroupSlot = int(slot)
+	b = b[n:]
+	nameLen, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b[n:])) < nameLen {
+		return nil, fmt.Errorf("catalog: corrupt source record")
+	}
+	ds.Name = string(b[n : n+int(nameLen)])
+	return &ds, nil
+}
+
+func encodeStats(st model.SourceStats) []byte {
+	b := binary.AppendVarint(nil, st.BatchCount)
+	b = binary.AppendVarint(b, st.PointCount)
+	b = binary.AppendVarint(b, st.BlobBytes)
+	b = binary.AppendVarint(b, st.FirstTS)
+	b = binary.AppendVarint(b, st.LastTS)
+	return binary.AppendVarint(b, st.MaxSpanMs)
+}
+
+func decodeStats(b []byte) (model.SourceStats, error) {
+	var st model.SourceStats
+	for _, dst := range []*int64{&st.BatchCount, &st.PointCount, &st.BlobBytes, &st.FirstTS, &st.LastTS, &st.MaxSpanMs} {
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return st, fmt.Errorf("catalog: corrupt stats record")
+		}
+		*dst = v
+		b = b[n:]
+	}
+	return st, nil
+}

@@ -1,0 +1,347 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+
+	"odh/internal/model"
+	"odh/internal/pagestore"
+)
+
+func openCatalog(t *testing.T, groupSize int) (*Catalog, *pagestore.MemFile) {
+	t.Helper()
+	f := pagestore.NewMemFile()
+	store, err := pagestore.Open(f, pagestore.Options{PoolPages: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	c, err := Open(store, groupSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, f
+}
+
+func envTags() []model.TagDef {
+	return []model.TagDef{{Name: "temperature"}, {Name: "wind"}}
+}
+
+func TestCreateSchemaType(t *testing.T) {
+	c, _ := openCatalog(t, 0)
+	s, err := c.CreateSchemaType("environ", envTags())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID == 0 {
+		t.Fatal("no id assigned")
+	}
+	got, ok := c.SchemaByName("environ")
+	if !ok || got.ID != s.ID || len(got.Tags) != 2 {
+		t.Fatalf("lookup failed: %+v", got)
+	}
+	if got.TagIndex("wind") != 1 || got.TagIndex("nope") != -1 {
+		t.Fatal("TagIndex wrong")
+	}
+	if _, err := c.CreateSchemaType("environ", envTags()); err == nil {
+		t.Fatal("duplicate schema accepted")
+	}
+	if _, err := c.CreateSchemaType("", envTags()); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := c.CreateSchemaType("x", nil); err == nil {
+		t.Fatal("empty tags accepted")
+	}
+	if _, err := c.CreateSchemaType("y", []model.TagDef{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Fatal("duplicate tag accepted")
+	}
+}
+
+func TestRegisterHighFrequencySource(t *testing.T) {
+	c, _ := openCatalog(t, 0)
+	s, _ := c.CreateSchemaType("pmu", envTags())
+	ds, err := c.RegisterSource(model.DataSource{SchemaID: s.ID, Regular: true, IntervalMs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Group != 0 {
+		t.Fatal("high-frequency source got an MG group")
+	}
+	if ds.IngestStructure() != model.RTS {
+		t.Fatalf("structure = %v, want RTS", ds.IngestStructure())
+	}
+	irr, _ := c.RegisterSource(model.DataSource{SchemaID: s.ID, Regular: false, IntervalMs: 100})
+	if irr.IngestStructure() != model.IRTS {
+		t.Fatalf("structure = %v, want IRTS", irr.IngestStructure())
+	}
+}
+
+func TestGroupAssignment(t *testing.T) {
+	c, _ := openCatalog(t, 4)
+	s, _ := c.CreateSchemaType("meter", envTags())
+	var groups []int64
+	for i := 0; i < 10; i++ {
+		// 15-minute interval: low frequency, must go to MG.
+		ds, err := c.RegisterSource(model.DataSource{SchemaID: s.ID, Regular: true, IntervalMs: 900000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.IngestStructure() != model.MG {
+			t.Fatalf("low-frequency source structure = %v", ds.IngestStructure())
+		}
+		if ds.Group == 0 {
+			t.Fatal("no group assigned")
+		}
+		groups = append(groups, ds.Group)
+		if ds.GroupSlot != i%4 {
+			t.Fatalf("source %d slot = %d, want %d", i, ds.GroupSlot, i%4)
+		}
+	}
+	// 10 sources at group size 4 -> 3 groups.
+	distinct := map[int64]bool{}
+	for _, g := range groups {
+		distinct[g] = true
+	}
+	if len(distinct) != 3 {
+		t.Fatalf("got %d groups, want 3", len(distinct))
+	}
+	members := c.GroupMembers(groups[0])
+	if len(members) != 4 {
+		t.Fatalf("first group has %d members", len(members))
+	}
+	if got := c.GroupsBySchema(s.ID); len(got) != 3 {
+		t.Fatalf("GroupsBySchema = %v", got)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	c, _ := openCatalog(t, 0)
+	if _, err := c.RegisterSource(model.DataSource{SchemaID: 999}); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	s, _ := c.CreateSchemaType("t", envTags())
+	ds, err := c.RegisterSource(model.DataSource{ID: 7, SchemaID: s.ID, IntervalMs: 10})
+	if err != nil || ds.ID != 7 {
+		t.Fatalf("explicit id: %v", err)
+	}
+	if _, err := c.RegisterSource(model.DataSource{ID: 7, SchemaID: s.ID, IntervalMs: 10}); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	auto, err := c.RegisterSource(model.DataSource{SchemaID: s.ID, IntervalMs: 10})
+	if err != nil || auto.ID == 0 || auto.ID == 7 {
+		t.Fatalf("auto id: %d %v", auto.ID, err)
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	f := pagestore.NewMemFile()
+	store, err := pagestore.Open(f, pagestore.Options{PoolPages: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(store, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := c.CreateSchemaType("environ", envTags())
+	c.CreateVirtualTable("environ_data_v", s.ID)
+	var lastGroup int64
+	for i := 0; i < 6; i++ {
+		ds, _ := c.RegisterSource(model.DataSource{SchemaID: s.ID, Regular: true, IntervalMs: 900000})
+		lastGroup = ds.Group
+	}
+	c.UpdateStats(1, model.SourceStats{BatchCount: 2, PointCount: 100, BlobBytes: 4000, FirstTS: 10, LastTS: 500, MaxSpanMs: 490})
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := pagestore.Open(f, pagestore.Options{PoolPages: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	c2, err := Open(store2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.SchemaByName("environ"); !ok {
+		t.Fatal("schema lost")
+	}
+	vt, ok := c2.VirtualTable("environ_data_v")
+	if !ok || vt.Name != "environ" {
+		t.Fatal("virtual table lost")
+	}
+	if got := c2.SourceCount(s.ID); got != 6 {
+		t.Fatalf("SourceCount = %d", got)
+	}
+	// The half-full second group must keep filling after reopen.
+	ds, _ := c2.RegisterSource(model.DataSource{SchemaID: s.ID, Regular: true, IntervalMs: 900000})
+	if ds.Group != lastGroup {
+		t.Fatalf("reopened catalog started group %d, want to continue %d", ds.Group, lastGroup)
+	}
+	if ds.GroupSlot != 2 {
+		t.Fatalf("slot = %d, want 2", ds.GroupSlot)
+	}
+	st := c2.Stats(1)
+	if st.PointCount != 100 || st.BlobBytes != 4000 {
+		t.Fatalf("stats lost: %+v", st)
+	}
+	agg := c2.SchemaStats(s.ID)
+	if agg.PointCount != 100 {
+		t.Fatalf("schema aggregate not rebuilt: %+v", agg)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	c, _ := openCatalog(t, 0)
+	s, _ := c.CreateSchemaType("t", envTags())
+	ds, _ := c.RegisterSource(model.DataSource{SchemaID: s.ID, IntervalMs: 10})
+	c.UpdateStats(ds.ID, model.SourceStats{BatchCount: 1, PointCount: 50, BlobBytes: 100, FirstTS: 1000, LastTS: 1500, MaxSpanMs: 500})
+	c.UpdateStats(ds.ID, model.SourceStats{BatchCount: 1, PointCount: 50, BlobBytes: 120, FirstTS: 1500, LastTS: 2200, MaxSpanMs: 700})
+	st := c.Stats(ds.ID)
+	if st.BatchCount != 2 || st.PointCount != 100 || st.BlobBytes != 220 {
+		t.Fatalf("merge wrong: %+v", st)
+	}
+	if st.FirstTS != 1000 || st.LastTS != 2200 || st.MaxSpanMs != 700 {
+		t.Fatalf("bounds wrong: %+v", st)
+	}
+	agg := c.SchemaStats(s.ID)
+	if agg.PointCount != 100 {
+		t.Fatalf("aggregate: %+v", agg)
+	}
+}
+
+func TestVirtualTables(t *testing.T) {
+	c, _ := openCatalog(t, 0)
+	s, _ := c.CreateSchemaType("environ", envTags())
+	if err := c.CreateVirtualTable("environ_data_v", s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateVirtualTable("environ_data_v", s.ID); err == nil {
+		t.Fatal("duplicate vtable accepted")
+	}
+	if err := c.CreateVirtualTable("bad", 12345); err == nil {
+		t.Fatal("vtable on unknown schema accepted")
+	}
+	if names := c.VirtualTables(); len(names) != 1 || names[0] != "environ_data_v" {
+		t.Fatalf("VirtualTables = %v", names)
+	}
+}
+
+func TestSourcesBySchema(t *testing.T) {
+	c, _ := openCatalog(t, 0)
+	a, _ := c.CreateSchemaType("a", envTags())
+	b, _ := c.CreateSchemaType("b", envTags())
+	for i := 0; i < 5; i++ {
+		c.RegisterSource(model.DataSource{SchemaID: a.ID, IntervalMs: 10})
+	}
+	c.RegisterSource(model.DataSource{SchemaID: b.ID, IntervalMs: 10})
+	if got := c.SourcesBySchema(a.ID); len(got) != 5 {
+		t.Fatalf("schema a sources = %v", got)
+	}
+	if got := c.SourcesBySchema(b.ID); len(got) != 1 {
+		t.Fatalf("schema b sources = %v", got)
+	}
+}
+
+func TestRouterLookup(t *testing.T) {
+	c, _ := openCatalog(t, 0)
+	s, _ := c.CreateSchemaType("t", envTags())
+	var ids []int64
+	for i := 0; i < 10; i++ {
+		ds, _ := c.RegisterSource(model.DataSource{SchemaID: s.ID, IntervalMs: 10})
+		c.UpdateStats(ds.ID, model.SourceStats{PointCount: int64(i)})
+		ids = append(ids, ds.ID)
+	}
+	stats := c.RouterLookup(ids)
+	if len(stats) != 10 {
+		t.Fatalf("lookup returned %d rows", len(stats))
+	}
+	if stats[3].PointCount != 3 {
+		t.Fatalf("router stats wrong: %+v", stats[3])
+	}
+}
+
+func TestBatchRegisterMany(t *testing.T) {
+	c, _ := openCatalog(t, 8)
+	s, _ := c.CreateSchemaType("meters", envTags())
+	batch := make([]model.DataSource, 1000)
+	for i := range batch {
+		batch[i] = model.DataSource{SchemaID: s.ID, Regular: true, IntervalMs: 900000, Name: fmt.Sprintf("meter-%d", i)}
+	}
+	out, err := c.RegisterSources(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("registered %d", len(out))
+	}
+	if got := c.SourceCount(s.ID); got != 1000 {
+		t.Fatalf("SourceCount = %d", got)
+	}
+	if groups := c.GroupsBySchema(s.ID); len(groups) != 125 {
+		t.Fatalf("groups = %d, want 125", len(groups))
+	}
+}
+
+func TestReservedTagNamesRejected(t *testing.T) {
+	c, _ := openCatalog(t, 0)
+	// A tag may not collide with the schema's id or timestamp column.
+	if _, err := c.CreateSchema(model.SchemaType{
+		Name: "bad", Tags: []model.TagDef{{Name: "id"}},
+	}); err == nil {
+		t.Fatal("tag named 'id' accepted")
+	}
+	if _, err := c.CreateSchema(model.SchemaType{
+		Name: "bad2", IDName: "T_CA_ID",
+		Tags: []model.TagDef{{Name: "T_CA_ID"}},
+	}); err == nil {
+		t.Fatal("tag colliding with custom id column accepted")
+	}
+	// With a custom id name, a tag named "id" is fine.
+	if _, err := c.CreateSchema(model.SchemaType{
+		Name: "ok", IDName: "vin",
+		Tags: []model.TagDef{{Name: "id"}},
+	}); err != nil {
+		t.Fatalf("non-colliding tag rejected: %v", err)
+	}
+}
+
+func TestGroupStats(t *testing.T) {
+	c, _ := openCatalog(t, 2)
+	s, _ := c.CreateSchemaType("g", envTags())
+	ds, _ := c.RegisterSource(model.DataSource{SchemaID: s.ID, Regular: true, IntervalMs: 900000})
+	if err := c.UpdateGroupStats(ds.Group, model.SourceStats{BatchCount: 3, PointCount: 6, BlobBytes: 90}); err != nil {
+		t.Fatal(err)
+	}
+	st := c.GroupStats(ds.Group)
+	if st.BatchCount != 3 || st.BlobBytes != 90 {
+		t.Fatalf("group stats: %+v", st)
+	}
+	// Negative deltas (reorg reclaiming records) subtract.
+	c.UpdateGroupStats(ds.Group, model.SourceStats{BatchCount: -1, PointCount: -2, BlobBytes: -30})
+	st = c.GroupStats(ds.Group)
+	if st.BatchCount != 2 || st.PointCount != 4 || st.BlobBytes != 60 {
+		t.Fatalf("after negative merge: %+v", st)
+	}
+	// Group stats never collide with a source of the same numeric id.
+	if src := c.Stats(ds.Group); src.BatchCount == 2 && src.BlobBytes == 60 {
+		t.Fatal("group stats leaked into source stats keyspace")
+	}
+	if empty := c.GroupStats(9999); empty.BatchCount != 0 {
+		t.Fatalf("phantom group stats: %+v", empty)
+	}
+}
+
+func TestSchemasOrderedByID(t *testing.T) {
+	c, _ := openCatalog(t, 0)
+	c.CreateSchemaType("zzz", envTags())
+	c.CreateSchemaType("aaa", envTags())
+	list := c.Schemas()
+	if len(list) != 2 || list[0].Name != "zzz" || list[1].Name != "aaa" {
+		t.Fatalf("Schemas() = %v (want creation order by id)", list)
+	}
+	if c.GroupSize() != DefaultGroupSize {
+		t.Fatalf("GroupSize = %d", c.GroupSize())
+	}
+}

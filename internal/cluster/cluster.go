@@ -1,0 +1,212 @@
+// Package cluster implements the multi-data-server deployment of the
+// paper's Figure 2: operational data is hash-partitioned by data source
+// across N storage nodes, relational (business) data is replicated to
+// every node, and queries scatter to all nodes and gather their rows. The
+// coordinator's routing table is the same catalog metadata the data
+// router consults per query.
+package cluster
+
+import (
+	"fmt"
+
+	"odh/internal/catalog"
+	"odh/internal/model"
+	"odh/internal/pagestore"
+	"odh/internal/relational"
+	"odh/internal/sqlexec"
+	"odh/internal/tsstore"
+)
+
+// NodeOptions configures each node's storage stack.
+type NodeOptions struct {
+	BatchSize int
+	GroupSize int
+	PoolPages int
+}
+
+// Node is one data server: a full storage stack plus a SQL engine.
+type Node struct {
+	Page   *pagestore.Store
+	Cat    *catalog.Catalog
+	TS     *tsstore.Store
+	Rel    *relational.DB
+	Engine *sqlexec.Engine
+}
+
+func newNode(opts NodeOptions) (*Node, error) {
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 4096
+	}
+	page, err := pagestore.Open(pagestore.NewMemFile(), pagestore.Options{PoolPages: opts.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.Open(page, opts.GroupSize)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := tsstore.Open(page, cat, tsstore.Config{BatchSize: opts.BatchSize})
+	if err != nil {
+		return nil, err
+	}
+	rel, err := relational.Open(page, relational.ProfileRDB)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{Page: page, Cat: cat, TS: ts, Rel: rel, Engine: sqlexec.New(rel, ts)}, nil
+}
+
+// Cluster is a set of nodes with a source-hash router.
+type Cluster struct {
+	nodes []*Node
+}
+
+// New builds an n-node in-process cluster.
+func New(n int, opts NodeOptions) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		node, err := newNode(opts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// Close releases every node.
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		if err := n.TS.Flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := n.Page.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns node i (for inspection in tests).
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// homeNode routes a data source to its owning node.
+func (c *Cluster) homeNode(source int64) *Node {
+	h := uint64(source) * 0x9E3779B97F4A7C15 // Fibonacci hashing
+	return c.nodes[h%uint64(len(c.nodes))]
+}
+
+// CreateSchema registers a schema type on every node (metadata is
+// replicated so any node can answer any query shape).
+func (c *Cluster) CreateSchema(st model.SchemaType) error {
+	for _, n := range c.nodes {
+		if _, err := n.Cat.CreateSchema(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateVirtualTable registers the virtual table on every node.
+func (c *Cluster) CreateVirtualTable(table, schemaName string) error {
+	for _, n := range c.nodes {
+		s, ok := n.Cat.SchemaByName(schemaName)
+		if !ok {
+			return fmt.Errorf("cluster: unknown schema %q", schemaName)
+		}
+		if err := n.Cat.CreateVirtualTable(table, s.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterSource registers the source's metadata on every node; only the
+// home node will ever hold its data. Explicit IDs are required so routing
+// is stable across nodes.
+func (c *Cluster) RegisterSource(ds model.DataSource) error {
+	if ds.ID == 0 {
+		return fmt.Errorf("cluster: sources must carry explicit ids")
+	}
+	for _, n := range c.nodes {
+		schema, ok := n.Cat.SchemaByID(ds.SchemaID)
+		if !ok {
+			return fmt.Errorf("cluster: unknown schema %d", ds.SchemaID)
+		}
+		_ = schema
+		if _, err := n.Cat.RegisterSource(ds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write routes one point to its source's home node.
+func (c *Cluster) Write(p model.Point) error {
+	return c.homeNode(p.Source).TS.Write(p)
+}
+
+// Flush flushes every node's ingest buffers.
+func (c *Cluster) Flush() error {
+	for _, n := range c.nodes {
+		if err := n.TS.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExecAll runs a DDL or DML statement on every node (relational tables and
+// their contents are replicated).
+func (c *Cluster) ExecAll(sql string) error {
+	for i, n := range c.nodes {
+		if _, err := n.Engine.Query(sql); err != nil {
+			return fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// QueryResult gathers rows from a scattered query.
+type QueryResult struct {
+	Columns    []string
+	Rows       []sqlexec.Row
+	DataPoints int64
+	BlobBytes  int64
+}
+
+// Query scatters a SELECT to every node and concatenates the results.
+// Aggregates and ORDER BY are evaluated per node, so only plain
+// selections and joins (the IoT-X templates) compose correctly across the
+// cluster; aggregate scatter-gather would need a combining coordinator.
+func (c *Cluster) Query(sql string) (*QueryResult, error) {
+	out := &QueryResult{}
+	for i, n := range c.nodes {
+		res, err := n.Engine.Query(sql)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		rows, err := res.FetchAll()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		if out.Columns == nil {
+			out.Columns = res.Columns
+		}
+		out.Rows = append(out.Rows, rows...)
+		out.DataPoints += res.DataPoints
+		out.BlobBytes += res.BlobBytes()
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package compress
+
+// BitWriter packs integers of arbitrary bit width into a byte slice,
+// most-significant bit first. The quantization codec uses it to store
+// b-bit symbols.
+type BitWriter struct {
+	buf  []byte
+	cur  uint64 // bits accumulated, left-aligned in the low `n` bits
+	nCur uint   // number of valid bits in cur
+}
+
+// NewBitWriter returns a writer appending to buf (may be nil).
+func NewBitWriter(buf []byte) *BitWriter { return &BitWriter{buf: buf} }
+
+// WriteBits appends the low `width` bits of v. width must be 0..64.
+func (w *BitWriter) WriteBits(v uint64, width uint) {
+	if width == 0 {
+		return
+	}
+	if width > 32 {
+		// Split to keep the accumulator within 64 bits.
+		w.WriteBits(v>>32, width-32)
+		w.WriteBits(v&0xFFFFFFFF, 32)
+		return
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	w.cur = w.cur<<width | v
+	w.nCur += width
+	for w.nCur >= 8 {
+		w.nCur -= 8
+		w.buf = append(w.buf, byte(w.cur>>w.nCur))
+	}
+	// Keep only the unflushed low bits to avoid overflow on the next shift.
+	if w.nCur > 0 {
+		w.cur &= (1 << w.nCur) - 1
+	} else {
+		w.cur = 0
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *BitWriter) WriteBit(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// Bytes flushes any partial byte (zero padded) and returns the buffer.
+func (w *BitWriter) Bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nCur)))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// BitReader reads back bit sequences written by BitWriter.
+type BitReader struct {
+	buf  []byte
+	pos  int // next byte index
+	cur  uint64
+	nCur uint
+}
+
+// NewBitReader reads from buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBits returns the next `width` bits. It reports ErrCorrupt when the
+// stream is exhausted.
+func (r *BitReader) ReadBits(width uint) (uint64, error) {
+	if width == 0 {
+		return 0, nil
+	}
+	if width > 32 {
+		hi, err := r.ReadBits(width - 32)
+		if err != nil {
+			return 0, err
+		}
+		lo, err := r.ReadBits(32)
+		if err != nil {
+			return 0, err
+		}
+		return hi<<32 | lo, nil
+	}
+	for r.nCur < width {
+		if r.pos >= len(r.buf) {
+			return 0, ErrCorrupt
+		}
+		r.cur = r.cur<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.nCur += 8
+	}
+	r.nCur -= width
+	v := r.cur >> r.nCur
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	if r.nCur > 0 {
+		r.cur &= (1 << r.nCur) - 1
+	} else {
+		r.cur = 0
+	}
+	return v, nil
+}
+
+// ReadBit returns the next bit.
+func (r *BitReader) ReadBit() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}

@@ -1,0 +1,416 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZigzagRoundtrip(t *testing.T) {
+	if err := quick.Check(func(v int64) bool {
+		return Unzigzag(Zigzag(v)) == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Small magnitudes map to small codes.
+	for _, c := range []struct {
+		in   int64
+		want uint64
+	}{{0, 0}, {-1, 1}, {1, 2}, {-2, 3}, {2, 4}} {
+		if got := Zigzag(c.in); got != c.want {
+			t.Fatalf("Zigzag(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDeltasRoundtrip(t *testing.T) {
+	if err := quick.Check(func(vals []int64) bool {
+		enc := AppendDeltas(nil, vals)
+		dec, rest, err := Deltas(enc)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		if len(dec) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaOfDeltasRoundtrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{42},
+		{1, 2},
+		{0, 1000, 2000, 3000, 4000}, // perfectly regular
+		{-5, 10, -20, 40, 81, 163},
+	}
+	for _, vals := range cases {
+		enc := AppendDeltaOfDeltas(nil, vals)
+		dec, rest, err := DeltaOfDeltas(enc)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("%v: %v", vals, err)
+		}
+		if len(dec) != len(vals) {
+			t.Fatalf("%v: len %d", vals, len(dec))
+		}
+		for i := range vals {
+			if dec[i] != vals[i] {
+				t.Fatalf("%v: idx %d", vals, i)
+			}
+		}
+	}
+}
+
+func TestDeltaOfDeltasRegularIsTiny(t *testing.T) {
+	// A regular 15-minute interval series: after the first two values, each
+	// timestamp costs one byte (the zero second-order delta).
+	ts := make([]int64, 1000)
+	for i := range ts {
+		ts[i] = 1386000000000 + int64(i)*900000
+	}
+	enc := AppendDeltaOfDeltas(nil, ts)
+	if len(enc) > 2+10+10+len(ts) {
+		t.Fatalf("regular series encoded to %d bytes, want ~%d", len(enc), len(ts))
+	}
+	plain := len(ts) * 8
+	if len(enc)*7 > plain {
+		t.Fatalf("compression ratio too low: %d vs %d raw", len(enc), plain)
+	}
+}
+
+func TestVarintCorruption(t *testing.T) {
+	if _, _, err := Varint(nil); err == nil {
+		t.Fatal("empty varint accepted")
+	}
+	if _, _, err := Deltas([]byte{0xFF}); err == nil {
+		t.Fatal("truncated deltas accepted")
+	}
+	// Implausible count is rejected rather than allocating gigabytes.
+	huge := AppendVarint(nil, 0)
+	huge[0] = 0xFF
+	big := append([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, 0)
+	if _, _, err := Deltas(big); err == nil {
+		t.Fatal("implausible count accepted")
+	}
+}
+
+func TestBitpackRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := NewBitWriter(nil)
+	type item struct {
+		v     uint64
+		width uint
+	}
+	var items []item
+	for i := 0; i < 1000; i++ {
+		width := uint(1 + rng.Intn(64))
+		v := rng.Uint64()
+		if width < 64 {
+			v &= (1 << width) - 1
+		}
+		items = append(items, item{v, width})
+		w.WriteBits(v, width)
+	}
+	r := NewBitReader(w.Bytes())
+	for i, it := range items {
+		got, err := r.ReadBits(it.width)
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if got != it.v {
+			t.Fatalf("item %d: got %x want %x (width %d)", i, got, it.v, it.width)
+		}
+	}
+}
+
+func TestBitReaderExhaustion(t *testing.T) {
+	r := NewBitReader([]byte{0xAB})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); err == nil {
+		t.Fatal("read past end accepted")
+	}
+}
+
+func TestLinearLosslessOnLine(t *testing.T) {
+	// Exactly collinear data compresses to two spike points and decodes
+	// exactly, even at maxDev 0.
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = 3 + 0.25*float64(i)
+	}
+	enc := CompressLinear(nil, vals, 0)
+	if len(enc) > 64 {
+		t.Fatalf("collinear run encoded to %d bytes", len(enc))
+	}
+	dec, _, err := DecompressLinear(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Abs(dec[i]-vals[i]) > 1e-9 {
+			t.Fatalf("lossless linear mismatch at %d: %v != %v", i, dec[i], vals[i])
+		}
+	}
+}
+
+func TestLinearErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(500)
+		vals := make([]float64, n)
+		v := 100.0
+		for i := range vals {
+			v += rng.NormFloat64() * 0.05 // smooth random walk
+			vals[i] = v
+		}
+		for _, maxDev := range []float64{0, 0.01, 0.1, 1.0} {
+			if worst := MaxLinearError(vals, maxDev); worst > maxDev+1e-9 {
+				t.Fatalf("trial %d maxDev %v: worst error %v", trial, maxDev, worst)
+			}
+		}
+	}
+}
+
+func TestLinearCompressesSmoothData(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = 20 + 0.001*float64(i) + 0.02*math.Sin(float64(i)/200)
+	}
+	enc := CompressLinear(nil, vals, 0.1)
+	raw := len(vals) * 8
+	if len(enc)*10 > raw {
+		t.Fatalf("smooth data: %d bytes vs %d raw (want >=10x)", len(enc), raw)
+	}
+}
+
+func TestLinearEdgeCases(t *testing.T) {
+	for _, vals := range [][]float64{nil, {7}, {7, 7}, {7, 8}} {
+		enc := CompressLinear(nil, vals, 0.5)
+		dec, _, err := DecompressLinear(enc)
+		if err != nil {
+			t.Fatalf("%v: %v", vals, err)
+		}
+		if len(dec) != len(vals) {
+			t.Fatalf("%v: len %d", vals, len(dec))
+		}
+		for i := range vals {
+			if math.Abs(dec[i]-vals[i]) > 0.5 {
+				t.Fatalf("%v: idx %d", vals, i)
+			}
+		}
+	}
+}
+
+func TestQuantRoundtripWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 777)
+	for i := range vals {
+		vals[i] = rng.Float64()*200 - 100
+	}
+	for _, bits := range []uint{1, 4, 8, 12, 16, 32} {
+		enc := CompressQuant(nil, vals, bits)
+		dec, err := DecompressQuant(enc)
+		if err != nil {
+			t.Fatalf("bits %d: %v", bits, err)
+		}
+		bound := QuantErrorBound(-100, 100, bits) * 1.01
+		for i := range vals {
+			if math.Abs(dec[i]-vals[i]) > bound {
+				t.Fatalf("bits %d idx %d: err %v > bound %v", bits, i, math.Abs(dec[i]-vals[i]), bound)
+			}
+		}
+	}
+}
+
+func TestQuantRatio(t *testing.T) {
+	// The paper's 4-to-16-fold claim: 8-bit quantization of float64 is 8x
+	// minus the block header.
+	vals := make([]float64, 4096)
+	rng := rand.New(rand.NewSource(9))
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	enc := CompressQuant(nil, vals, 8)
+	ratio := float64(len(vals)*8) / float64(len(enc))
+	if ratio < 7 || ratio > 8.5 {
+		t.Fatalf("8-bit quantization ratio %.2f, want ~8", ratio)
+	}
+	enc4 := CompressQuant(nil, vals, 4)
+	ratio4 := float64(len(vals)*8) / float64(len(enc4))
+	if ratio4 < 14 {
+		t.Fatalf("4-bit quantization ratio %.2f, want ~16", ratio4)
+	}
+}
+
+func TestQuantDegenerate(t *testing.T) {
+	vals := []float64{5, 5, 5, 5}
+	dec, err := DecompressQuant(CompressQuant(nil, vals, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dec {
+		if v != 5 {
+			t.Fatalf("constant block decoded to %v", v)
+		}
+	}
+	if _, err := DecompressQuant(CompressQuant(nil, nil, 8)); err != nil {
+		t.Fatalf("empty block: %v", err)
+	}
+}
+
+func TestXORLossless(t *testing.T) {
+	if err := quick.Check(func(vals []float64) bool {
+		enc := CompressXOR(nil, vals)
+		dec, err := DecompressXOR(enc)
+		if err != nil || len(dec) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if math.Float64bits(dec[i]) != math.Float64bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORCompressesStableData(t *testing.T) {
+	// Slowly changing values share exponent and mantissa prefixes.
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = 220 + float64(i%4)
+	}
+	enc := CompressXOR(nil, vals)
+	if len(enc)*3 > len(vals)*8 {
+		t.Fatalf("stable data: %d bytes vs %d raw", len(enc), len(vals)*8)
+	}
+}
+
+func TestEncodeColumnPolicyDispatch(t *testing.T) {
+	smooth := make([]float64, 256)
+	for i := range smooth {
+		smooth[i] = float64(i) * 0.5
+	}
+	noisy := make([]float64, 256)
+	rng := rand.New(rand.NewSource(2))
+	for i := range noisy {
+		noisy[i] = rng.Float64() * 1000
+	}
+
+	if c := ColumnCodec(EncodeColumn(nil, smooth, Policy{MaxDev: 0.1})); c != CodecLinear {
+		t.Fatalf("smooth lossy chose %v, want linear", c)
+	}
+	if c := ColumnCodec(EncodeColumn(nil, noisy, Policy{MaxDev: 0.1})); c != CodecQuant {
+		t.Fatalf("noisy lossy chose %v, want quant", c)
+	}
+	if c := ColumnCodec(EncodeColumn(nil, noisy, Policy{Disable: true})); c != CodecRaw {
+		t.Fatalf("disabled chose %v, want raw", c)
+	}
+	lossless := EncodeColumn(nil, noisy, Policy{})
+	dec, err := DecodeColumn(lossless)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range noisy {
+		if dec[i] != noisy[i] {
+			t.Fatalf("lossless roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestEncodeColumnLossyBound(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(300)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64()*100 - 50
+		}
+		const maxDev = 0.25
+		dec, err := DecodeColumn(EncodeColumn(nil, vals, Policy{MaxDev: maxDev}))
+		if err != nil || len(dec) != n {
+			return false
+		}
+		for i := range vals {
+			if math.Abs(dec[i]-vals[i]) > maxDev*1.01 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeColumnCorrupt(t *testing.T) {
+	if _, err := DecodeColumn(nil); err == nil {
+		t.Fatal("empty column accepted")
+	}
+	if _, err := DecodeColumn([]byte{99, 1, 2, 3}); err == nil {
+		t.Fatal("unknown codec accepted")
+	}
+	good := EncodeColumn(nil, []float64{1, 2, 3, 4, 5, 6, 7, 8}, Policy{})
+	if _, err := DecodeColumn(good[:len(good)/2]); err == nil {
+		t.Fatal("truncated column accepted")
+	}
+}
+
+func BenchmarkLinearCompress(b *testing.B) {
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = 20 + 0.01*float64(i) + 0.05*math.Sin(float64(i)/40)
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		CompressLinear(nil, vals, 0.1)
+	}
+}
+
+func BenchmarkQuantCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		CompressQuant(nil, vals, 10)
+	}
+}
+
+func BenchmarkXORCompress(b *testing.B) {
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = 220 + float64(i%16)*0.25
+	}
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		CompressXOR(nil, vals)
+	}
+}
+
+func BenchmarkXORDecompress(b *testing.B) {
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = 220 + float64(i%16)*0.25
+	}
+	enc := CompressXOR(nil, vals)
+	b.SetBytes(int64(len(vals) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DecompressXOR(enc)
+	}
+}

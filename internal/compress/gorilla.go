@@ -1,0 +1,118 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+)
+
+// Lossless XOR float compression (Gorilla-style). The paper requires that
+// "both of the algorithms support lossless compression"; this codec is the
+// lossless path the tsstore uses when a tag is configured with a zero error
+// bound but its values are not linear enough for swinging-door to win.
+//
+// Each value is XORed with its predecessor. A zero XOR emits a single 0
+// bit. Otherwise a 1 bit is followed by either a 0 bit (the meaningful bits
+// fit the previous leading/trailing window) and the window's bits, or a 1
+// bit and a new 5-bit leading-zero count, 6-bit bit length, and the bits.
+
+// CompressXOR losslessly encodes values.
+func CompressXOR(dst []byte, values []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(values)))
+	if len(values) == 0 {
+		return dst
+	}
+	w := NewBitWriter(dst)
+	first := math.Float64bits(values[0])
+	w.WriteBits(first, 64)
+	prev := first
+	prevLead, prevTrail := uint(65), uint(0)
+	for _, v := range values[1:] {
+		cur := math.Float64bits(v)
+		x := cur ^ prev
+		prev = cur
+		if x == 0 {
+			w.WriteBit(false)
+			continue
+		}
+		w.WriteBit(true)
+		lead := uint(bits.LeadingZeros64(x))
+		trail := uint(bits.TrailingZeros64(x))
+		if lead > 31 {
+			lead = 31
+		}
+		if prevLead <= lead && trail >= prevTrail && prevLead != 65 {
+			// Fits inside the previous window.
+			w.WriteBit(false)
+			width := 64 - prevLead - prevTrail
+			w.WriteBits(x>>prevTrail, width)
+			continue
+		}
+		w.WriteBit(true)
+		width := 64 - lead - trail
+		w.WriteBits(uint64(lead), 5)
+		w.WriteBits(uint64(width-1), 6) // 1..64 stored as 0..63
+		w.WriteBits(x>>trail, width)
+		prevLead, prevTrail = lead, trail
+	}
+	return w.Bytes()
+}
+
+// DecompressXOR reconstructs values written by CompressXOR. Like the
+// quantization codec, it consumes the whole framed block.
+func DecompressXOR(b []byte) ([]float64, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n > 1<<24 {
+		return nil, ErrCorrupt
+	}
+	b = b[k:]
+	out := make([]float64, n)
+	if n == 0 {
+		return out, nil
+	}
+	r := NewBitReader(b)
+	first, err := r.ReadBits(64)
+	if err != nil {
+		return nil, err
+	}
+	out[0] = math.Float64frombits(first)
+	prev := first
+	var lead, width uint
+	for i := 1; i < int(n); i++ {
+		same, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if !same {
+			out[i] = math.Float64frombits(prev)
+			continue
+		}
+		newWindow, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if newWindow {
+			l, err := r.ReadBits(5)
+			if err != nil {
+				return nil, err
+			}
+			wdt, err := r.ReadBits(6)
+			if err != nil {
+				return nil, err
+			}
+			lead = uint(l)
+			width = uint(wdt) + 1
+		}
+		if width == 0 || lead+width > 64 {
+			return nil, ErrCorrupt
+		}
+		bits, err := r.ReadBits(width)
+		if err != nil {
+			return nil, err
+		}
+		trail := 64 - lead - width
+		prev ^= bits << trail
+		out[i] = math.Float64frombits(prev)
+	}
+	return out, nil
+}

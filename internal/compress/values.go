@@ -1,0 +1,177 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Codec identifies the per-column value encoding inside a ValueBlob.
+type Codec uint8
+
+// Column codecs. The leading byte of every encoded column names its codec,
+// so mixed blobs decode without external metadata.
+const (
+	CodecRaw    Codec = 0 // 8 bytes per value, no transform
+	CodecLinear Codec = 1 // swinging-door linear (paper ref [7])
+	CodecQuant  Codec = 2 // uniform quantization (paper ref [8])
+	CodecXOR    Codec = 3 // lossless XOR float compression
+)
+
+// String names the codec for logs and EXPERIMENTS reports.
+func (c Codec) String() string {
+	switch c {
+	case CodecRaw:
+		return "raw"
+	case CodecLinear:
+		return "linear"
+	case CodecQuant:
+		return "quant"
+	case CodecXOR:
+		return "xor"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(c))
+}
+
+// Policy is the per-tag compression configuration. The zero value asks for
+// lossless storage.
+type Policy struct {
+	// MaxDev is the tolerated absolute reconstruction error. Zero means
+	// lossless.
+	MaxDev float64
+	// Disable turns compression off entirely (raw storage); used by the
+	// compression on/off ablation.
+	Disable bool
+}
+
+// Lossless reports whether the policy requires exact reconstruction.
+func (p Policy) Lossless() bool { return p.MaxDev == 0 }
+
+// EncodeColumn appends one encoded value column to dst using the
+// variability-aware strategy from §3 of the paper: smooth series go to
+// linear compression, fluctuating series go to quantization (lossy) or XOR
+// (lossless). Values must be NaN-free; NULL handling lives in the blob
+// framing's presence bitmap.
+func EncodeColumn(dst []byte, values []float64, pol Policy) []byte {
+	if pol.Disable {
+		return appendRaw(dst, values)
+	}
+	if pol.Lossless() {
+		// Constant runs collapse under linear with bitwise exactness; for
+		// everything else XOR is the only codec that guarantees bit-exact
+		// reconstruction (linear interpolation can round).
+		if isConstant(values) {
+			dst = append(dst, byte(CodecLinear))
+			return CompressLinear(dst, values, 0)
+		}
+		dst = append(dst, byte(CodecXOR))
+		return CompressXOR(dst, values)
+	}
+	// Lossy: smoothness decides, mirroring "for smooth values ... linear
+	// compression ... for non-linear high-frequency tag values ...
+	// quantization".
+	if isSmooth(values, pol.MaxDev) {
+		dst = append(dst, byte(CodecLinear))
+		return CompressLinear(dst, values, pol.MaxDev)
+	}
+	bits := quantBitsFor(values, pol.MaxDev)
+	dst = append(dst, byte(CodecQuant))
+	return CompressQuant(dst, values, bits)
+}
+
+// DecodeColumn decodes one column produced by EncodeColumn. b must contain
+// exactly the column's bytes (the blob framing stores lengths).
+func DecodeColumn(b []byte) ([]float64, error) {
+	if len(b) == 0 {
+		return nil, ErrCorrupt
+	}
+	codec, payload := Codec(b[0]), b[1:]
+	switch codec {
+	case CodecRaw:
+		return decodeRaw(payload)
+	case CodecLinear:
+		vals, _, err := DecompressLinear(payload)
+		return vals, err
+	case CodecQuant:
+		return DecompressQuant(payload)
+	case CodecXOR:
+		return DecompressXOR(payload)
+	}
+	return nil, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, b[0])
+}
+
+// ColumnCodec peeks at the codec byte of an encoded column.
+func ColumnCodec(b []byte) Codec {
+	if len(b) == 0 {
+		return CodecRaw
+	}
+	return Codec(b[0])
+}
+
+func appendRaw(dst []byte, values []float64) []byte {
+	dst = append(dst, byte(CodecRaw))
+	dst = binary.AppendUvarint(dst, uint64(len(values)))
+	for _, v := range values {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+func decodeRaw(b []byte) ([]float64, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n > 1<<24 {
+		return nil, ErrCorrupt
+	}
+	b = b[k:]
+	if len(b) < int(n)*8 {
+		return nil, ErrCorrupt
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+// isConstant reports whether all values are bitwise identical.
+func isConstant(values []float64) bool {
+	for i := 1; i < len(values); i++ {
+		if math.Float64bits(values[i]) != math.Float64bits(values[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// isSmooth reports whether swinging-door would retain fewer than a quarter
+// of the samples, i.e. the series is "smooth" in the paper's sense.
+func isSmooth(values []float64, maxDev float64) bool {
+	if len(values) < 4 {
+		return true
+	}
+	segs := swingingDoor(values, maxDev)
+	return len(segs)*4 < len(values)
+}
+
+// quantBitsFor picks the smallest bit width whose quantization error bound
+// satisfies maxDev for this block's range.
+func quantBitsFor(values []float64, maxDev float64) uint {
+	if len(values) == 0 {
+		return 1
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	for bits := uint(1); bits <= 32; bits++ {
+		if QuantErrorBound(lo, hi, bits) <= maxDev {
+			return bits
+		}
+	}
+	return 32
+}

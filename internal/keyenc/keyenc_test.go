@@ -1,0 +1,194 @@
+package keyenc
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint64Ordering(t *testing.T) {
+	if err := quick.Check(func(a, b uint64) bool {
+		ka := AppendUint64(nil, a)
+		kb := AppendUint64(nil, b)
+		return cmpMatches(bytes.Compare(ka, kb), a < b, a == b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt64Ordering(t *testing.T) {
+	if err := quick.Check(func(a, b int64) bool {
+		ka := AppendInt64(nil, a)
+		kb := AppendInt64(nil, b)
+		return cmpMatches(bytes.Compare(ka, kb), a < b, a == b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64Ordering(t *testing.T) {
+	if err := quick.Check(func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka := AppendFloat64(nil, a)
+		kb := AppendFloat64(nil, b)
+		return cmpMatches(bytes.Compare(ka, kb), a < b, a == b || (a == 0 && b == 0))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatSpecials(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -1, -math.SmallestNonzeroFloat64, 0, math.SmallestNonzeroFloat64, 1, 1e300, math.Inf(1)}
+	var prev []byte
+	for i, v := range vals {
+		k := AppendFloat64(nil, v)
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("ordering broken at %d (%v)", i, v)
+		}
+		got, _, err := Float64(k)
+		if err != nil || got != v {
+			t.Fatalf("roundtrip %v: got %v err %v", v, got, err)
+		}
+		prev = k
+	}
+}
+
+func TestInt64Roundtrip(t *testing.T) {
+	if err := quick.Check(func(v int64) bool {
+		got, rest, err := Int64(AppendInt64(nil, v))
+		return err == nil && got == v && len(rest) == 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRoundtripAndOrdering(t *testing.T) {
+	if err := quick.Check(func(a, b string) bool {
+		ka := AppendString(nil, a)
+		kb := AppendString(nil, b)
+		ra, _, err := String(ka)
+		if err != nil || ra != a {
+			return false
+		}
+		return cmpMatches(bytes.Compare(ka, kb), a < b, a == b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringEmbeddedNUL(t *testing.T) {
+	cases := []string{"", "a", "a\x00b", "\x00", "\x00\x00", "ab\x00", "a\xffb"}
+	sort.Strings(cases)
+	var prev []byte
+	for i, s := range cases {
+		k := AppendString(nil, s)
+		got, rest, err := String(k)
+		if err != nil || got != s || len(rest) != 0 {
+			t.Fatalf("roundtrip %q: got %q rest %d err %v", s, got, len(rest), err)
+		}
+		if i > 0 && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("ordering broken between %q and %q", cases[i-1], s)
+		}
+		prev = k
+	}
+}
+
+func TestStringSelfDelimiting(t *testing.T) {
+	k := AppendString(nil, "ab")
+	k = AppendInt64(k, 42)
+	s, rest, err := String(k)
+	if err != nil || s != "ab" {
+		t.Fatalf("String: %q %v", s, err)
+	}
+	v, _, err := Int64(rest)
+	if err != nil || v != 42 {
+		t.Fatalf("trailing Int64: %d %v", v, err)
+	}
+}
+
+func TestCompositeSourceTime(t *testing.T) {
+	// Composite ordering: primary by source, secondary by timestamp.
+	k1 := SourceTime(1, 999999)
+	k2 := SourceTime(2, -5)
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Fatal("source must dominate timestamp in ordering")
+	}
+	k3 := SourceTime(2, -4)
+	if bytes.Compare(k2, k3) >= 0 {
+		t.Fatal("timestamp must break ties")
+	}
+	s, ts, err := DecodeSourceTime(k2)
+	if err != nil || s != 2 || ts != -5 {
+		t.Fatalf("decode: %d %d %v", s, ts, err)
+	}
+}
+
+func TestCompositeTimeSource(t *testing.T) {
+	k1 := TimeSource(10, 900)
+	k2 := TimeSource(11, 1)
+	if bytes.Compare(k1, k2) >= 0 {
+		t.Fatal("timestamp must dominate source in ordering")
+	}
+	ts, s, err := DecodeTimeSource(k1)
+	if err != nil || ts != 10 || s != 900 {
+		t.Fatalf("decode: %d %d %v", ts, s, err)
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct {
+		in   []byte
+		want []byte
+	}{
+		{[]byte{0x01}, []byte{0x02}},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{0x00, 0x00}, []byte{0x00, 0x01}},
+	}
+	for _, c := range cases {
+		got := PrefixSuccessor(c.in)
+		if !bytes.Equal(got, c.want) {
+			t.Fatalf("PrefixSuccessor(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+	// Every key with prefix p is < PrefixSuccessor(p).
+	p := PrefixInt64(7)
+	succ := PrefixSuccessor(p)
+	ext := append(append([]byte(nil), p...), 0xFF, 0xFF, 0xFF)
+	if bytes.Compare(ext, succ) >= 0 {
+		t.Fatal("extension of prefix not below successor")
+	}
+}
+
+func TestShortKeyErrors(t *testing.T) {
+	if _, _, err := Int64([]byte{1, 2}); err == nil {
+		t.Fatal("short Int64 accepted")
+	}
+	if _, _, err := Uint64(nil); err == nil {
+		t.Fatal("short Uint64 accepted")
+	}
+	if _, _, err := Float64([]byte{1}); err == nil {
+		t.Fatal("short Float64 accepted")
+	}
+	if _, _, err := String([]byte{'a'}); err == nil {
+		t.Fatal("unterminated String accepted")
+	}
+	if _, _, err := String([]byte{0x00, 0x42}); err == nil {
+		t.Fatal("corrupt escape accepted")
+	}
+}
+
+func cmpMatches(cmp int, less, eq bool) bool {
+	switch {
+	case less:
+		return cmp < 0
+	case eq:
+		return cmp == 0
+	default:
+		return cmp > 0
+	}
+}

@@ -1,0 +1,155 @@
+package pagestore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// faultFile wraps a MemFile and starts failing writes (or reads) after a
+// countdown, simulating a device error mid-workload.
+type faultFile struct {
+	inner      *MemFile
+	mu         sync.Mutex
+	writesLeft int // -1 = unlimited
+	readsLeft  int
+}
+
+var errInjected = errors.New("injected I/O fault")
+
+func newFaultFile(writesLeft, readsLeft int) *faultFile {
+	return &faultFile{inner: NewMemFile(), writesLeft: writesLeft, readsLeft: readsLeft}
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	if f.writesLeft == 0 {
+		f.mu.Unlock()
+		return 0, errInjected
+	}
+	if f.writesLeft > 0 {
+		f.writesLeft--
+	}
+	f.mu.Unlock()
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	if f.readsLeft == 0 {
+		f.mu.Unlock()
+		return 0, errInjected
+	}
+	if f.readsLeft > 0 {
+		f.readsLeft--
+	}
+	f.mu.Unlock()
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) Size() (int64, error)      { return f.inner.Size() }
+func (f *faultFile) Truncate(size int64) error { return f.inner.Truncate(size) }
+func (f *faultFile) Sync() error               { return f.inner.Sync() }
+func (f *faultFile) Close() error              { return f.inner.Close() }
+
+func TestWriteFaultSurfacesOnFlush(t *testing.T) {
+	ff := newFaultFile(1, -1) // allow only the initial format write
+	s, err := Open(ff, Options{PoolPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fr, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Data()[0] = 0xAB
+	fr.MarkDirty()
+	fr.Unpin()
+	if err := s.Flush(); !errors.Is(err, errInjected) {
+		t.Fatalf("Flush error = %v, want injected fault", err)
+	}
+}
+
+func TestWriteFaultSurfacesOnEviction(t *testing.T) {
+	ff := newFaultFile(1, -1)
+	s, err := Open(ff, Options{PoolPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the pool with dirty pages, then force an eviction.
+	for i := 0; i < 2; i++ {
+		_, fr, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.MarkDirty()
+		fr.Unpin()
+	}
+	_, _, err = s.Allocate() // must evict a dirty frame -> write -> fault
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("Allocate error = %v, want injected fault", err)
+	}
+}
+
+func TestReadFaultSurfacesOnGet(t *testing.T) {
+	ff := newFaultFile(-1, -1)
+	s, err := Open(ff, Options{PoolPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, fr, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.MarkDirty()
+		fr.Unpin()
+		ids = append(ids, id)
+	}
+	// Stop reads: fetching an evicted page must fail loudly, not return
+	// zeroed data.
+	ff.mu.Lock()
+	ff.readsLeft = 0
+	ff.mu.Unlock()
+	if _, err := s.Get(ids[0]); !errors.Is(err, errInjected) {
+		t.Fatalf("Get error = %v, want injected fault", err)
+	}
+}
+
+func TestFaultDoesNotCorruptPool(t *testing.T) {
+	ff := newFaultFile(-1, -1)
+	s, err := Open(ff, Options{PoolPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, fr, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(i + 1)
+		fr.MarkDirty()
+		fr.Unpin()
+		ids = append(ids, id)
+	}
+	// One failed read must not poison subsequent operations.
+	ff.mu.Lock()
+	ff.readsLeft = 0
+	ff.mu.Unlock()
+	if _, err := s.Get(ids[0]); err == nil {
+		t.Fatal("expected fault")
+	}
+	ff.mu.Lock()
+	ff.readsLeft = -1
+	ff.mu.Unlock()
+	fr, err := s.Get(ids[0])
+	if err != nil {
+		t.Fatalf("recovery Get: %v", err)
+	}
+	if fr.Data()[0] != 1 {
+		t.Fatalf("data corrupted after fault: %d", fr.Data()[0])
+	}
+	fr.Unpin()
+}

@@ -1,0 +1,151 @@
+// Package pagestore implements a page-oriented storage layer with a buffer
+// pool, the substrate on which both the ODH batch stores and the relational
+// baseline engine are built. It plays the role that the Informix page/buffer
+// manager plays in the paper: fixed-size pages addressed by PageID, cached in
+// an LRU buffer pool, with a persistent free list and a small directory of
+// named root pages so higher layers (B-trees, heap tables) can find their
+// anchors after reopen.
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the size in bytes of every page managed by a Store.
+const PageSize = 4096
+
+// PageID identifies a page within a Store. Page 0 is the store's meta page
+// and is never handed out by Allocate.
+type PageID uint32
+
+// InvalidPage is the zero PageID; it never refers to an allocatable page.
+const InvalidPage PageID = 0
+
+// File is the random-access backing storage a Store runs on. *os.File
+// satisfies it via OSFile; MemFile provides an in-memory implementation for
+// tests and benchmarks that must not touch disk.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size returns the current length of the file in bytes.
+	Size() (int64, error)
+	// Truncate changes the file length.
+	Truncate(size int64) error
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+	// Close releases the file.
+	Close() error
+}
+
+// OSFile adapts *os.File to the File interface.
+type OSFile struct {
+	*os.File
+}
+
+// Size returns the length of the underlying file.
+func (f OSFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// OpenOSFile opens (creating if necessary) a file on disk for use as store
+// backing.
+func OpenOSFile(path string) (OSFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return OSFile{}, fmt.Errorf("pagestore: open %s: %w", path, err)
+	}
+	return OSFile{f}, nil
+}
+
+// MemFile is an in-memory File. The zero value is an empty file ready to use.
+// It is safe for concurrent use.
+type MemFile struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// NewMemFile returns an empty in-memory file.
+func NewMemFile() *MemFile { return &MemFile{} }
+
+// ReadAt implements io.ReaderAt.
+func (m *MemFile) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, growing the file as needed. Growth
+// doubles the backing capacity so steady page-by-page extension stays
+// amortized O(1) instead of copying the whole file per append.
+func (m *MemFile) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pagestore: negative offset")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(m.data)) {
+		if end > int64(cap(m.data)) {
+			newCap := 2 * cap(m.data)
+			if int64(newCap) < end {
+				newCap = int(end)
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, m.data)
+			m.data = grown
+		} else {
+			// Reslicing within capacity can expose bytes left behind by a
+			// Truncate shrink; a file must read as zeros there.
+			old := len(m.data)
+			m.data = m.data[:end]
+			clear(m.data[old:])
+		}
+	}
+	copy(m.data[off:], p)
+	return len(p), nil
+}
+
+// Size returns the current file length.
+func (m *MemFile) Size() (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return int64(len(m.data)), nil
+}
+
+// Truncate resizes the file.
+func (m *MemFile) Truncate(size int64) error {
+	if size < 0 {
+		return errors.New("pagestore: negative size")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size <= int64(len(m.data)) {
+		m.data = m.data[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, m.data)
+	m.data = grown
+	return nil
+}
+
+// Sync is a no-op for memory files.
+func (m *MemFile) Sync() error { return nil }
+
+// Close is a no-op for memory files.
+func (m *MemFile) Close() error { return nil }

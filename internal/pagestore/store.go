@@ -1,0 +1,486 @@
+package pagestore
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Magic bytes identifying a pagestore file.
+var magic = [8]byte{'O', 'D', 'H', 'P', 'A', 'G', 'E', '1'}
+
+// Meta page layout (page 0):
+//
+//	[0:8]   magic
+//	[8:12]  format version
+//	[12:16] number of pages (including meta)
+//	[16:20] free list head PageID
+//	[20:24] number of named roots
+//	[24:]   named roots: {nameLen uint16, name bytes, page uint32}*
+const (
+	metaVersion     = 1
+	offNumPages     = 12
+	offFreeHead     = 16
+	offNumRoots     = 20
+	offRoots        = 24
+	maxRootNameLen  = 64
+	defaultPoolSize = 1024
+)
+
+// Errors returned by Store operations.
+var (
+	ErrBadMagic    = errors.New("pagestore: bad magic (not a pagestore file)")
+	ErrBadVersion  = errors.New("pagestore: unsupported format version")
+	ErrPageRange   = errors.New("pagestore: page id out of range")
+	ErrClosed      = errors.New("pagestore: store is closed")
+	ErrRootMissing = errors.New("pagestore: named root not found")
+	ErrPoolFull    = errors.New("pagestore: buffer pool exhausted (all frames pinned)")
+)
+
+// Stats counts buffer-pool and I/O activity. The IoT-X metrics layer reads
+// these to report I/O throughput and storage size.
+type Stats struct {
+	Hits         int64 // buffer pool hits
+	Misses       int64 // buffer pool misses (page read from file)
+	PageReads    int64 // pages read from the backing file
+	PageWrites   int64 // pages written to the backing file
+	BytesRead    int64
+	BytesWritten int64
+	Allocs       int64 // pages allocated
+	Frees        int64 // pages freed
+}
+
+// Options configures a Store.
+type Options struct {
+	// PoolPages is the buffer pool capacity in pages. Zero means a default
+	// of 1024 pages (4 MiB).
+	PoolPages int
+}
+
+// frame is one buffer-pool slot.
+type frame struct {
+	id    PageID
+	data  [PageSize]byte
+	pins  int
+	dirty bool
+	lru   *list.Element // position in lru list when unpinned; nil while pinned
+}
+
+// Store manages fixed-size pages in a File behind an LRU buffer pool.
+// All methods are safe for concurrent use. Page contents handed out by Get
+// are owned by the pool; callers must hold the pin while reading or writing
+// the data and call MarkDirty before Unpin after mutation.
+type Store struct {
+	mu       sync.Mutex
+	file     File
+	closed   bool
+	numPages uint32
+	freeHead PageID
+	roots    map[string]PageID
+
+	poolCap int
+	frames  map[PageID]*frame
+	lru     *list.List // of PageID, front = most recently used
+
+	stats Stats
+}
+
+// Open initializes a Store on f. An empty file is formatted; an existing
+// file has its meta page validated and loaded.
+func Open(f File, opts Options) (*Store, error) {
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = defaultPoolSize
+	}
+	s := &Store{
+		file:    f,
+		poolCap: opts.PoolPages,
+		frames:  make(map[PageID]*frame, opts.PoolPages),
+		lru:     list.New(),
+		roots:   make(map[string]PageID),
+	}
+	size, err := f.Size()
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: size: %w", err)
+	}
+	if size == 0 {
+		if err := s.format(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if err := s.loadMeta(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// format writes a fresh meta page.
+func (s *Store) format() error {
+	var page [PageSize]byte
+	copy(page[:8], magic[:])
+	binary.LittleEndian.PutUint32(page[8:12], metaVersion)
+	binary.LittleEndian.PutUint32(page[offNumPages:], 1)
+	s.numPages = 1
+	s.freeHead = InvalidPage
+	return s.writePage(0, page[:])
+}
+
+// loadMeta reads and validates the meta page.
+func (s *Store) loadMeta() error {
+	var page [PageSize]byte
+	if err := s.readPage(0, page[:]); err != nil {
+		return err
+	}
+	if [8]byte(page[:8]) != magic {
+		return ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(page[8:12]); v != metaVersion {
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	s.numPages = binary.LittleEndian.Uint32(page[offNumPages:])
+	s.freeHead = PageID(binary.LittleEndian.Uint32(page[offFreeHead:]))
+	n := int(binary.LittleEndian.Uint32(page[offNumRoots:]))
+	off := offRoots
+	for i := 0; i < n; i++ {
+		if off+2 > PageSize {
+			return errors.New("pagestore: corrupt root directory")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(page[off:]))
+		off += 2
+		if nameLen > maxRootNameLen || off+nameLen+4 > PageSize {
+			return errors.New("pagestore: corrupt root directory")
+		}
+		name := string(page[off : off+nameLen])
+		off += nameLen
+		s.roots[name] = PageID(binary.LittleEndian.Uint32(page[off:]))
+		off += 4
+	}
+	return nil
+}
+
+// flushMeta persists the meta page (counts, free list head, root directory).
+// Caller holds s.mu.
+func (s *Store) flushMeta() error {
+	var page [PageSize]byte
+	copy(page[:8], magic[:])
+	binary.LittleEndian.PutUint32(page[8:12], metaVersion)
+	binary.LittleEndian.PutUint32(page[offNumPages:], s.numPages)
+	binary.LittleEndian.PutUint32(page[offFreeHead:], uint32(s.freeHead))
+	binary.LittleEndian.PutUint32(page[offNumRoots:], uint32(len(s.roots)))
+	off := offRoots
+	for name, id := range s.roots {
+		need := 2 + len(name) + 4
+		if off+need > PageSize {
+			return errors.New("pagestore: root directory overflow")
+		}
+		binary.LittleEndian.PutUint16(page[off:], uint16(len(name)))
+		off += 2
+		copy(page[off:], name)
+		off += len(name)
+		binary.LittleEndian.PutUint32(page[off:], uint32(id))
+		off += 4
+	}
+	return s.writePage(0, page[:])
+}
+
+func (s *Store) readPage(id PageID, buf []byte) error {
+	n, err := s.file.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	s.stats.PageReads++
+	s.stats.BytesRead += int64(n)
+	if err != nil {
+		return fmt.Errorf("pagestore: read page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (s *Store) writePage(id PageID, buf []byte) error {
+	n, err := s.file.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	s.stats.PageWrites++
+	s.stats.BytesWritten += int64(n)
+	if err != nil {
+		return fmt.Errorf("pagestore: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Allocate returns a fresh page, either reusing a freed page or extending
+// the file. The page's contents are zeroed. The returned page is pinned;
+// call Unpin when done.
+func (s *Store) Allocate() (PageID, *Frame, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidPage, nil, ErrClosed
+	}
+	var id PageID
+	if s.freeHead != InvalidPage {
+		// Pop the free list: the first 4 bytes of a free page hold the next
+		// free page id.
+		id = s.freeHead
+		fr, err := s.pin(id)
+		if err != nil {
+			return InvalidPage, nil, err
+		}
+		s.freeHead = PageID(binary.LittleEndian.Uint32(fr.data[:4]))
+		clear(fr.data[:])
+		fr.dirty = true
+		s.stats.Allocs++
+		return id, &Frame{s: s, f: fr}, nil
+	}
+	id = PageID(s.numPages)
+	s.numPages++
+	fr, err := s.pinFresh(id)
+	if err != nil {
+		s.numPages--
+		return InvalidPage, nil, err
+	}
+	fr.dirty = true
+	s.stats.Allocs++
+	return id, &Frame{s: s, f: fr}, nil
+}
+
+// Free returns a page to the free list. The caller must not hold a pin on it.
+func (s *Store) Free(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if id == InvalidPage || uint32(id) >= s.numPages {
+		return ErrPageRange
+	}
+	fr, err := s.pin(id)
+	if err != nil {
+		return err
+	}
+	clear(fr.data[:])
+	binary.LittleEndian.PutUint32(fr.data[:4], uint32(s.freeHead))
+	fr.dirty = true
+	s.freeHead = id
+	s.stats.Frees++
+	s.unpin(fr)
+	return nil
+}
+
+// Get pins page id into the buffer pool and returns a Frame handle.
+func (s *Store) Get(id PageID) (*Frame, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if id == InvalidPage || uint32(id) >= s.numPages {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageRange, id, s.numPages)
+	}
+	fr, err := s.pin(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{s: s, f: fr}, nil
+}
+
+// pin brings page id into the pool (reading it if absent) and pins it.
+// Caller holds s.mu.
+func (s *Store) pin(id PageID) (*frame, error) {
+	if fr, ok := s.frames[id]; ok {
+		s.stats.Hits++
+		if fr.pins == 0 && fr.lru != nil {
+			s.lru.Remove(fr.lru)
+			fr.lru = nil
+		}
+		fr.pins++
+		return fr, nil
+	}
+	s.stats.Misses++
+	fr, err := s.newFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.readPage(id, fr.data[:]); err != nil {
+		delete(s.frames, id)
+		return nil, err
+	}
+	fr.pins = 1
+	return fr, nil
+}
+
+// pinFresh pins a newly allocated page without reading the file.
+// Caller holds s.mu.
+func (s *Store) pinFresh(id PageID) (*frame, error) {
+	fr, err := s.newFrame(id)
+	if err != nil {
+		return nil, err
+	}
+	fr.pins = 1
+	return fr, nil
+}
+
+// newFrame finds a pool slot for page id, evicting the least recently used
+// unpinned frame if the pool is full. Caller holds s.mu.
+func (s *Store) newFrame(id PageID) (*frame, error) {
+	if len(s.frames) >= s.poolCap {
+		if err := s.evictOne(); err != nil {
+			return nil, err
+		}
+	}
+	fr := &frame{id: id}
+	s.frames[id] = fr
+	return fr, nil
+}
+
+// evictOne writes back and drops the LRU unpinned frame. Caller holds s.mu.
+func (s *Store) evictOne() error {
+	back := s.lru.Back()
+	if back == nil {
+		return ErrPoolFull
+	}
+	id := back.Value.(PageID)
+	fr := s.frames[id]
+	if fr.dirty {
+		if err := s.writePage(id, fr.data[:]); err != nil {
+			return err
+		}
+		fr.dirty = false
+	}
+	s.lru.Remove(back)
+	delete(s.frames, id)
+	return nil
+}
+
+// unpin releases one pin. Caller holds s.mu.
+func (s *Store) unpin(fr *frame) {
+	fr.pins--
+	if fr.pins == 0 {
+		fr.lru = s.lru.PushFront(fr.id)
+	}
+}
+
+// SetRoot records a named root page in the meta page. Higher layers use
+// this to anchor B-trees and heap tables.
+func (s *Store) SetRoot(name string, id PageID) error {
+	if len(name) == 0 || len(name) > maxRootNameLen {
+		return fmt.Errorf("pagestore: invalid root name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.roots[name] = id
+	return s.flushMeta()
+}
+
+// Root looks up a named root page.
+func (s *Store) Root(name string) (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return InvalidPage, ErrClosed
+	}
+	id, ok := s.roots[name]
+	if !ok {
+		return InvalidPage, fmt.Errorf("%w: %q", ErrRootMissing, name)
+	}
+	return id, nil
+}
+
+// Roots returns the names of all registered roots.
+func (s *Store) Roots() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.roots))
+	for name := range s.roots {
+		names = append(names, name)
+	}
+	return names
+}
+
+// Flush writes all dirty frames and the meta page to the file and syncs it.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	for id, fr := range s.frames {
+		if fr.dirty {
+			if err := s.writePage(id, fr.data[:]); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	if err := s.flushMeta(); err != nil {
+		return err
+	}
+	return s.file.Sync()
+}
+
+// Close flushes and closes the store. Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	s.closed = true
+	return s.file.Close()
+}
+
+// NumPages returns the total number of pages (including meta and free pages).
+func (s *Store) NumPages() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.numPages
+}
+
+// SizeBytes returns the logical size of the store in bytes.
+func (s *Store) SizeBytes() int64 {
+	return int64(s.NumPages()) * PageSize
+}
+
+// Stats returns a snapshot of I/O counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Frame is a pinned page handle. Data returns the page contents; the slice
+// is valid until Unpin. Frames are not safe for concurrent use; concurrent
+// access to the same page must be coordinated by the caller (the B-tree and
+// heap layers serialize structurally).
+type Frame struct {
+	s        *Store
+	f        *frame
+	released bool
+}
+
+// ID returns the page id this frame holds.
+func (fr *Frame) ID() PageID { return fr.f.id }
+
+// Data returns the page bytes. Mutations must be followed by MarkDirty.
+func (fr *Frame) Data() []byte { return fr.f.data[:] }
+
+// MarkDirty records that the page was modified and must be written back.
+func (fr *Frame) MarkDirty() { fr.f.dirty = true }
+
+// Unpin releases the frame. It is idempotent.
+func (fr *Frame) Unpin() {
+	if fr.released {
+		return
+	}
+	fr.released = true
+	fr.s.mu.Lock()
+	fr.s.unpin(fr.f)
+	fr.s.mu.Unlock()
+}

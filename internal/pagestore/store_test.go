@@ -1,0 +1,474 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func newMemStore(t *testing.T, pool int) *Store {
+	t.Helper()
+	s, err := Open(NewMemFile(), Options{PoolPages: pool})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestFormatAndReopen(t *testing.T) {
+	f := NewMemFile()
+	s, err := Open(f, Options{})
+	if err != nil {
+		t.Fatalf("Open empty: %v", err)
+	}
+	id, fr, err := s.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	copy(fr.Data(), "hello world")
+	fr.MarkDirty()
+	fr.Unpin()
+	if err := s.SetRoot("anchor", id); err != nil {
+		t.Fatalf("SetRoot: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, err := Open(f, Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	got, err := s2.Root("anchor")
+	if err != nil {
+		t.Fatalf("Root: %v", err)
+	}
+	if got != id {
+		t.Fatalf("root = %d, want %d", got, id)
+	}
+	fr2, err := s2.Get(got)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	defer fr2.Unpin()
+	if !bytes.HasPrefix(fr2.Data(), []byte("hello world")) {
+		t.Fatalf("page contents lost: %q", fr2.Data()[:16])
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	f := NewMemFile()
+	junk := make([]byte, PageSize)
+	copy(junk, "NOTAPAGESTORE")
+	if _, err := f.WriteAt(junk, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(f, Options{}); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestAllocateFreeReuse(t *testing.T) {
+	s := newMemStore(t, 16)
+	id1, fr1, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr1.Unpin()
+	id2, fr2, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr2.Unpin()
+	if id1 == id2 {
+		t.Fatalf("two live allocations share id %d", id1)
+	}
+	if err := s.Free(id1); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	id3, fr3, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr3.Unpin()
+	if id3 != id1 {
+		t.Fatalf("freed page not reused: got %d, want %d", id3, id1)
+	}
+	for _, b := range fr3.Data() {
+		if b != 0 {
+			t.Fatal("reused page not zeroed")
+		}
+	}
+}
+
+func TestFreeListSurvivesReopen(t *testing.T) {
+	f := NewMemFile()
+	s, err := Open(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, fr, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Unpin()
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if err := s.Free(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	before := s2.NumPages()
+	for i := 0; i < 5; i++ {
+		_, fr, err := s2.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Unpin()
+	}
+	if s2.NumPages() != before {
+		t.Fatalf("allocations extended the file instead of reusing the free list: %d -> %d", before, s2.NumPages())
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	// Pool of 4 frames, touch 32 pages: evictions must persist content.
+	s := newMemStore(t, 4)
+	const n = 32
+	ids := make([]PageID, n)
+	for i := 0; i < n; i++ {
+		id, fr, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(i + 1)
+		fr.MarkDirty()
+		fr.Unpin()
+		ids[i] = id
+	}
+	for i, id := range ids {
+		fr, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get %d: %v", id, err)
+		}
+		if fr.Data()[0] != byte(i+1) {
+			t.Fatalf("page %d lost across eviction: got %d want %d", id, fr.Data()[0], i+1)
+		}
+		fr.Unpin()
+	}
+	st := s.Stats()
+	if st.PageWrites == 0 {
+		t.Fatal("expected eviction write-back, saw none")
+	}
+}
+
+func TestPoolFullWhenAllPinned(t *testing.T) {
+	s := newMemStore(t, 2)
+	_, f1, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Unpin()
+	_, f2, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Unpin()
+	_, _, err = s.Allocate()
+	if !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("err = %v, want ErrPoolFull", err)
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	s := newMemStore(t, 8)
+	if _, err := s.Get(999); !errors.Is(err, ErrPageRange) {
+		t.Fatalf("err = %v, want ErrPageRange", err)
+	}
+	if _, err := s.Get(InvalidPage); !errors.Is(err, ErrPageRange) {
+		t.Fatalf("meta page handed out: %v", err)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s := newMemStore(t, 8)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Allocate(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Allocate after close: %v", err)
+	}
+	if _, err := s.Get(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestUnpinIdempotent(t *testing.T) {
+	s := newMemStore(t, 8)
+	_, fr, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Unpin()
+	fr.Unpin() // must not panic or double-release
+	if _, _, err := s.Allocate(); err != nil {
+		t.Fatalf("pool corrupted by double unpin: %v", err)
+	}
+}
+
+func TestRootNameValidation(t *testing.T) {
+	s := newMemStore(t, 8)
+	if err := s.SetRoot("", 1); err == nil {
+		t.Fatal("empty root name accepted")
+	}
+	long := make([]byte, maxRootNameLen+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if err := s.SetRoot(string(long), 1); err == nil {
+		t.Fatal("over-long root name accepted")
+	}
+	if _, err := s.Root("nope"); !errors.Is(err, ErrRootMissing) {
+		t.Fatalf("err = %v, want ErrRootMissing", err)
+	}
+}
+
+func TestManyRoots(t *testing.T) {
+	s := newMemStore(t, 8)
+	for i := 0; i < 20; i++ {
+		name := string(rune('a' + i))
+		if err := s.SetRoot(name, PageID(i+1)); err != nil {
+			t.Fatalf("SetRoot %q: %v", name, err)
+		}
+	}
+	names := s.Roots()
+	if len(names) != 20 {
+		t.Fatalf("Roots() = %d names, want 20", len(names))
+	}
+}
+
+func TestOSFileBacking(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.odh")
+	f, err := OpenOSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(f, Options{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, fr, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(fr.Data(), "persisted")
+	fr.MarkDirty()
+	fr.Unpin()
+	if err := s.SetRoot("r", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size()%PageSize != 0 {
+		t.Fatalf("file size %d not page aligned", st.Size())
+	}
+
+	f2, err := OpenOSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(f2, Options{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rid, err := s2.Root("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr2, err := s2.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr2.Unpin()
+	if !bytes.HasPrefix(fr2.Data(), []byte("persisted")) {
+		t.Fatal("data not persisted to OS file")
+	}
+}
+
+func TestMemFileReadWrite(t *testing.T) {
+	if err := quick.Check(func(off uint16, payload []byte) bool {
+		m := NewMemFile()
+		if _, err := m.WriteAt(payload, int64(off)); err != nil {
+			return false
+		}
+		got := make([]byte, len(payload))
+		if len(payload) == 0 {
+			return true
+		}
+		if _, err := m.ReadAt(got, int64(off)); err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFileTruncate(t *testing.T) {
+	m := NewMemFile()
+	if _, err := m.WriteAt([]byte("abcdef"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	sz, _ := m.Size()
+	if sz != 3 {
+		t.Fatalf("size = %d, want 3", sz)
+	}
+	if err := m.Truncate(10); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	if _, err := m.ReadAt(buf, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("grown region not zeroed")
+		}
+	}
+	if err := m.Truncate(-1); err == nil {
+		t.Fatal("negative truncate accepted")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := newMemStore(t, 2)
+	var ids []PageID
+	for i := 0; i < 6; i++ {
+		id, fr, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.MarkDirty()
+		fr.Unpin()
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		fr, err := s.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Unpin()
+	}
+	st := s.Stats()
+	if st.Allocs != 6 {
+		t.Fatalf("Allocs = %d, want 6", st.Allocs)
+	}
+	if st.Misses == 0 || st.PageReads == 0 {
+		t.Fatalf("expected misses/reads after eviction churn: %+v", st)
+	}
+	if st.BytesWritten == 0 || st.BytesWritten%PageSize != 0 {
+		t.Fatalf("BytesWritten = %d, want positive page multiple", st.BytesWritten)
+	}
+}
+
+func TestConcurrentGets(t *testing.T) {
+	s := newMemStore(t, 64)
+	var ids []PageID
+	for i := 0; i < 16; i++ {
+		id, fr, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(i)
+		fr.MarkDirty()
+		fr.Unpin()
+		ids = append(ids, id)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for round := 0; round < 200; round++ {
+				for i, id := range ids {
+					fr, err := s.Get(id)
+					if err != nil {
+						done <- err
+						return
+					}
+					if fr.Data()[0] != byte(i) {
+						fr.Unpin()
+						done <- errors.New("content race")
+						return
+					}
+					fr.Unpin()
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMemFileShrinkRegrowZeroed(t *testing.T) {
+	m := NewMemFile()
+	m.WriteAt([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 0)
+	m.Truncate(2)
+	// Regrow by writing past the old end: the gap must read as zeros,
+	// not the pre-truncate bytes.
+	m.WriteAt([]byte{9}, 7)
+	buf := make([]byte, 8)
+	m.ReadAt(buf, 0)
+	want := []byte{1, 2, 0, 0, 0, 0, 0, 9}
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("regrown file = %v, want %v", buf, want)
+	}
+}
+
+func TestMemFileAppendGrowth(t *testing.T) {
+	// Page-by-page extension must stay fast (amortized growth); this is a
+	// smoke test that a large append-only workload completes promptly.
+	m := NewMemFile()
+	page := make([]byte, PageSize)
+	for i := 0; i < 8192; i++ { // 32 MiB of appends
+		if _, err := m.WriteAt(page, int64(i)*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sz, _ := m.Size()
+	if sz != 8192*PageSize {
+		t.Fatalf("size = %d", sz)
+	}
+}

@@ -1,0 +1,192 @@
+// Package server implements the historian's network endpoint: the role
+// of the paper's data servers in Figure 2, accepting operational writes
+// and SQL over a minimal TCP line protocol.
+//
+//	WRITE <source> <ts-ms> <v1> [v2 ...]   -> "OK" | "ERR <msg>"
+//	SQL <statement>                        -> header, rows, "OK <n>" | "ERR <msg>"
+//	FLUSH                                  -> "OK"
+//	PING                                   -> "PONG"
+//	QUIT                                   -> "BYE" and closes the connection
+//
+// NULL tag values are spelled "null" in WRITE. Responses to SQL are
+// tab-separated; EXPLAIN output is returned verbatim followed by "OK 0".
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"odh"
+)
+
+// Server accepts connections and serves the protocol over a historian.
+type Server struct {
+	h  *odh.Historian
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// New wraps a historian.
+func New(h *odh.Historian) *Server { return &Server{h: h} }
+
+// Listen starts accepting on addr and returns the bound address (useful
+// with ":0").
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish
+// their current command loop (connections end when clients close or send
+// QUIT).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// ServeConn runs the protocol on one connection until EOF or QUIT.
+func (s *Server) ServeConn(conn io.ReadWriteCloser) {
+	defer conn.Close()
+	w := s.h.Writer()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	out := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(cmd) {
+		case "PING":
+			fmt.Fprintln(out, "PONG")
+		case "FLUSH":
+			if err := w.Flush(); err != nil {
+				fmt.Fprintf(out, "ERR %v\n", err)
+			} else {
+				fmt.Fprintln(out, "OK")
+			}
+		case "WRITE":
+			if err := s.handleWrite(w, rest); err != nil {
+				fmt.Fprintf(out, "ERR %v\n", err)
+			} else {
+				fmt.Fprintln(out, "OK")
+			}
+		case "SQL":
+			s.handleSQL(out, rest)
+		case "QUIT":
+			fmt.Fprintln(out, "BYE")
+			out.Flush()
+			return
+		default:
+			fmt.Fprintf(out, "ERR unknown command %q\n", cmd)
+		}
+		out.Flush()
+	}
+}
+
+func (s *Server) handleWrite(w *odh.Writer, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 3 {
+		return fmt.Errorf("WRITE needs source, ts, and at least one value")
+	}
+	source, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad source: %w", err)
+	}
+	ts, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad timestamp: %w", err)
+	}
+	values := make([]float64, len(fields)-2)
+	for i, f := range fields[2:] {
+		if strings.EqualFold(f, "null") {
+			values[i] = odh.NullValue
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q: %w", f, err)
+		}
+		values[i] = v
+	}
+	return w.WritePoint(source, ts, values...)
+}
+
+func (s *Server) handleSQL(out *bufio.Writer, sql string) {
+	res, err := s.h.Query(sql)
+	if err != nil {
+		fmt.Fprintf(out, "ERR %v\n", err)
+		return
+	}
+	if res.PlanText != "" {
+		for _, line := range strings.Split(strings.TrimRight(res.PlanText, "\n"), "\n") {
+			fmt.Fprintln(out, line)
+		}
+		fmt.Fprintln(out, "OK 0")
+		return
+	}
+	if res.Columns == nil {
+		fmt.Fprintf(out, "OK %d\n", res.RowsAffected)
+		return
+	}
+	fmt.Fprintln(out, strings.Join(res.Columns, "\t"))
+	n := 0
+	for {
+		row, ok, err := res.Next()
+		if err != nil {
+			fmt.Fprintf(out, "ERR %v\n", err)
+			return
+		}
+		if !ok {
+			break
+		}
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Fprintln(out, strings.Join(cells, "\t"))
+		n++
+	}
+	fmt.Fprintf(out, "OK %d\n", n)
+}

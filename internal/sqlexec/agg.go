@@ -1,0 +1,222 @@
+package sqlexec
+
+import (
+	"fmt"
+
+	"odh/internal/relational"
+	"odh/internal/sqlparse"
+)
+
+// aggState accumulates one aggregate function over one group.
+type aggState struct {
+	fn    string // COUNT, SUM, AVG, MIN, MAX
+	star  bool
+	count int64
+	sum   float64
+	min   relational.Value
+	max   relational.Value
+	any   bool
+}
+
+func (a *aggState) add(v relational.Value) {
+	if a.star {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return // SQL aggregates skip NULLs
+	}
+	a.count++
+	a.sum += v.AsFloat()
+	if !a.any || relational.Compare(v, a.min) < 0 {
+		a.min = v
+	}
+	if !a.any || relational.Compare(v, a.max) > 0 {
+		a.max = v
+	}
+	a.any = true
+}
+
+func (a *aggState) result() relational.Value {
+	switch a.fn {
+	case "COUNT":
+		return relational.Int(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return relational.Null
+		}
+		return relational.Float(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return relational.Null
+		}
+		return relational.Float(a.sum / float64(a.count))
+	case "MIN":
+		if !a.any {
+			return relational.Null
+		}
+		return a.min
+	case "MAX":
+		if !a.any {
+			return relational.Null
+		}
+		return a.max
+	}
+	return relational.Null
+}
+
+// aggItem is one output column of an aggregation: either a group-by key
+// (keyIdx >= 0) or an aggregate over an input expression.
+type aggItem struct {
+	keyIdx int // index into group keys; -1 for aggregates
+	fn     string
+	star   bool
+	arg    boundExpr
+	name   string
+	kind   relational.Kind
+}
+
+// aggregateOp hash-groups its input and emits one row per group.
+type aggregateOp struct {
+	child Operator
+	keys  []boundExpr // group-by key expressions
+	items []aggItem
+	cols  []ColMeta
+	done  bool
+	out   []Row
+	i     int
+}
+
+func (a *aggregateOp) Columns() []ColMeta { return a.cols }
+func (a *aggregateOp) BlobBytes() int64   { return a.child.BlobBytes() }
+
+type groupEntry struct {
+	keyVals []relational.Value
+	states  []*aggState
+}
+
+func (a *aggregateOp) run() error {
+	groups := make(map[string]*groupEntry)
+	var order []string
+	for {
+		row, ok, err := a.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		keyVals := make([]relational.Value, len(a.keys))
+		keyStr := ""
+		for i, k := range a.keys {
+			v, err := k.eval(row)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+			keyStr += v.String() + "\x00" + fmt.Sprint(v.Kind) + "\x01"
+		}
+		g, ok := groups[keyStr]
+		if !ok {
+			g = &groupEntry{keyVals: keyVals}
+			for _, item := range a.items {
+				if item.keyIdx >= 0 {
+					g.states = append(g.states, nil)
+				} else {
+					g.states = append(g.states, &aggState{fn: item.fn, star: item.star})
+				}
+			}
+			groups[keyStr] = g
+			order = append(order, keyStr)
+		}
+		for i, item := range a.items {
+			if item.keyIdx >= 0 {
+				continue
+			}
+			if item.star {
+				g.states[i].add(relational.Null)
+				continue
+			}
+			v, err := item.arg.eval(row)
+			if err != nil {
+				return err
+			}
+			g.states[i].add(v)
+		}
+	}
+	// Grand-total aggregation with no keys yields one row even for empty
+	// input.
+	if len(a.keys) == 0 && len(order) == 0 {
+		g := &groupEntry{}
+		for _, item := range a.items {
+			g.states = append(g.states, &aggState{fn: item.fn, star: item.star})
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+	for _, key := range order {
+		g := groups[key]
+		row := make(Row, len(a.items))
+		for i, item := range a.items {
+			if item.keyIdx >= 0 {
+				row[i] = g.keyVals[item.keyIdx]
+			} else {
+				row[i] = g.states[i].result()
+			}
+		}
+		a.out = append(a.out, row)
+	}
+	a.done = true
+	return nil
+}
+
+func (a *aggregateOp) Next() (Row, bool, error) {
+	if !a.done {
+		if err := a.run(); err != nil {
+			return nil, false, err
+		}
+	}
+	if a.i >= len(a.out) {
+		return nil, false, nil
+	}
+	row := a.out[a.i]
+	a.i++
+	return row, true, nil
+}
+
+func (a *aggregateOp) Describe(indent string) string {
+	return fmt.Sprintf("%sAggregate(%d keys, %d columns)\n%s",
+		indent, len(a.keys), len(a.items), a.child.Describe(indent+"  "))
+}
+
+// hasAggregates reports whether any select item contains an aggregate call.
+func hasAggregates(items []sqlparse.SelectItem) bool {
+	for _, item := range items {
+		if item.Expr != nil && containsAgg(item.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsAgg(e sqlparse.Expr) bool {
+	switch x := e.(type) {
+	case *sqlparse.FuncExpr:
+		if x.IsAggregate() {
+			return true
+		}
+		for _, a := range x.Args {
+			if containsAgg(a) {
+				return true
+			}
+		}
+		return false
+	case *sqlparse.BinaryExpr:
+		return containsAgg(x.L) || containsAgg(x.R)
+	case *sqlparse.BetweenExpr:
+		return containsAgg(x.Target) || containsAgg(x.Lo) || containsAgg(x.Hi)
+	case *sqlparse.NotExpr:
+		return containsAgg(x.Inner)
+	}
+	return false
+}

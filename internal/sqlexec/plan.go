@@ -1,0 +1,728 @@
+package sqlexec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"odh/internal/model"
+	"odh/internal/relational"
+	"odh/internal/sqlparse"
+	"odh/internal/tsstore"
+)
+
+// Cost model constants (units: bytes, the paper's cost currency — "we
+// approximate the cost of extracting the requested operational data as the
+// expected size, in bytes, of the ValueBlobs that need to be accessed").
+const (
+	// costPerSeek charges one page per per-source seek (B-tree descent).
+	costPerSeek = 4096.0
+	// costPerRouterLookup charges the catalog metadata probe the data
+	// router performs per source.
+	costPerRouterLookup = 256.0
+	// defaultSelectivity estimates un-indexed predicate selectivity.
+	defaultSelectivity = 0.1
+)
+
+// tableSource resolves one FROM entry.
+type tableSource struct {
+	ref    sqlparse.TableRef
+	rel    *relational.Table
+	schema *model.SchemaType // non-nil for virtual tables
+}
+
+func (t *tableSource) binding() string { return t.ref.Binding() }
+func (t *tableSource) isVirtual() bool { return t.schema != nil }
+
+// columns returns the source's column layout under its binding.
+func (e *Engine) sourceColumns(src *tableSource) []ColMeta {
+	if src.isVirtual() {
+		cols := []ColMeta{
+			{Table: src.binding(), Name: src.schema.IDColumn(), Kind: relational.KindInt},
+			{Table: src.binding(), Name: src.schema.TSColumn(), Kind: relational.KindTime},
+		}
+		for _, tag := range src.schema.Tags {
+			cols = append(cols, ColMeta{Table: src.binding(), Name: tag.Name, Kind: relational.KindFloat})
+		}
+		return cols
+	}
+	cols := make([]ColMeta, len(src.rel.Columns()))
+	for i, c := range src.rel.Columns() {
+		cols[i] = ColMeta{Table: src.binding(), Name: c.Name, Kind: c.Type}
+	}
+	return cols
+}
+
+// joinPred is an equijoin between two bindings.
+type joinPred struct {
+	leftBind, leftCol   string
+	rightBind, rightCol string
+	expr                sqlparse.Expr
+}
+
+// tableAccess carries the chosen access path for one table.
+type tableAccess struct {
+	src       *tableSource
+	conjuncts []sqlparse.Expr // single-table predicates (applied as filter)
+
+	// Virtual pushdowns.
+	t1, t2    int64
+	idEq      *int64
+	idList    []int64 // id IN (...) pushdown
+	tagRanges []tsstore.TagRange
+
+	// Relational access path.
+	index      *relational.Index
+	prefixVals []relational.Value
+	rangeLo    relational.Value
+	rangeHi    relational.Value
+
+	estRows float64
+	estCost float64
+}
+
+// planContext accumulates per-query planning state.
+type planContext struct {
+	e        *Engine
+	stmt     *sqlparse.SelectStmt
+	sources  []*tableSource
+	byBind   map[string]*tableSource
+	access   map[string]*tableAccess
+	joins    []joinPred
+	residual []sqlparse.Expr // multi-table non-equijoin predicates
+	wantTags map[string][]int
+	// planNote records optimizer decisions for EXPLAIN / the LQ4 study.
+	planNote string
+}
+
+// resolveTable maps a FROM name to a source (virtual tables first, then
+// relational; both case-insensitive).
+func (e *Engine) resolveTable(ref sqlparse.TableRef) (*tableSource, error) {
+	if schema, ok := e.cat.VirtualTable(ref.Name); ok {
+		return &tableSource{ref: ref, schema: schema}, nil
+	}
+	for _, name := range e.cat.VirtualTables() {
+		if strings.EqualFold(name, ref.Name) {
+			schema, _ := e.cat.VirtualTable(name)
+			return &tableSource{ref: ref, schema: schema}, nil
+		}
+	}
+	if t, ok := e.rel.Table(ref.Name); ok {
+		return &tableSource{ref: ref, rel: t}, nil
+	}
+	for _, name := range e.rel.Tables() {
+		if strings.EqualFold(name, ref.Name) {
+			t, _ := e.rel.Table(name)
+			return &tableSource{ref: ref, rel: t}, nil
+		}
+	}
+	return nil, fmt.Errorf("sqlexec: unknown table %q", ref.Name)
+}
+
+// classify splits WHERE conjuncts into per-table, join, and residual sets.
+func (pc *planContext) classify() error {
+	for _, conj := range sqlparse.SplitConjuncts(pc.stmt.Where) {
+		binds := map[string]bool{}
+		ok := collectBindings(conj, pc, binds)
+		if !ok {
+			return fmt.Errorf("sqlexec: cannot resolve columns in %s", conj)
+		}
+		switch len(binds) {
+		case 0, 1:
+			var bind string
+			for b := range binds {
+				bind = b
+			}
+			if bind == "" {
+				bind = pc.sources[0].binding()
+			}
+			pc.access[bind].conjuncts = append(pc.access[bind].conjuncts, conj)
+		case 2:
+			if jp, ok := asJoinPred(conj, pc); ok {
+				pc.joins = append(pc.joins, jp)
+			} else {
+				pc.residual = append(pc.residual, conj)
+			}
+		default:
+			pc.residual = append(pc.residual, conj)
+		}
+	}
+	return nil
+}
+
+// collectBindings gathers the table bindings an expression references,
+// resolving unqualified columns against the FROM sources.
+func collectBindings(e sqlparse.Expr, pc *planContext, out map[string]bool) bool {
+	switch x := e.(type) {
+	case *sqlparse.ColumnRef:
+		bind, ok := pc.bindingOf(x)
+		if !ok {
+			return false
+		}
+		out[bind] = true
+		return true
+	case *sqlparse.Literal:
+		return true
+	case *sqlparse.BinaryExpr:
+		return collectBindings(x.L, pc, out) && collectBindings(x.R, pc, out)
+	case *sqlparse.BetweenExpr:
+		return collectBindings(x.Target, pc, out) && collectBindings(x.Lo, pc, out) && collectBindings(x.Hi, pc, out)
+	case *sqlparse.NotExpr:
+		return collectBindings(x.Inner, pc, out)
+	case *sqlparse.IsNullExpr:
+		return collectBindings(x.Target, pc, out)
+	case *sqlparse.InExpr:
+		if !collectBindings(x.Target, pc, out) {
+			return false
+		}
+		for _, item := range x.List {
+			if !collectBindings(item, pc, out) {
+				return false
+			}
+		}
+		return true
+	case *sqlparse.FuncExpr:
+		for _, a := range x.Args {
+			if !collectBindings(a, pc, out) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// bindingOf resolves a column reference to its table binding.
+func (pc *planContext) bindingOf(ref *sqlparse.ColumnRef) (string, bool) {
+	if ref.Table != "" {
+		for _, src := range pc.sources {
+			if strings.EqualFold(src.binding(), ref.Table) {
+				return src.binding(), true
+			}
+		}
+		return "", false
+	}
+	found := ""
+	for _, src := range pc.sources {
+		for _, col := range pc.e.sourceColumns(src) {
+			if strings.EqualFold(col.Name, ref.Name) {
+				if found != "" && found != src.binding() {
+					return "", false // ambiguous
+				}
+				found = src.binding()
+			}
+		}
+	}
+	return found, found != ""
+}
+
+// asJoinPred recognizes `a.x = b.y` between two different tables.
+func asJoinPred(e sqlparse.Expr, pc *planContext) (joinPred, bool) {
+	b, ok := e.(*sqlparse.BinaryExpr)
+	if !ok || b.Op != "=" {
+		return joinPred{}, false
+	}
+	lc, lok := b.L.(*sqlparse.ColumnRef)
+	rc, rok := b.R.(*sqlparse.ColumnRef)
+	if !lok || !rok {
+		return joinPred{}, false
+	}
+	lb, ok1 := pc.bindingOf(lc)
+	rb, ok2 := pc.bindingOf(rc)
+	if !ok1 || !ok2 || lb == rb {
+		return joinPred{}, false
+	}
+	return joinPred{leftBind: lb, leftCol: lc.Name, rightBind: rb, rightCol: rc.Name, expr: e}, true
+}
+
+// analyzeAccess derives pushdowns and cost for each table.
+func (pc *planContext) analyzeAccess() {
+	for _, src := range pc.sources {
+		acc := pc.access[src.binding()]
+		if src.isVirtual() {
+			pc.analyzeVirtual(acc)
+		} else {
+			pc.analyzeRelational(acc)
+		}
+	}
+}
+
+// literalValue extracts a literal (or nil).
+func literalValue(e sqlparse.Expr) *relational.Value {
+	if lit, ok := e.(*sqlparse.Literal); ok {
+		v := lit.Val
+		return &v
+	}
+	return nil
+}
+
+// asTimeMs coerces a literal to Unix milliseconds.
+func asTimeMs(v relational.Value) (int64, bool) {
+	switch v.Kind {
+	case relational.KindTime, relational.KindInt:
+		return v.I, true
+	case relational.KindFloat:
+		return int64(v.F), true
+	case relational.KindString:
+		return 0, false
+	}
+	return 0, false
+}
+
+func asTimeBound(v relational.Value) (int64, bool) {
+	if v.Kind == relational.KindString {
+		if ms, ok := ParseTimestamp(v.S); ok {
+			return ms, true
+		}
+		return 0, false
+	}
+	return asTimeMs(v)
+}
+
+// analyzeVirtual extracts time bounds and id equality for a virtual table
+// and estimates the slice-scan cost.
+func (pc *planContext) analyzeVirtual(acc *tableAccess) {
+	acc.t1, acc.t2 = math.MinInt64, math.MaxInt64
+	for _, conj := range acc.conjuncts {
+		switch x := conj.(type) {
+		case *sqlparse.BetweenExpr:
+			if col, ok := x.Target.(*sqlparse.ColumnRef); ok && strings.EqualFold(col.Name, acc.src.schema.TSColumn()) {
+				if lo := literalValue(x.Lo); lo != nil {
+					if ms, ok := asTimeBound(*lo); ok && ms > acc.t1 {
+						acc.t1 = ms
+					}
+				}
+				if hi := literalValue(x.Hi); hi != nil {
+					if ms, ok := asTimeBound(*hi); ok && ms+1 < acc.t2 {
+						acc.t2 = ms + 1 // BETWEEN is inclusive
+					}
+				}
+			}
+		case *sqlparse.InExpr:
+			// id IN (...) restricts the scan to the listed sources.
+			col, ok := x.Target.(*sqlparse.ColumnRef)
+			if !ok || !strings.EqualFold(col.Name, acc.src.schema.IDColumn()) {
+				continue
+			}
+			ids := make([]int64, 0, len(x.List))
+			for _, item := range x.List {
+				lit := literalValue(item)
+				if lit == nil {
+					ids = nil
+					break
+				}
+				if id, okID := asTimeMs(*lit); okID {
+					ids = append(ids, id)
+				} else {
+					ids = nil
+					break
+				}
+			}
+			if len(ids) > 0 {
+				acc.idList = ids
+			}
+		case *sqlparse.BinaryExpr:
+			col, ok := x.L.(*sqlparse.ColumnRef)
+			lit := literalValue(x.R)
+			op := x.Op
+			if !ok || lit == nil {
+				// Allow literal-on-left comparisons by mirroring.
+				if colR, okR := x.R.(*sqlparse.ColumnRef); okR {
+					if litL := literalValue(x.L); litL != nil {
+						col, lit, ok = colR, litL, true
+						op = mirrorOp(op)
+					}
+				}
+			}
+			if !ok || lit == nil {
+				continue
+			}
+			if strings.EqualFold(col.Name, acc.src.schema.TSColumn()) {
+				ms, convertible := asTimeBound(*lit)
+				if !convertible {
+					continue
+				}
+				switch op {
+				case ">=":
+					if ms > acc.t1 {
+						acc.t1 = ms
+					}
+				case ">":
+					if ms+1 > acc.t1 {
+						acc.t1 = ms + 1
+					}
+				case "<=":
+					if ms+1 < acc.t2 {
+						acc.t2 = ms + 1
+					}
+				case "<":
+					if ms < acc.t2 {
+						acc.t2 = ms
+					}
+				case "=":
+					if ms > acc.t1 {
+						acc.t1 = ms
+					}
+					if ms+1 < acc.t2 {
+						acc.t2 = ms + 1
+					}
+				}
+			} else if strings.EqualFold(col.Name, acc.src.schema.IDColumn()) && op == "=" {
+				if id, okID := asTimeMs(*lit); okID {
+					v := id
+					acc.idEq = &v
+				}
+			}
+		}
+	}
+	// Tag predicates become zone-map pushdowns: a blob whose per-tag
+	// min/max range excludes the predicate is skipped without decoding.
+	tagBounds := collectColumnBounds(acc.conjuncts, func(col string) (relational.Kind, bool) {
+		if acc.src.schema.TagIndex(matchTagName(acc.src.schema, col)) >= 0 {
+			return relational.KindFloat, true
+		}
+		return relational.KindNull, false
+	})
+	for col, b := range tagBounds {
+		idx := acc.src.schema.TagIndex(matchTagName(acc.src.schema, col))
+		if idx < 0 {
+			continue
+		}
+		r := tsstore.TagRange{Tag: idx, Lo: math.Inf(-1), Hi: math.Inf(1)}
+		if !b.lo.IsNull() {
+			r.Lo = b.lo.AsFloat()
+		}
+		if !b.hi.IsNull() {
+			r.Hi = b.hi.AsFloat()
+		}
+		if !math.IsInf(r.Lo, -1) || !math.IsInf(r.Hi, 1) {
+			acc.tagRanges = append(acc.tagRanges, r)
+		}
+	}
+
+	stats := pc.e.cat.SchemaStats(acc.src.schema.ID)
+	frac := windowFraction(stats, acc.t1, acc.t2)
+	nSources := float64(pc.e.cat.SourceCount(acc.src.schema.ID))
+	if acc.idEq != nil {
+		perSource := 0.0
+		if nSources > 0 {
+			perSource = float64(stats.BlobBytes) / nSources
+		}
+		acc.estCost = perSource*frac + costPerSeek + costPerRouterLookup
+		acc.estRows = float64(stats.PointCount) / math.Max(nSources, 1) * frac
+	} else if len(acc.idList) > 0 {
+		perSource := 0.0
+		if nSources > 0 {
+			perSource = float64(stats.BlobBytes) / nSources
+		}
+		n := float64(len(acc.idList))
+		acc.estCost = n * (perSource*frac + costPerSeek + costPerRouterLookup)
+		acc.estRows = float64(stats.PointCount) / math.Max(nSources, 1) * frac * n
+	} else {
+		// Slice scans over MG groups seek once per group record stream,
+		// not once per source — the MG structure's advantage for slice
+		// queries (paper Table 1).
+		seekStreams := nSources
+		if groups := pc.e.cat.GroupsBySchema(acc.src.schema.ID); len(groups) > 0 {
+			seekStreams = float64(len(groups))
+		}
+		acc.estCost = float64(stats.BlobBytes)*frac + seekStreams*costPerSeek*frac + nSources*costPerRouterLookup
+		acc.estRows = float64(stats.PointCount) * frac
+	}
+}
+
+func mirrorOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case ">":
+		return "<"
+	case "<=":
+		return ">="
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// windowFraction estimates the fraction of stored data inside [t1, t2).
+func windowFraction(stats model.SourceStats, t1, t2 int64) float64 {
+	if stats.PointCount == 0 {
+		return 1
+	}
+	span := float64(stats.LastTS - stats.FirstTS)
+	if span <= 0 {
+		return 1
+	}
+	lo := math.Max(float64(t1), float64(stats.FirstTS))
+	hi := math.Min(float64(t2), float64(stats.LastTS))
+	if hi <= lo {
+		return 0.001 // off-range queries still touch boundary batches
+	}
+	frac := (hi - lo) / span
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
+}
+
+// colBounds accumulates the literal range a table's conjuncts pin one
+// column into.
+type colBounds struct {
+	lo, hi relational.Value // inclusive; Null = open
+	eq     bool             // exact equality (lo == hi from '=')
+}
+
+// collectColumnBounds derives per-column ranges from a table's conjuncts:
+// '=', '<', '<=', '>', '>=' comparisons against literals and BETWEEN.
+// Exclusive bounds are treated as inclusive — the scan re-checks the exact
+// predicate, so this only loosens the range.
+func collectColumnBounds(conjuncts []sqlparse.Expr, kindOf func(col string) (relational.Kind, bool)) map[string]*colBounds {
+	bounds := map[string]*colBounds{}
+	get := func(name string) *colBounds {
+		key := strings.ToLower(name)
+		b, ok := bounds[key]
+		if !ok {
+			b = &colBounds{lo: relational.Null, hi: relational.Null}
+			bounds[key] = b
+		}
+		return b
+	}
+	tightenLo := func(b *colBounds, v relational.Value) {
+		if b.lo.IsNull() || relational.Compare(v, b.lo) > 0 {
+			b.lo = v
+		}
+	}
+	tightenHi := func(b *colBounds, v relational.Value) {
+		if b.hi.IsNull() || relational.Compare(v, b.hi) < 0 {
+			b.hi = v
+		}
+	}
+	for _, conj := range conjuncts {
+		switch x := conj.(type) {
+		case *sqlparse.BetweenExpr:
+			col, ok := x.Target.(*sqlparse.ColumnRef)
+			if !ok {
+				continue
+			}
+			kind, known := kindOf(col.Name)
+			if !known {
+				continue
+			}
+			if lo := literalValue(x.Lo); lo != nil {
+				tightenLo(get(col.Name), coerceLiteral(*lo, kind))
+			}
+			if hi := literalValue(x.Hi); hi != nil {
+				tightenHi(get(col.Name), coerceLiteral(*hi, kind))
+			}
+		case *sqlparse.BinaryExpr:
+			col, ok := x.L.(*sqlparse.ColumnRef)
+			lit := literalValue(x.R)
+			op := x.Op
+			if !ok || lit == nil {
+				if colR, okR := x.R.(*sqlparse.ColumnRef); okR {
+					if litL := literalValue(x.L); litL != nil {
+						col, lit, ok = colR, litL, true
+						op = mirrorOp(op)
+					}
+				}
+			}
+			if !ok || lit == nil {
+				continue
+			}
+			kind, known := kindOf(col.Name)
+			if !known {
+				continue
+			}
+			v := coerceLiteral(*lit, kind)
+			b := get(col.Name)
+			switch op {
+			case "=":
+				tightenLo(b, v)
+				tightenHi(b, v)
+				b.eq = true
+			case "<", "<=":
+				tightenHi(b, v)
+			case ">", ">=":
+				tightenLo(b, v)
+			}
+		}
+	}
+	return bounds
+}
+
+// analyzeRelational picks the best index for a relational table.
+func (pc *planContext) analyzeRelational(acc *tableAccess) {
+	t := acc.src.rel
+	rows := float64(t.RowCount())
+	avgRow := 64.0
+	if t.RowCount() > 0 {
+		avgRow = float64(t.StorageBytes()) / rows
+	}
+	// Default: sequential scan.
+	acc.estRows = rows
+	acc.estCost = rows * avgRow
+	bounds := collectColumnBounds(acc.conjuncts, func(col string) (relational.Kind, bool) {
+		for _, c := range t.Columns() {
+			if strings.EqualFold(c.Name, col) {
+				return c.Type, true
+			}
+		}
+		return relational.KindNull, false
+	})
+	// Probe each bounded column's index for its match count; the probes
+	// double as histogram statistics (per-column selectivities compose
+	// multiplicatively, independence assumed).
+	type colEst struct {
+		n   int
+		idx *relational.Index
+		b   *colBounds
+	}
+	var ests []colEst
+	estimated := map[string]bool{}
+	for _, idx := range t.Indexes() {
+		firstCol := strings.ToLower(t.Columns()[idx.ColumnOrdinals()[0]].Name)
+		b, ok := bounds[firstCol]
+		if !ok || (b.lo.IsNull() && b.hi.IsNull()) || estimated[firstCol] {
+			continue
+		}
+		n, err := idx.CountRange(b.lo, b.hi)
+		if err != nil {
+			continue
+		}
+		ests = append(ests, colEst{n, idx, b})
+		estimated[firstCol] = true
+	}
+	if len(bounds) > 0 && rows > 0 {
+		sel := 1.0
+		for col := range bounds {
+			if !estimated[col] {
+				sel *= defaultSelectivity // no statistics for this column
+			}
+		}
+		for _, e := range ests {
+			sel *= float64(e.n) / rows
+		}
+		acc.estRows = math.Max(rows*sel, 1)
+	}
+	// Access path: the cheapest selective index, else the sequential scan.
+	for _, e := range ests {
+		cost := float64(e.n)*(avgRow+costPerSeek/8) + costPerSeek
+		if cost < acc.estCost {
+			acc.estCost = cost
+			acc.index = e.idx
+			if e.b.eq && !e.b.lo.IsNull() {
+				acc.prefixVals = []relational.Value{e.b.lo}
+				acc.rangeLo, acc.rangeHi = relational.Null, relational.Null
+			} else {
+				acc.prefixVals = nil
+				acc.rangeLo, acc.rangeHi = e.b.lo, e.b.hi
+			}
+		}
+	}
+}
+
+// coerceLiteral converts a literal to a column's kind (notably timestamp
+// strings).
+func coerceLiteral(v relational.Value, kind relational.Kind) relational.Value {
+	if kind == relational.KindTime {
+		switch v.Kind {
+		case relational.KindString:
+			if ms, ok := ParseTimestamp(v.S); ok {
+				return relational.Time(ms)
+			}
+		case relational.KindInt, relational.KindFloat:
+			return relational.Time(v.AsInt())
+		}
+	}
+	if kind == relational.KindFloat && v.Kind == relational.KindInt {
+		return relational.Float(float64(v.I))
+	}
+	return v
+}
+
+// collectWantTags finds, for each virtual table, the tag ordinals the
+// query references — the tag-oriented projection pushdown.
+func (pc *planContext) collectWantTags() {
+	pc.wantTags = map[string][]int{}
+	for _, src := range pc.sources {
+		if !src.isVirtual() {
+			continue
+		}
+		// Star selection (unqualified or for this table) requires all tags.
+		needAll := false
+		for _, item := range pc.stmt.Items {
+			if item.Star && (item.StarTable == "" || strings.EqualFold(item.StarTable, src.binding())) {
+				needAll = true
+			}
+		}
+		if needAll {
+			pc.wantTags[src.binding()] = nil
+			continue
+		}
+		tagSet := map[int]bool{}
+		var visit func(e sqlparse.Expr)
+		visit = func(e sqlparse.Expr) {
+			switch x := e.(type) {
+			case *sqlparse.ColumnRef:
+				bind, ok := pc.bindingOf(x)
+				if !ok || bind != src.binding() {
+					return
+				}
+				if idx := src.schema.TagIndex(matchTagName(src.schema, x.Name)); idx >= 0 {
+					tagSet[idx] = true
+				}
+			case *sqlparse.BinaryExpr:
+				visit(x.L)
+				visit(x.R)
+			case *sqlparse.BetweenExpr:
+				visit(x.Target)
+				visit(x.Lo)
+				visit(x.Hi)
+			case *sqlparse.NotExpr:
+				visit(x.Inner)
+			case *sqlparse.IsNullExpr:
+				visit(x.Target)
+			case *sqlparse.InExpr:
+				visit(x.Target)
+				for _, item := range x.List {
+					visit(item)
+				}
+			case *sqlparse.FuncExpr:
+				for _, a := range x.Args {
+					visit(a)
+				}
+			}
+		}
+		for _, item := range pc.stmt.Items {
+			if item.Expr != nil {
+				visit(item.Expr)
+			}
+		}
+		if pc.stmt.Where != nil {
+			visit(pc.stmt.Where)
+		}
+		for _, g := range pc.stmt.GroupBy {
+			visit(g)
+		}
+		for _, o := range pc.stmt.OrderBy {
+			visit(o.Expr)
+		}
+		tags := make([]int, 0, len(tagSet))
+		for idx := range tagSet {
+			tags = append(tags, idx)
+		}
+		pc.wantTags[src.binding()] = tags
+	}
+}
+
+// matchTagName resolves a case-insensitive tag reference to the schema's
+// spelling.
+func matchTagName(schema *model.SchemaType, name string) string {
+	for _, t := range schema.Tags {
+		if strings.EqualFold(t.Name, name) {
+			return t.Name
+		}
+	}
+	return name
+}

@@ -1,0 +1,661 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"odh/internal/relational"
+)
+
+// Parse parses one SQL statement.
+func Parse(input string) (Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: input}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("trailing input after statement")
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks  []Token
+	pos   int
+	input string
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) at(k TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == k && (text == "" || t.Text == text)
+}
+
+// accept consumes the token when it matches.
+func (p *parser) accept(k TokenKind, text string) bool {
+	if p.at(k, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokenKind, text string) (Token, error) {
+	if p.at(k, text) {
+		t := p.cur()
+		p.advance()
+		return t, nil
+	}
+	return Token{}, p.errorf("expected %q, found %q", text, p.cur().Text)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: %s (at offset %d near %q)",
+		fmt.Sprintf(format, args...), p.cur().Pos, p.cur().Text)
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.at(TokKeyword, "EXPLAIN"):
+		p.advance()
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		sel.Explain = true
+		return sel, nil
+	case p.at(TokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.at(TokKeyword, "CREATE"):
+		return p.createStmt()
+	case p.at(TokKeyword, "INSERT"):
+		return p.insertStmt()
+	}
+	return nil, p.errorf("expected a statement")
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("invalid LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// Qualified star: ident '.' '*'
+	if p.cur().Kind == TokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "." &&
+		p.toks[p.pos+2].Kind == TokSymbol && p.toks[p.pos+2].Text == "*" {
+		table := p.cur().Text
+		p.pos += 3
+		return SelectItem{Star: true, StarTable: table}, nil
+	}
+	e, err := p.expression()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(TokKeyword, "AS") {
+		t, err := p.expect(TokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.Text
+	} else if p.cur().Kind == TokIdent {
+		item.Alias = p.cur().Text
+		p.advance()
+	}
+	return item, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: t.Text}
+	if p.accept(TokKeyword, "AS") {
+		a, err := p.expect(TokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a.Text
+	} else if p.cur().Kind == TokIdent {
+		ref.Alias = p.cur().Text
+		p.advance()
+	}
+	return ref, nil
+}
+
+// expression parses OR-level precedence.
+func (p *parser) expression() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		inner, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	return p.comparison()
+}
+
+func (p *parser) comparison() (Expr, error) {
+	left, err := p.additive()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokKeyword, "BETWEEN") {
+		lo, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.additive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Target: left, Lo: lo, Hi: hi}, nil
+	}
+	if p.accept(TokKeyword, "IS") {
+		negate := p.accept(TokKeyword, "NOT")
+		if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Target: left, Negate: negate}, nil
+	}
+	if p.accept(TokKeyword, "IN") {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Target: left, List: list}, nil
+	}
+	for _, op := range []string{"<=", ">=", "!=", "<>", "=", "<", ">"} {
+		if p.accept(TokSymbol, op) {
+			right, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "<>" {
+				op = "!="
+			}
+			return &BinaryExpr{Op: op, L: left, R: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) additive() (Expr, error) {
+	left, err := p.multiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "+"):
+			op = "+"
+		case p.accept(TokSymbol, "-"):
+			op = "-"
+		default:
+			return left, nil
+		}
+		right, err := p.multiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) multiplicative() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokSymbol, "*"):
+			op = "*"
+		case p.accept(TokSymbol, "/"):
+			op = "/"
+		default:
+			return left, nil
+		}
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		inner, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := inner.(*Literal); ok {
+			v := lit.Val
+			switch v.Kind {
+			case relational.KindInt, relational.KindTime:
+				v.I = -v.I
+			case relational.KindFloat:
+				v.F = -v.F
+			}
+			return &Literal{Val: v}, nil
+		}
+		return &BinaryExpr{Op: "-", L: &Literal{Val: relational.Int(0)}, R: inner}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.advance()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errorf("invalid number %q", t.Text)
+			}
+			return &Literal{Val: relational.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("invalid number %q", t.Text)
+		}
+		return &Literal{Val: relational.Int(i)}, nil
+	case TokString:
+		p.advance()
+		return &Literal{Val: relational.Str(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.advance()
+			return &Literal{Val: relational.Null}, nil
+		case "TRUE":
+			p.advance()
+			return &Literal{Val: relational.Int(1)}, nil
+		case "FALSE":
+			p.advance()
+			return &Literal{Val: relational.Int(0)}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.advance()
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			fe := &FuncExpr{Name: t.Text}
+			if p.accept(TokSymbol, "*") {
+				if t.Text != "COUNT" {
+					return nil, p.errorf("%s(*) is not valid", t.Text)
+				}
+				fe.Star = true
+			} else {
+				arg, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				fe.Args = []Expr{arg}
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return fe, nil
+		}
+		return nil, p.errorf("unexpected keyword %q in expression", t.Text)
+	case TokIdent:
+		p.advance()
+		if p.accept(TokSymbol, ".") {
+			col, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.Text, Name: col.Text}, nil
+		}
+		// Scalar function call: ident followed by '('.
+		if p.accept(TokSymbol, "(") {
+			fe := &FuncExpr{Name: strings.ToUpper(t.Text)}
+			if !p.accept(TokSymbol, ")") {
+				for {
+					arg, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					fe.Args = append(fe.Args, arg)
+					if !p.accept(TokSymbol, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokSymbol, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return fe, nil
+		}
+		return &ColumnRef{Name: t.Text}, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.advance()
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %q in expression", t.Text)
+}
+
+func (p *parser) createStmt() (Statement, error) {
+	if _, err := p.expect(TokKeyword, "CREATE"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept(TokKeyword, "TABLE"):
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		stmt := &CreateTableStmt{Name: name.Text}
+		for {
+			col, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			kind, err := p.columnType()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, ColumnDef{Name: col.Text, Type: kind})
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return stmt, nil
+	case p.accept(TokKeyword, "INDEX"):
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		stmt := &CreateIndexStmt{Name: name.Text, Table: table.Text}
+		for {
+			col, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col.Text)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return stmt, nil
+	case p.accept(TokKeyword, "VIRTUAL"):
+		if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "SCHEMA"); err != nil {
+			return nil, err
+		}
+		schema, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &CreateVirtualTableStmt{Name: name.Text, Schema: schema.Text}, nil
+	}
+	return nil, p.errorf("expected TABLE, INDEX, or VIRTUAL TABLE")
+}
+
+func (p *parser) columnType() (relational.Kind, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return relational.KindNull, p.errorf("expected a column type")
+	}
+	p.advance()
+	switch strings.ToUpper(t.Text) {
+	case "INT", "BIGINT":
+		return relational.KindInt, nil
+	case "FLOAT", "DOUBLE":
+		return relational.KindFloat, nil
+	case "VARCHAR", "STRING":
+		// Optional length: VARCHAR(32).
+		if p.accept(TokSymbol, "(") {
+			if _, err := p.expect(TokNumber, ""); err != nil {
+				return relational.KindNull, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return relational.KindNull, err
+			}
+		}
+		return relational.KindString, nil
+	case "TIMESTAMP":
+		return relational.KindTime, nil
+	}
+	return relational.KindNull, p.errorf("unknown column type %q", t.Text)
+}
+
+func (p *parser) insertStmt() (Statement, error) {
+	if _, err := p.expect(TokKeyword, "INSERT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: table.Text}
+	if p.accept(TokSymbol, "(") {
+		for {
+			col, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col.Text)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.additive()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	return stmt, nil
+}

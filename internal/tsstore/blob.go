@@ -1,0 +1,530 @@
+// Package tsstore implements the ODH storage component: the three batch
+// structures of the paper's hybrid data model (Figure 1) — Regular Time
+// Series (RTS), Irregular Time Series (IRTS), and Mixed Grouping (MG) —
+// together with the ingest buffers, the flush path that packs b
+// operational points into one indexed ValueBlob record, dirty-read scans,
+// and the MG→RTS/IRTS reorganizer that Table 1 prescribes for historical
+// queries over low-frequency sources.
+package tsstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"odh/internal/compress"
+	"odh/internal/model"
+)
+
+// ErrCorruptBlob reports an undecodable ValueBlob.
+var ErrCorruptBlob = errors.New("tsstore: corrupt value blob")
+
+// Blob format bytes. The tag-oriented flag is set when values are stored
+// as per-tag columns (the paper's "tag-oriented approach"); without it the
+// blob holds one row-major column (the layout ablation).
+const (
+	blobRTS  = 1
+	blobIRTS = 2
+	blobMG   = 3
+
+	flagRowOriented = 0x80
+	flagZoneMaps    = 0x40
+	formatMask      = 0x3F
+)
+
+// TagRange is a pushed-down predicate bound on one tag: rows outside
+// [Lo, Hi] cannot match. Zone maps let scans skip whole blobs whose
+// per-tag min/max ranges do not overlap — the paper's future-work item
+// "adding proper indexing to reduce BLOB scanning for queries on
+// attribute values".
+type TagRange struct {
+	Tag    int
+	Lo, Hi float64
+}
+
+// zoneMap holds one tag's min/max over a blob's present values. A column
+// with no present values stores the empty sentinel (min > max).
+type zoneMap struct {
+	min, max float64
+}
+
+// appendZoneMaps writes per-tag min/max for the rows.
+func appendZoneMaps(dst []byte, rows [][]float64, ntags int) []byte {
+	for tag := 0; tag < ntags; tag++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range rows {
+			v := row[tag]
+			if model.IsNull(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(lo))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(hi))
+	}
+	return dst
+}
+
+// readZoneMaps parses ntags zone maps and returns the remaining bytes.
+func readZoneMaps(b []byte, ntags int) ([]zoneMap, []byte, error) {
+	if len(b) < ntags*16 {
+		return nil, nil, ErrCorruptBlob
+	}
+	zones := make([]zoneMap, ntags)
+	for i := range zones {
+		zones[i].min = math.Float64frombits(binary.LittleEndian.Uint64(b[i*16:]))
+		zones[i].max = math.Float64frombits(binary.LittleEndian.Uint64(b[i*16+8:]))
+	}
+	return zones, b[ntags*16:], nil
+}
+
+// zonesOverlap reports whether a blob with the given zone maps could
+// contain a row satisfying every range. An empty-column sentinel never
+// overlaps (all values are NULL, and NULL fails any comparison).
+func zonesOverlap(zones []zoneMap, ranges []TagRange) bool {
+	for _, r := range ranges {
+		if r.Tag < 0 || r.Tag >= len(zones) {
+			continue
+		}
+		z := zones[r.Tag]
+		if z.min > z.max || z.max < r.Lo || z.min > r.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// BlobOverlaps reports whether a blob could contain rows satisfying every
+// tag range, by peeking only at the header's zone maps — no column
+// decode. It returns true (cannot skip) for blobs without zone maps or
+// with unparseable headers.
+func BlobOverlaps(b []byte, ranges []TagRange) bool {
+	if len(ranges) == 0 || len(b) < 1 || b[0]&flagZoneMaps == 0 {
+		return true
+	}
+	format := b[0] & formatMask
+	rest := b[1:]
+	ntagsU, n := binary.Uvarint(rest)
+	if n <= 0 || ntagsU > 1<<16 {
+		return true
+	}
+	rest = rest[n:]
+	// Skip the structure-specific fields that precede the zone maps.
+	switch format {
+	case blobRTS:
+		if _, n := binary.Uvarint(rest); n > 0 { // count
+			rest = rest[n:]
+		} else {
+			return true
+		}
+		if _, n := binary.Varint(rest); n > 0 { // interval
+			rest = rest[n:]
+		} else {
+			return true
+		}
+	case blobIRTS, blobMG:
+		if _, n := binary.Uvarint(rest); n > 0 { // count / memberCount
+			rest = rest[n:]
+		} else {
+			return true
+		}
+	default:
+		return true
+	}
+	zones, _, err := readZoneMaps(rest, int(ntagsU))
+	if err != nil {
+		return true
+	}
+	return zonesOverlap(zones, ranges)
+}
+
+// blobLayout controls how tag values are arranged inside a blob.
+type blobLayout uint8
+
+const (
+	layoutTagOriented blobLayout = iota // per-tag columns, skippable
+	layoutRowOriented                   // single interleaved column (ablation)
+)
+
+// encodeOpts carries per-store encoding configuration into the blob codec.
+type encodeOpts struct {
+	layout   blobLayout
+	policies []compress.Policy // per tag; nil means lossless for all
+	disable  bool              // raw storage (compression ablation)
+}
+
+func (o encodeOpts) policy(tag int) compress.Policy {
+	p := compress.Policy{}
+	if tag < len(o.policies) {
+		p = o.policies[tag]
+	}
+	if o.disable {
+		p.Disable = true
+	}
+	return p
+}
+
+// --- bitmaps ---
+
+func bitmapLen(bits int) int { return (bits + 7) / 8 }
+
+func setBit(bm []byte, i int)      { bm[i/8] |= 1 << (i % 8) }
+func getBit(bm []byte, i int) bool { return bm[i/8]&(1<<(i%8)) != 0 }
+
+// appendColumns encodes the tag values of rows (each row has ntags values,
+// NaN = NULL) with a presence bitmap and either tag-oriented columns or a
+// single row-major column.
+func appendColumns(dst []byte, rows [][]float64, ntags int, opts encodeOpts) []byte {
+	count := len(rows)
+	bm := make([]byte, bitmapLen(count*ntags))
+	// Tag-major bit order so per-tag decode only needs its own stripe.
+	for tag := 0; tag < ntags; tag++ {
+		for row := 0; row < count; row++ {
+			if !model.IsNull(rows[row][tag]) {
+				setBit(bm, tag*count+row)
+			}
+		}
+	}
+	dst = append(dst, bm...)
+	if opts.layout == layoutRowOriented {
+		// One interleaved column of all present values in row-major order.
+		var vals []float64
+		for row := 0; row < count; row++ {
+			for tag := 0; tag < ntags; tag++ {
+				if !model.IsNull(rows[row][tag]) {
+					vals = append(vals, rows[row][tag])
+				}
+			}
+		}
+		col := compress.EncodeColumn(nil, vals, compress.Policy{Disable: opts.disable})
+		dst = binary.AppendUvarint(dst, uint64(len(col)))
+		return append(dst, col...)
+	}
+	for tag := 0; tag < ntags; tag++ {
+		var vals []float64
+		for row := 0; row < count; row++ {
+			if getBit(bm, tag*count+row) {
+				vals = append(vals, rows[row][tag])
+			}
+		}
+		col := compress.EncodeColumn(nil, vals, opts.policy(tag))
+		dst = binary.AppendUvarint(dst, uint64(len(col)))
+		dst = append(dst, col...)
+	}
+	return dst
+}
+
+// decodeColumns reconstructs rows from the layout written by appendColumns.
+// wantTags selects which tag indexes to decode (nil = all); unselected tags
+// come back NULL. Row-oriented blobs always decode every tag (that is the
+// cost the tag-oriented layout avoids).
+func decodeColumns(b []byte, count, ntags int, rowOriented bool, wantTags []int) ([][]float64, error) {
+	bmLen := bitmapLen(count * ntags)
+	if len(b) < bmLen {
+		return nil, ErrCorruptBlob
+	}
+	bm := b[:bmLen]
+	b = b[bmLen:]
+	rows := make([][]float64, count)
+	backing := make([]float64, count*ntags)
+	for i := range rows {
+		rows[i] = backing[i*ntags : (i+1)*ntags]
+		for j := range rows[i] {
+			rows[i][j] = model.NullValue
+		}
+	}
+	if rowOriented {
+		colLen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b[n:])) < colLen {
+			return nil, ErrCorruptBlob
+		}
+		vals, err := compress.DecodeColumn(b[n : n+int(colLen)])
+		if err != nil {
+			return nil, err
+		}
+		vi := 0
+		for row := 0; row < count; row++ {
+			for tag := 0; tag < ntags; tag++ {
+				if getBit(bm, tag*count+row) {
+					if vi >= len(vals) {
+						return nil, ErrCorruptBlob
+					}
+					rows[row][tag] = vals[vi]
+					vi++
+				}
+			}
+		}
+		return rows, nil
+	}
+	want := make([]bool, ntags)
+	if wantTags == nil {
+		for i := range want {
+			want[i] = true
+		}
+	} else {
+		for _, t := range wantTags {
+			if t >= 0 && t < ntags {
+				want[t] = true
+			}
+		}
+	}
+	for tag := 0; tag < ntags; tag++ {
+		colLen, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b[n:])) < colLen {
+			return nil, ErrCorruptBlob
+		}
+		col := b[n : n+int(colLen)]
+		b = b[n+int(colLen):]
+		if !want[tag] {
+			continue // the tag-oriented win: skip without decoding
+		}
+		vals, err := compress.DecodeColumn(col)
+		if err != nil {
+			return nil, err
+		}
+		vi := 0
+		for row := 0; row < count; row++ {
+			if getBit(bm, tag*count+row) {
+				if vi >= len(vals) {
+					return nil, ErrCorruptBlob
+				}
+				rows[row][tag] = vals[vi]
+				vi++
+			}
+		}
+	}
+	return rows, nil
+}
+
+// EncodeRTS packs a run of regular points (identical intervals, contiguous
+// slots) into an RTS ValueBlob. The record key carries (source, baseTS);
+// the blob stores the interval and per-tag columns, so timestamps cost
+// zero bytes per point.
+func EncodeRTS(points []model.Point, ntags int, intervalMs int64, opts encodeOpts) []byte {
+	dst := make([]byte, 0, 64+len(points)*ntags)
+	format := byte(blobRTS)
+	if opts.layout == layoutRowOriented {
+		format |= flagRowOriented
+	}
+	format |= flagZoneMaps
+	dst = append(dst, format)
+	dst = binary.AppendUvarint(dst, uint64(ntags))
+	dst = binary.AppendUvarint(dst, uint64(len(points)))
+	dst = binary.AppendVarint(dst, intervalMs)
+	rows := make([][]float64, len(points))
+	for i, p := range points {
+		rows[i] = p.Values
+	}
+	dst = appendZoneMaps(dst, rows, ntags)
+	return appendColumns(dst, rows, ntags, opts)
+}
+
+// EncodeIRTS packs irregular points into an IRTS ValueBlob; timestamps are
+// delta-of-delta encoded.
+func EncodeIRTS(points []model.Point, ntags int, opts encodeOpts) []byte {
+	dst := make([]byte, 0, 64+len(points)*ntags)
+	format := byte(blobIRTS)
+	if opts.layout == layoutRowOriented {
+		format |= flagRowOriented
+	}
+	format |= flagZoneMaps
+	dst = append(dst, format)
+	dst = binary.AppendUvarint(dst, uint64(ntags))
+	dst = binary.AppendUvarint(dst, uint64(len(points)))
+	rows := make([][]float64, len(points))
+	for i, p := range points {
+		rows[i] = p.Values
+	}
+	dst = appendZoneMaps(dst, rows, ntags)
+	ts := make([]int64, len(points))
+	for i, p := range points {
+		ts[i] = p.TS
+	}
+	dst = compress.AppendDeltaOfDeltas(dst, ts)
+	return appendColumns(dst, rows, ntags, opts)
+}
+
+// EncodeMG packs one time window's values from an MG group into an MG
+// ValueBlob. present[slot] reports which members delivered a record;
+// rows[slot] holds each member's tag values and tsOffsets[slot] the
+// member's timestamp offset from the record's window base (low-frequency
+// sources rarely sample at exactly the same instant, so MG records bucket
+// a window and keep per-member offsets).
+func EncodeMG(present []bool, rows [][]float64, tsOffsets []int64, ntags int, opts encodeOpts) []byte {
+	memberCount := len(present)
+	dst := make([]byte, 0, 64+memberCount*ntags)
+	format := byte(blobMG)
+	if opts.layout == layoutRowOriented {
+		format |= flagRowOriented
+	}
+	format |= flagZoneMaps
+	dst = append(dst, format)
+	dst = binary.AppendUvarint(dst, uint64(ntags))
+	dst = binary.AppendUvarint(dst, uint64(memberCount))
+	memberBM := make([]byte, bitmapLen(memberCount))
+	var reported [][]float64
+	var offsets []int64
+	for slot, ok := range present {
+		if ok {
+			setBit(memberBM, slot)
+			reported = append(reported, rows[slot])
+			if slot < len(tsOffsets) {
+				offsets = append(offsets, tsOffsets[slot])
+			} else {
+				offsets = append(offsets, 0)
+			}
+		}
+	}
+	dst = appendZoneMaps(dst, reported, ntags)
+	dst = append(dst, memberBM...)
+	dst = binary.AppendUvarint(dst, uint64(len(reported)))
+	dst = compress.AppendDeltas(dst, offsets)
+	return appendColumns(dst, reported, ntags, opts)
+}
+
+// DecodedBatch is the result of decoding any ValueBlob.
+type DecodedBatch struct {
+	// Structure reports which batch structure the blob used.
+	Structure model.Structure
+	// Timestamps holds one entry per row. RTS rows reconstruct them from
+	// the base and interval; IRTS rows carry them inline; MG rows are the
+	// record's window base plus each member's stored offset.
+	Timestamps []int64
+	// Rows holds decoded tag values (selected tags only; others NULL).
+	Rows [][]float64
+	// Slots maps MG rows to group member slots; nil for RTS/IRTS.
+	Slots []int
+}
+
+// DecodeBlob decodes a ValueBlob of any structure. baseTS is the timestamp
+// from the record key (the batch's first timestamp for RTS, unused for
+// IRTS which carries timestamps inline, the record timestamp for MG).
+// wantTags selects tag columns (nil = all).
+func DecodeBlob(b []byte, baseTS int64, wantTags []int) (*DecodedBatch, error) {
+	if len(b) < 1 {
+		return nil, ErrCorruptBlob
+	}
+	format := b[0] & formatMask
+	rowOriented := b[0]&flagRowOriented != 0
+	hasZones := b[0]&flagZoneMaps != 0
+	b = b[1:]
+	ntagsU, n := binary.Uvarint(b)
+	if n <= 0 || ntagsU > 1<<16 {
+		return nil, ErrCorruptBlob
+	}
+	ntags := int(ntagsU)
+	b = b[n:]
+	switch format {
+	case blobRTS:
+		countU, n := binary.Uvarint(b)
+		if n <= 0 || countU > 1<<24 {
+			return nil, ErrCorruptBlob
+		}
+		count := int(countU)
+		b = b[n:]
+		interval, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, ErrCorruptBlob
+		}
+		b = b[n:]
+		if hasZones {
+			var err error
+			if _, b, err = readZoneMaps(b, ntags); err != nil {
+				return nil, err
+			}
+		}
+		rows, err := decodeColumns(b, count, ntags, rowOriented, wantTags)
+		if err != nil {
+			return nil, err
+		}
+		ts := make([]int64, count)
+		for i := range ts {
+			ts[i] = baseTS + int64(i)*interval
+		}
+		return &DecodedBatch{Structure: model.RTS, Timestamps: ts, Rows: rows}, nil
+	case blobIRTS:
+		countU, n := binary.Uvarint(b)
+		if n <= 0 || countU > 1<<24 {
+			return nil, ErrCorruptBlob
+		}
+		count := int(countU)
+		b = b[n:]
+		if hasZones {
+			var err error
+			if _, b, err = readZoneMaps(b, ntags); err != nil {
+				return nil, err
+			}
+		}
+		ts, rest, err := compress.DeltaOfDeltas(b)
+		if err != nil || len(ts) != count {
+			return nil, ErrCorruptBlob
+		}
+		rows, err := decodeColumns(rest, count, ntags, rowOriented, wantTags)
+		if err != nil {
+			return nil, err
+		}
+		return &DecodedBatch{Structure: model.IRTS, Timestamps: ts, Rows: rows}, nil
+	case blobMG:
+		memberU, n := binary.Uvarint(b)
+		if n <= 0 || memberU > 1<<20 {
+			return nil, ErrCorruptBlob
+		}
+		memberCount := int(memberU)
+		b = b[n:]
+		if hasZones {
+			var err error
+			if _, b, err = readZoneMaps(b, ntags); err != nil {
+				return nil, err
+			}
+		}
+		bmLen := bitmapLen(memberCount)
+		if len(b) < bmLen {
+			return nil, ErrCorruptBlob
+		}
+		memberBM := b[:bmLen]
+		b = b[bmLen:]
+		reportedU, n := binary.Uvarint(b)
+		if n <= 0 || reportedU > uint64(memberCount) {
+			return nil, ErrCorruptBlob
+		}
+		reported := int(reportedU)
+		b = b[n:]
+		offsets, rest, err := compress.Deltas(b)
+		if err != nil || len(offsets) != reported {
+			return nil, ErrCorruptBlob
+		}
+		rows, err := decodeColumns(rest, reported, ntags, rowOriented, wantTags)
+		if err != nil {
+			return nil, err
+		}
+		slots := make([]int, 0, reported)
+		for slot := 0; slot < memberCount; slot++ {
+			if getBit(memberBM, slot) {
+				slots = append(slots, slot)
+			}
+		}
+		if len(slots) != reported {
+			return nil, ErrCorruptBlob
+		}
+		ts := make([]int64, reported)
+		for i, off := range offsets {
+			ts[i] = baseTS + off
+		}
+		return &DecodedBatch{Structure: model.MG, Timestamps: ts, Rows: rows, Slots: slots}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown format %d", ErrCorruptBlob, format)
+}
+
+// blobSpan returns the timestamp span covered by a decoded RTS/IRTS batch.
+func (d *DecodedBatch) blobSpan() int64 {
+	if len(d.Timestamps) == 0 {
+		return 0
+	}
+	return d.Timestamps[len(d.Timestamps)-1] - d.Timestamps[0]
+}

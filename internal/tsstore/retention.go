@@ -1,0 +1,114 @@
+package tsstore
+
+import (
+	"odh/internal/keyenc"
+	"odh/internal/model"
+)
+
+// DropResult summarizes a retention pass.
+type DropResult struct {
+	// RecordsDropped counts deleted batch records across structures.
+	RecordsDropped int
+	// BytesReclaimed is the ValueBlob payload removed.
+	BytesReclaimed int64
+}
+
+// DropBefore deletes all persisted batches of a schema whose data lies
+// entirely before the cutoff — the retention pass an operational
+// historian runs to age out data past its lifecycle. Batches straddling
+// the cutoff are kept whole (retention is batch-granular, like the
+// paper's storage model). In-memory buffers are untouched: they only hold
+// recent data.
+func (s *Store) DropBefore(schemaID int64, cutoff int64) (DropResult, error) {
+	res := DropResult{}
+	// Per-source RTS/IRTS batches.
+	for _, src := range s.cat.SourcesBySchema(schemaID) {
+		ds, ok := s.cat.Source(src)
+		if !ok {
+			continue
+		}
+		for _, structure := range []model.Structure{model.RTS, model.IRTS} {
+			tree := s.treeFor(structure)
+			n, bytes, err := s.dropSourceRange(tree, src, cutoff)
+			if err != nil {
+				return res, err
+			}
+			if n > 0 {
+				res.RecordsDropped += n
+				res.BytesReclaimed += bytes
+				if err := s.cat.UpdateStats(src, model.SourceStats{
+					BatchCount: -int64(n),
+					BlobBytes:  -bytes,
+				}); err != nil {
+					return res, err
+				}
+			}
+		}
+		_ = ds
+	}
+	// MG records per group; a record's window must end before the cutoff.
+	for _, g := range s.cat.GroupsBySchema(schemaID) {
+		window := s.groupWindow(g)
+		effective := cutoff - window
+		if effective <= 0 {
+			continue
+		}
+		n, bytes, err := s.dropSourceRange(s.mg, g, effective)
+		if err != nil {
+			return res, err
+		}
+		if n > 0 {
+			res.RecordsDropped += n
+			res.BytesReclaimed += bytes
+			if err := s.cat.UpdateGroupStats(g, model.SourceStats{
+				BatchCount: -int64(n),
+				BlobBytes:  -bytes,
+			}); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// dropSourceRange deletes records of one key prefix whose batch data ends
+// before the cutoff: a batch is dropped only when its last timestamp is
+// below the cutoff (checked by decoding the header-level timestamps).
+func (s *Store) dropSourceRange(tree interface {
+	Scan(lo, hi []byte, fn func(k, v []byte) bool) error
+	Delete(key []byte) error
+}, prefix int64, cutoff int64) (int, int64, error) {
+	lo := keyenc.SourceTime(prefix, -1<<62)
+	hi := keyenc.SourceTime(prefix, cutoff)
+	var keys [][]byte
+	var bytes int64
+	err := tree.Scan(lo, hi, func(k, v []byte) bool {
+		_, baseTS, err := keyenc.DecodeSourceTime(k)
+		if err != nil {
+			return true
+		}
+		batch, err := DecodeBlob(v, baseTS, []int{})
+		if err != nil {
+			return true
+		}
+		last := baseTS
+		if n := len(batch.Timestamps); n > 0 {
+			last = batch.Timestamps[n-1]
+		}
+		if last >= cutoff {
+			return true // straddles the cutoff; keep whole
+		}
+		keys = append(keys, append([]byte(nil), k...))
+		bytes += int64(len(v))
+		return true
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, k := range keys {
+		if err := tree.Delete(k); err != nil {
+			return len(keys), bytes, err
+		}
+	}
+	return len(keys), bytes, nil
+}

@@ -1,0 +1,606 @@
+package tsstore
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+
+	"odh/internal/btree"
+	"odh/internal/keyenc"
+	"odh/internal/model"
+)
+
+// Iterator yields operational points. Implementations are not safe for
+// concurrent use; create one per query.
+type Iterator interface {
+	// Next returns the next point; ok is false when exhausted.
+	Next() (p model.Point, ok bool)
+	// Err returns the first error the iterator hit, if any.
+	Err() error
+	// BlobBytes returns the total ValueBlob bytes decoded so far — the
+	// paper's query cost unit, surfaced to the executor for reporting.
+	BlobBytes() int64
+	// BlobsSkipped returns the number of batch records whose zone maps
+	// excluded every pushed tag range, so they were never decoded.
+	BlobsSkipped() int64
+}
+
+// sliceIterAdapter iterates a materialized point slice.
+type sliceIterAdapter struct {
+	points []model.Point
+	i      int
+}
+
+func (it *sliceIterAdapter) Next() (model.Point, bool) {
+	if it.i >= len(it.points) {
+		return model.Point{}, false
+	}
+	p := it.points[it.i]
+	it.i++
+	return p, true
+}
+
+func (it *sliceIterAdapter) Err() error          { return nil }
+func (it *sliceIterAdapter) BlobBytes() int64    { return 0 }
+func (it *sliceIterAdapter) BlobsSkipped() int64 { return 0 }
+
+// emptyIter yields nothing.
+type emptyIter struct{}
+
+func (emptyIter) Next() (model.Point, bool) { return model.Point{}, false }
+func (emptyIter) Err() error                { return nil }
+func (emptyIter) BlobBytes() int64          { return 0 }
+func (emptyIter) BlobsSkipped() int64       { return 0 }
+
+// concatIter drains each input in turn.
+type concatIter struct {
+	iters []Iterator
+	i     int
+	err   error
+}
+
+func (it *concatIter) Next() (model.Point, bool) {
+	for it.i < len(it.iters) {
+		p, ok := it.iters[it.i].Next()
+		if ok {
+			return p, true
+		}
+		if err := it.iters[it.i].Err(); err != nil && it.err == nil {
+			it.err = err
+			return model.Point{}, false
+		}
+		it.i++
+	}
+	return model.Point{}, false
+}
+
+func (it *concatIter) Err() error { return it.err }
+
+func (it *concatIter) BlobBytes() int64 {
+	var total int64
+	for _, sub := range it.iters {
+		total += sub.BlobBytes()
+	}
+	return total
+}
+
+func (it *concatIter) BlobsSkipped() int64 {
+	var total int64
+	for _, sub := range it.iters {
+		total += sub.BlobsSkipped()
+	}
+	return total
+}
+
+// mergeIter k-way merges timestamp-sorted inputs.
+type mergeIter struct {
+	iters []Iterator
+	heads []model.Point
+	live  []bool
+	err   error
+	init  bool
+}
+
+func newMergeIter(iters []Iterator) *mergeIter {
+	return &mergeIter{
+		iters: iters,
+		heads: make([]model.Point, len(iters)),
+		live:  make([]bool, len(iters)),
+	}
+}
+
+func (it *mergeIter) prime() {
+	for i, sub := range it.iters {
+		p, ok := sub.Next()
+		it.heads[i], it.live[i] = p, ok
+		if !ok && sub.Err() != nil && it.err == nil {
+			it.err = sub.Err()
+		}
+	}
+	it.init = true
+}
+
+func (it *mergeIter) Next() (model.Point, bool) {
+	if !it.init {
+		it.prime()
+	}
+	if it.err != nil {
+		return model.Point{}, false
+	}
+	best := -1
+	for i, ok := range it.live {
+		if !ok {
+			continue
+		}
+		if best == -1 || it.heads[i].TS < it.heads[best].TS ||
+			(it.heads[i].TS == it.heads[best].TS && it.heads[i].Source < it.heads[best].Source) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return model.Point{}, false
+	}
+	out := it.heads[best]
+	p, ok := it.iters[best].Next()
+	it.heads[best], it.live[best] = p, ok
+	if !ok && it.iters[best].Err() != nil && it.err == nil {
+		it.err = it.iters[best].Err()
+	}
+	return out, true
+}
+
+func (it *mergeIter) Err() error { return it.err }
+
+func (it *mergeIter) BlobBytes() int64 {
+	var total int64
+	for _, sub := range it.iters {
+		total += sub.BlobBytes()
+	}
+	return total
+}
+
+func (it *mergeIter) BlobsSkipped() int64 {
+	var total int64
+	for _, sub := range it.iters {
+		total += sub.BlobsSkipped()
+	}
+	return total
+}
+
+// batchIter decodes RTS/IRTS batch records of one source from a tree range
+// and yields the points inside [t1, t2) in timestamp order. Batches are
+// keyed by their first timestamp but may overlap (out-of-order ingest
+// splits a batch); the iterator merges overlapping batches by holding
+// points back until every batch that could precede them has been loaded.
+type batchIter struct {
+	cur       *btree.Cursor
+	hi        []byte
+	source    int64
+	t1, t2    int64
+	wantTags  []int
+	tagRanges []TagRange
+	skipped   int64
+	queue     []model.Point // pending points, sorted by ts
+	qi        int
+	nextBase  int64 // first timestamp of the batch under the cursor
+	done      bool  // no more batches in range
+	err       error
+	// BlobBytesRead accumulates decoded blob sizes; the executor reports
+	// it as the query's I/O cost, matching the paper's cost unit.
+	BlobBytesRead int64
+}
+
+// newBatchIter scans tree for source's batches overlapping [t1, t2).
+// lookback widens the scan start so a batch beginning before t1 but
+// spilling into the window is found.
+func newBatchIter(tree *btree.Tree, source, t1, t2, lookback int64, wantTags []int, tagRanges []TagRange) *batchIter {
+	loTS := t1
+	if lookback > 0 {
+		if loTS > math.MinInt64+lookback+1 {
+			loTS = t1 - lookback - 1
+		} else {
+			loTS = math.MinInt64
+		}
+	}
+	it := &batchIter{
+		source:    source,
+		t1:        t1,
+		t2:        t2,
+		wantTags:  wantTags,
+		tagRanges: tagRanges,
+		hi:        keyenc.SourceTime(source, t2),
+	}
+	it.cur = tree.Seek(keyenc.SourceTime(source, loTS))
+	it.peek()
+	return it
+}
+
+// peek records the base timestamp of the batch under the cursor, or marks
+// the iterator done when the cursor left the (source, [lo, t2)) range.
+func (it *batchIter) peek() {
+	if !it.cur.Valid() {
+		it.err = it.cur.Err()
+		it.done = true
+		return
+	}
+	key := it.cur.Key()
+	if keyCompare(key, it.hi) >= 0 {
+		it.done = true
+		return
+	}
+	src, baseTS, err := keyenc.DecodeSourceTime(key)
+	if err != nil {
+		it.err = err
+		it.done = true
+		return
+	}
+	if src != it.source {
+		it.done = true
+		return
+	}
+	it.nextBase = baseTS
+}
+
+// loadOne decodes the batch under the cursor into the queue and advances.
+func (it *batchIter) loadOne() {
+	blob, err := it.cur.Value()
+	if err != nil {
+		it.err = err
+		it.done = true
+		return
+	}
+	baseTS := it.nextBase
+	it.cur.Next()
+	it.peek()
+	if !BlobOverlaps(blob, it.tagRanges) {
+		it.skipped++
+		return
+	}
+	batch, err := DecodeBlob(blob, baseTS, it.wantTags)
+	if err != nil {
+		it.err = err
+		it.done = true
+		return
+	}
+	it.BlobBytesRead += int64(len(blob))
+	// Compact the emitted prefix before appending.
+	if it.qi > 0 {
+		it.queue = append(it.queue[:0], it.queue[it.qi:]...)
+		it.qi = 0
+	}
+	before := len(it.queue)
+	for i, ts := range batch.Timestamps {
+		if ts >= it.t1 && ts < it.t2 {
+			it.queue = append(it.queue, model.Point{Source: it.source, TS: ts, Values: batch.Rows[i]})
+		}
+	}
+	// Batches rarely overlap; only re-sort when they do.
+	if before > 0 && len(it.queue) > before && it.queue[before].TS < it.queue[before-1].TS {
+		sort.SliceStable(it.queue, func(a, b int) bool { return it.queue[a].TS < it.queue[b].TS })
+	}
+}
+
+func (it *batchIter) Next() (model.Point, bool) {
+	for {
+		if it.err != nil {
+			return model.Point{}, false
+		}
+		if it.qi < len(it.queue) {
+			// Safe to emit only when no unloaded batch could still start
+			// before this point.
+			if it.done || it.queue[it.qi].TS < it.nextBase {
+				p := it.queue[it.qi]
+				it.qi++
+				return p, true
+			}
+		} else if it.done {
+			return model.Point{}, false
+		}
+		it.loadOne()
+	}
+}
+
+func (it *batchIter) Err() error          { return it.err }
+func (it *batchIter) BlobBytes() int64    { return it.BlobBytesRead }
+func (it *batchIter) BlobsSkipped() int64 { return it.skipped }
+
+func keyCompare(a, b []byte) int { return bytes.Compare(a, b) }
+
+// mgIter decodes MG records of one group in [t1, t2), yielding points for
+// every reported member, or only onlySource when it is non-zero.
+type mgIter struct {
+	cur           *btree.Cursor
+	hi            []byte
+	group         int64
+	members       []int64
+	onlySource    int64
+	wantTags      []int
+	tagRanges     []TagRange
+	skipped       int64
+	t1, t2        int64
+	queue         []model.Point
+	qi            int
+	err           error
+	BlobBytesRead int64
+}
+
+// groupWindow returns the bucketing window of an MG group (its first
+// member's sampling interval).
+func (s *Store) groupWindow(group int64) int64 {
+	members := s.cat.GroupMembers(group)
+	if len(members) == 0 {
+		return 1
+	}
+	ds, ok := s.cat.Source(members[0])
+	if !ok || ds.IntervalMs <= 0 {
+		return 1
+	}
+	return ds.IntervalMs
+}
+
+// newMGIter scans group records whose window overlaps [t1, t2); the scan
+// starts one window early because a record's members may carry offsets up
+// to the window size. Emitted points are filtered to the exact range.
+func (s *Store) newMGIter(group int64, t1, t2 int64, onlySource int64, wantTags []int, tagRanges []TagRange) *mgIter {
+	window := s.groupWindow(group)
+	lo := t1
+	if lo > math.MinInt64+window {
+		lo = t1 - window
+	}
+	it := &mgIter{
+		group:      group,
+		members:    s.cat.GroupMembers(group),
+		onlySource: onlySource,
+		wantTags:   wantTags,
+		tagRanges:  tagRanges,
+		t1:         t1,
+		t2:         t2,
+		hi:         keyenc.SourceTime(group, t2),
+	}
+	it.cur = s.mg.Seek(keyenc.SourceTime(group, lo))
+	return it
+}
+
+func (it *mgIter) Next() (model.Point, bool) {
+	for {
+		if it.qi < len(it.queue) {
+			p := it.queue[it.qi]
+			it.qi++
+			return p, true
+		}
+		if it.err != nil || !it.cur.Valid() {
+			if it.err == nil {
+				it.err = it.cur.Err()
+			}
+			return model.Point{}, false
+		}
+		key := it.cur.Key()
+		if keyCompare(key, it.hi) >= 0 {
+			return model.Point{}, false
+		}
+		grp, ts, err := keyenc.DecodeSourceTime(key)
+		if err != nil || grp != it.group {
+			return model.Point{}, false
+		}
+		blob, err := it.cur.Value()
+		if err != nil {
+			it.err = err
+			return model.Point{}, false
+		}
+		it.cur.Next()
+		if !BlobOverlaps(blob, it.tagRanges) {
+			it.skipped++
+			continue
+		}
+		batch, err := DecodeBlob(blob, ts, it.wantTags)
+		if err != nil {
+			it.err = err
+			return model.Point{}, false
+		}
+		it.BlobBytesRead += int64(len(blob))
+		it.queue = it.queue[:0]
+		it.qi = 0
+		for i, slot := range batch.Slots {
+			if slot >= len(it.members) {
+				continue
+			}
+			src := it.members[slot]
+			if it.onlySource != 0 && src != it.onlySource {
+				continue
+			}
+			pts := batch.Timestamps[i]
+			if pts < it.t1 || pts >= it.t2 {
+				continue
+			}
+			it.queue = append(it.queue, model.Point{Source: src, TS: pts, Values: batch.Rows[i]})
+		}
+	}
+}
+
+func (it *mgIter) Err() error          { return it.err }
+func (it *mgIter) BlobBytes() int64    { return it.BlobBytesRead }
+func (it *mgIter) BlobsSkipped() int64 { return it.skipped }
+
+// snapshotSourceBuffer copies the buffered points of one source that fall
+// in [t1, t2) — the dirty-read path ("the query component adopts a 'dirty
+// read' isolation level to access uncommitted rows from concurrent
+// insertions").
+func (s *Store) snapshotSourceBuffer(source, t1, t2 int64) []model.Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	buf, ok := s.buffers[source]
+	if !ok {
+		return nil
+	}
+	var out []model.Point
+	for _, p := range buf.points {
+		if p.TS >= t1 && p.TS < t2 {
+			out = append(out, p.Clone())
+		}
+	}
+	return out
+}
+
+// snapshotGroupBuffer copies buffered MG rows of a group in [t1, t2),
+// optionally restricted to one source.
+func (s *Store) snapshotGroupBuffer(group, t1, t2, onlySource int64) []model.Point {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	gb, ok := s.groups[group]
+	if !ok {
+		return nil
+	}
+	var out []model.Point
+	for _, row := range gb.rows {
+		for slot, present := range row.present {
+			if !present {
+				continue
+			}
+			pts := row.tss[slot]
+			if pts < t1 || pts >= t2 {
+				continue
+			}
+			src := gb.members[slot]
+			if onlySource != 0 && src != onlySource {
+				continue
+			}
+			vals := make([]float64, len(row.values[slot]))
+			copy(vals, row.values[slot])
+			out = append(out, model.Point{Source: src, TS: pts, Values: vals})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// HistoricalScan returns the points of one source with t1 <= ts < t2, in
+// timestamp order, decoding only wantTags (nil = all). It merges persisted
+// batches, still-unreorganized MG records, and the in-memory ingest buffer
+// (dirty read).
+func (s *Store) HistoricalScan(source, t1, t2 int64, wantTags []int, tagRanges ...TagRange) (Iterator, error) {
+	ds, ok := s.cat.Source(source)
+	if !ok {
+		return nil, fmt.Errorf("tsstore: unknown data source %d", source)
+	}
+	var parts []Iterator
+	if ds.IngestStructure() == model.MG {
+		// Reorganized history lives per-source in RTS/IRTS; the remainder
+		// is still in the group's MG records and buffer. Every point lives
+		// in exactly one structure, so scanning all three over the full
+		// range is exact; the watermark only gates whether the per-source
+		// tree can contain anything.
+		if stats := s.cat.Stats(source); stats.BatchCount > 0 {
+			tree := s.treeFor(ds.HistoricalStructure())
+			parts = append(parts, newBatchIter(tree, source, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+		}
+		parts = append(parts, s.newMGIter(ds.Group, t1, t2, source, wantTags, tagRanges))
+		if buf := s.snapshotGroupBuffer(ds.Group, t1, t2, source); len(buf) > 0 {
+			parts = append(parts, &sliceIterAdapter{points: buf})
+		}
+	} else {
+		stats := s.cat.Stats(source)
+		tree := s.treeFor(ds.IngestStructure())
+		parts = append(parts, newBatchIter(tree, source, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+		if buf := s.snapshotSourceBuffer(source, t1, t2); len(buf) > 0 {
+			parts = append(parts, &sliceIterAdapter{points: buf})
+		}
+	}
+	if len(parts) == 0 {
+		return emptyIter{}, nil
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return newMergeIter(parts), nil
+}
+
+// SliceScan returns points of every source of a schema in [t1, t2) —
+// the paper's slice query ("data generated by multiple data sources for a
+// short time window"). MG groups serve slices directly from their
+// time-keyed records; RTS/IRTS sources are visited per source. Output is
+// grouped per source/group, not globally time-sorted.
+func (s *Store) SliceScan(schemaID int64, t1, t2 int64, wantTags []int, tagRanges ...TagRange) (Iterator, error) {
+	var parts []Iterator
+	// MG groups first: each group covers groupSize sources per record.
+	for _, g := range s.cat.GroupsBySchema(schemaID) {
+		// Reorganized stripes and duplicate-sample overflow points live in
+		// the members' per-source trees.
+		for _, src := range s.cat.GroupMembers(g) {
+			ds, ok := s.cat.Source(src)
+			if !ok {
+				continue
+			}
+			stats := s.cat.Stats(src)
+			if stats.BatchCount == 0 {
+				continue
+			}
+			parts = append(parts, newBatchIter(s.treeFor(ds.HistoricalStructure()), src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+		}
+		parts = append(parts, s.newMGIter(g, t1, t2, 0, wantTags, tagRanges))
+		if buf := s.snapshotGroupBuffer(g, t1, t2, 0); len(buf) > 0 {
+			parts = append(parts, &sliceIterAdapter{points: buf})
+		}
+	}
+	// RTS/IRTS sources: per-source seeks.
+	for _, src := range s.cat.SourcesBySchema(schemaID) {
+		ds, ok := s.cat.Source(src)
+		if !ok || ds.IngestStructure() == model.MG {
+			continue
+		}
+		stats := s.cat.Stats(src)
+		if stats.PointCount > 0 && (stats.LastTS < t1 || stats.FirstTS >= t2) && s.bufferEmpty(src) {
+			continue // partition elimination: source has no data in range
+		}
+		parts = append(parts, newBatchIter(s.treeFor(ds.IngestStructure()), src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+		if buf := s.snapshotSourceBuffer(src, t1, t2); len(buf) > 0 {
+			parts = append(parts, &sliceIterAdapter{points: buf})
+		}
+	}
+	if len(parts) == 0 {
+		return emptyIter{}, nil
+	}
+	return &concatIter{iters: parts}, nil
+}
+
+// MultiHistoricalScan concatenates historical scans for an explicit list
+// of sources (the id IN (...) pushdown). Output is grouped per source.
+func (s *Store) MultiHistoricalScan(sources []int64, t1, t2 int64, wantTags []int, tagRanges ...TagRange) (Iterator, error) {
+	parts := make([]Iterator, 0, len(sources))
+	for _, src := range sources {
+		it, err := s.HistoricalScan(src, t1, t2, wantTags, tagRanges...)
+		if err != nil {
+			// Unknown ids in the IN list simply contribute no rows.
+			continue
+		}
+		parts = append(parts, it)
+	}
+	if len(parts) == 0 {
+		return emptyIter{}, nil
+	}
+	return &concatIter{iters: parts}, nil
+}
+
+// bufferEmpty reports whether a source has no buffered points.
+func (s *Store) bufferEmpty(source int64) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	buf, ok := s.buffers[source]
+	return !ok || len(buf.points) == 0
+}
+
+func (s *Store) treeFor(st model.Structure) *btree.Tree {
+	switch st {
+	case model.RTS:
+		return s.rts
+	case model.IRTS:
+		return s.irts
+	default:
+		return s.mg
+	}
+}

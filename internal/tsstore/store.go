@@ -1,0 +1,542 @@
+package tsstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"odh/internal/btree"
+	"odh/internal/catalog"
+	"odh/internal/compress"
+	"odh/internal/keyenc"
+	"odh/internal/model"
+	"odh/internal/pagestore"
+	"odh/internal/walog"
+)
+
+// DefaultBatchSize is the number of points packed per ValueBlob when the
+// caller does not configure b.
+const DefaultBatchSize = 128
+
+// Config tunes the store. The zero value gives defaults.
+type Config struct {
+	// BatchSize is b, the number of operational points packed into one
+	// batch record (paper §2).
+	BatchSize int
+	// DisableCompression stores raw columns (compression ablation).
+	DisableCompression bool
+	// RowOrientedBlobs stores row-major blobs instead of tag-oriented
+	// columns (layout ablation; single-tag queries must decode everything).
+	RowOrientedBlobs bool
+	// MaxOpenMGRows bounds how many distinct timestamps an MG group buffer
+	// may hold before the oldest row is flushed partially filled.
+	MaxOpenMGRows int
+	// Log, when non-nil, records buffered points for bounded-loss recovery.
+	Log *walog.Log
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.MaxOpenMGRows <= 0 {
+		c.MaxOpenMGRows = 4
+	}
+	return c
+}
+
+// Stats counts store activity for the benchmark harness.
+type Stats struct {
+	PointsWritten  int64
+	BatchesFlushed int64
+	BlobBytes      int64
+	MGPartialRows  int64 // MG rows flushed before every member reported
+}
+
+// Store is the ODH storage component over one page store.
+type Store struct {
+	cfg Config
+	cat *catalog.Catalog
+
+	rts, irts, mg *btree.Tree
+	watermarks    *btree.Tree // group id -> reorg watermark ts
+
+	mu      sync.RWMutex
+	buffers map[int64]*sourceBuffer
+	groups  map[int64]*groupBuffer
+	stats   Stats
+}
+
+// sourceBuffer accumulates points for one RTS/IRTS source.
+type sourceBuffer struct {
+	ds     *model.DataSource
+	schema *model.SchemaType
+	points []model.Point
+}
+
+// groupBuffer accumulates per-window rows for one MG group. Timestamps
+// bucket into windows of the group's sampling interval so jittered
+// low-frequency sources still pack together; each member's exact
+// timestamp is kept as an offset from the window base.
+type groupBuffer struct {
+	group    int64
+	schema   *model.SchemaType
+	members  []int64       // slot -> source id
+	slots    map[int64]int // source id -> slot
+	windowMs int64
+	rows     map[int64]*mgRow // window base -> row
+	order    []int64          // window bases in arrival order
+}
+
+type mgRow struct {
+	present  []bool
+	values   [][]float64
+	tss      []int64 // per slot: the member's exact timestamp
+	reported int
+}
+
+// windowBase floor-aligns ts to the window grid (correct for negatives).
+func windowBase(ts, window int64) int64 {
+	if window <= 1 {
+		return ts
+	}
+	b := ts % window
+	if b < 0 {
+		b += window
+	}
+	return ts - b
+}
+
+// Open opens the batch stores inside store using cat for metadata.
+func Open(store *pagestore.Store, cat *catalog.Catalog, cfg Config) (*Store, error) {
+	s := &Store{
+		cfg:     cfg.withDefaults(),
+		cat:     cat,
+		buffers: make(map[int64]*sourceBuffer),
+		groups:  make(map[int64]*groupBuffer),
+	}
+	var err error
+	if s.rts, err = btree.Open(store, "ts.rts"); err != nil {
+		return nil, err
+	}
+	if s.irts, err = btree.Open(store, "ts.irts"); err != nil {
+		return nil, err
+	}
+	if s.mg, err = btree.Open(store, "ts.mg"); err != nil {
+		return nil, err
+	}
+	if s.watermarks, err = btree.Open(store, "ts.wm"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Catalog returns the metadata catalog the store writes through.
+func (s *Store) Catalog() *catalog.Catalog { return s.cat }
+
+// BatchSize returns the configured b.
+func (s *Store) BatchSize() int { return s.cfg.BatchSize }
+
+// Stats returns a snapshot of activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stats
+}
+
+// encodeOptsFor builds the blob codec options for a schema.
+func (s *Store) encodeOptsFor(schema *model.SchemaType) encodeOpts {
+	opts := encodeOpts{disable: s.cfg.DisableCompression}
+	if s.cfg.RowOrientedBlobs {
+		opts.layout = layoutRowOriented
+	}
+	opts.policies = make([]compress.Policy, len(schema.Tags))
+	for i, t := range schema.Tags {
+		opts.policies[i] = t.Compression
+	}
+	return opts
+}
+
+// Write ingests one operational record through the writer API. It is the
+// paper's non-transactional insert path: the point lands in an in-memory
+// buffer and becomes a persisted batch when b points accumulate.
+func (s *Store) Write(p model.Point) error {
+	ds, ok := s.cat.Source(p.Source)
+	if !ok {
+		return fmt.Errorf("tsstore: unknown data source %d", p.Source)
+	}
+	schema, ok := s.cat.SchemaByID(ds.SchemaID)
+	if !ok {
+		return fmt.Errorf("tsstore: source %d has unknown schema %d", p.Source, ds.SchemaID)
+	}
+	if len(p.Values) != len(schema.Tags) {
+		return fmt.Errorf("tsstore: source %d: %d values for %d tags", p.Source, len(p.Values), len(schema.Tags))
+	}
+	if s.cfg.Log != nil {
+		if err := s.cfg.Log.Append(encodePointWAL(p)); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.PointsWritten++
+	switch ds.IngestStructure() {
+	case model.RTS, model.IRTS:
+		return s.writeBuffered(ds, schema, p)
+	default:
+		return s.writeMG(ds, schema, p)
+	}
+}
+
+// WriteBatch ingests a slice of points.
+func (s *Store) WriteBatch(points []model.Point) error {
+	for _, p := range points {
+		if err := s.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeBuffered handles the RTS/IRTS per-source path. Caller holds s.mu.
+func (s *Store) writeBuffered(ds *model.DataSource, schema *model.SchemaType, p model.Point) error {
+	buf, ok := s.buffers[ds.ID]
+	if !ok {
+		buf = &sourceBuffer{ds: ds, schema: schema, points: make([]model.Point, 0, s.cfg.BatchSize)}
+		s.buffers[ds.ID] = buf
+	}
+	if len(buf.points) > 0 {
+		last := buf.points[len(buf.points)-1].TS
+		switch ds.IngestStructure() {
+		case model.RTS:
+			// A gap or drift breaks the implicit-timestamp contract; close
+			// the batch and start a new run.
+			if p.TS != last+ds.IntervalMs {
+				if err := s.flushSourceLocked(buf); err != nil {
+					return err
+				}
+			}
+		case model.IRTS:
+			if p.TS < last {
+				// Out-of-order point: close the batch so each blob's
+				// timestamps stay monotonic.
+				if err := s.flushSourceLocked(buf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	buf.points = append(buf.points, p.Clone())
+	if len(buf.points) >= s.cfg.BatchSize {
+		return s.flushSourceLocked(buf)
+	}
+	return nil
+}
+
+// writeMG handles the MG per-group path. Caller holds s.mu.
+func (s *Store) writeMG(ds *model.DataSource, schema *model.SchemaType, p model.Point) error {
+	gb, ok := s.groups[ds.Group]
+	if !ok {
+		members := s.cat.GroupMembers(ds.Group)
+		window := ds.IntervalMs
+		if window <= 0 {
+			window = 1
+		}
+		gb = &groupBuffer{
+			group:    ds.Group,
+			schema:   schema,
+			members:  members,
+			slots:    make(map[int64]int, len(members)),
+			windowMs: window,
+			rows:     make(map[int64]*mgRow),
+		}
+		for slot, id := range members {
+			gb.slots[id] = slot
+		}
+		s.groups[ds.Group] = gb
+	}
+	slot, ok := gb.slots[ds.ID]
+	if !ok {
+		// The group grew since this buffer was built (new member
+		// registered); rebuild the membership view.
+		gb.members = s.cat.GroupMembers(ds.Group)
+		for sl, id := range gb.members {
+			gb.slots[id] = sl
+		}
+		slot, ok = gb.slots[ds.ID]
+		if !ok {
+			return fmt.Errorf("tsstore: source %d not in group %d", ds.ID, ds.Group)
+		}
+	}
+	bucket := windowBase(p.TS, gb.windowMs)
+	row, ok := gb.rows[bucket]
+	if !ok {
+		row = &mgRow{
+			present: make([]bool, len(gb.members)),
+			values:  make([][]float64, len(gb.members)),
+			tss:     make([]int64, len(gb.members)),
+		}
+		gb.rows[bucket] = row
+		gb.order = append(gb.order, bucket)
+	} else if len(row.present) < len(gb.members) {
+		// Membership grew after the row was created.
+		grownPresent := make([]bool, len(gb.members))
+		copy(grownPresent, row.present)
+		row.present = grownPresent
+		grownValues := make([][]float64, len(gb.members))
+		copy(grownValues, row.values)
+		row.values = grownValues
+		grownTss := make([]int64, len(gb.members))
+		copy(grownTss, row.tss)
+		row.tss = grownTss
+	}
+	if row.present[slot] {
+		// A second sample from the same member inside one window cannot
+		// share the MG record (one point per member per record). Jittered
+		// low-frequency sources occasionally do this; the extra point goes
+		// straight to the member's per-source historical structure, which
+		// every scan already merges with MG.
+		return s.writeHistoricalPoint(ds, schema, p)
+	}
+	row.reported++
+	row.present[slot] = true
+	row.tss[slot] = p.TS
+	vals := make([]float64, len(p.Values))
+	copy(vals, p.Values)
+	row.values[slot] = vals
+	if row.reported >= len(gb.members) {
+		return s.flushMGRowLocked(gb, bucket)
+	}
+	if len(gb.order) > s.cfg.MaxOpenMGRows {
+		oldest := gb.order[0]
+		s.stats.MGPartialRows++
+		return s.flushMGRowLocked(gb, oldest)
+	}
+	return nil
+}
+
+// flushSourceLocked persists and clears one source buffer. Caller holds s.mu.
+func (s *Store) flushSourceLocked(buf *sourceBuffer) error {
+	if len(buf.points) == 0 {
+		return nil
+	}
+	pts := buf.points
+	ntags := len(buf.schema.Tags)
+	opts := s.encodeOptsFor(buf.schema)
+	var blob []byte
+	var tree *btree.Tree
+	switch buf.ds.IngestStructure() {
+	case model.RTS:
+		blob = EncodeRTS(pts, ntags, buf.ds.IntervalMs, opts)
+		tree = s.rts
+	default:
+		blob = EncodeIRTS(pts, ntags, opts)
+		tree = s.irts
+	}
+	key := keyenc.SourceTime(buf.ds.ID, pts[0].TS)
+	if err := tree.Put(key, blob); err != nil {
+		return err
+	}
+	first, last := pts[0].TS, pts[len(pts)-1].TS
+	if err := s.cat.UpdateStats(buf.ds.ID, model.SourceStats{
+		BatchCount: 1,
+		PointCount: int64(len(pts)),
+		BlobBytes:  int64(len(blob)),
+		FirstTS:    first,
+		LastTS:     last,
+		MaxSpanMs:  last - first,
+	}); err != nil {
+		return err
+	}
+	s.stats.BatchesFlushed++
+	s.stats.BlobBytes += int64(len(blob))
+	buf.points = buf.points[:0]
+	return nil
+}
+
+// flushMGRowLocked persists and removes one group row, merging with any
+// record already stored at (group, ts): a partially filled row may have
+// been flushed earlier (open-row cap) and late members must not clobber
+// it. Caller holds s.mu.
+func (s *Store) flushMGRowLocked(gb *groupBuffer, ts int64) error {
+	row, ok := gb.rows[ts]
+	if !ok {
+		return nil
+	}
+	key := keyenc.SourceTime(gb.group, ts)
+	var oldBytes, oldPoints int64
+	if existing, err := s.mg.Get(key); err == nil {
+		if batch, derr := DecodeBlob(existing, ts, nil); derr == nil {
+			for i, slot := range batch.Slots {
+				if slot >= len(row.present) {
+					continue
+				}
+				if !row.present[slot] {
+					row.present[slot] = true
+					row.values[slot] = batch.Rows[i]
+					row.tss[slot] = batch.Timestamps[i]
+					row.reported++
+					oldPoints++
+					continue
+				}
+				// Both the stored record and the new row carry a point for
+				// this member (a partial flush raced a late arrival). Keep
+				// the new one in the record and preserve the old one
+				// through the per-source overflow path, unless it is a
+				// true duplicate.
+				if batch.Timestamps[i] == row.tss[slot] {
+					oldPoints++ // replaced in place
+					continue
+				}
+				src := gb.members[slot]
+				if ds, ok := s.cat.Source(src); ok {
+					if err := s.writeHistoricalPoint(ds, gb.schema, model.Point{
+						Source: src, TS: batch.Timestamps[i], Values: batch.Rows[i],
+					}); err != nil {
+						return err
+					}
+				}
+				oldPoints++
+			}
+		}
+		oldBytes = int64(len(existing))
+	} else if err != btree.ErrNotFound {
+		return err
+	}
+	offsets := make([]int64, len(row.tss))
+	for slot, pts := range row.tss {
+		if row.present[slot] {
+			offsets[slot] = pts - ts
+		}
+	}
+	blob := EncodeMG(row.present, row.values, offsets, len(gb.schema.Tags), s.encodeOptsFor(gb.schema))
+	if err := s.mg.Put(key, blob); err != nil {
+		return err
+	}
+	newRecord := int64(1)
+	if oldBytes > 0 {
+		newRecord = 0
+	}
+	if err := s.cat.UpdateGroupStats(gb.group, model.SourceStats{
+		BatchCount: newRecord,
+		PointCount: int64(row.reported) - oldPoints,
+		BlobBytes:  int64(len(blob)) - oldBytes,
+		FirstTS:    ts,
+		LastTS:     ts,
+	}); err != nil {
+		return err
+	}
+	delete(gb.rows, ts)
+	for i, o := range gb.order {
+		if o == ts {
+			gb.order = append(gb.order[:i], gb.order[i+1:]...)
+			break
+		}
+	}
+	s.stats.BatchesFlushed++
+	s.stats.BlobBytes += int64(len(blob))
+	return nil
+}
+
+// Flush persists every open buffer (partially filled batches included) and
+// recycles the recovery log if one is attached.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, buf := range s.buffers {
+		if err := s.flushSourceLocked(buf); err != nil {
+			return err
+		}
+	}
+	for _, gb := range s.groups {
+		for len(gb.order) > 0 {
+			if err := s.flushMGRowLocked(gb, gb.order[0]); err != nil {
+				return err
+			}
+		}
+	}
+	if s.cfg.Log != nil {
+		if err := s.cfg.Log.Sync(); err != nil {
+			return err
+		}
+		return s.cfg.Log.Reset()
+	}
+	return nil
+}
+
+// RecoverFromLog replays a recovery log into the store (used after a crash
+// before buffered points reached a batch).
+func (s *Store) RecoverFromLog(l *walog.Log) (int, error) {
+	n := 0
+	err := l.Replay(func(payload []byte) error {
+		p, err := decodePointWAL(payload)
+		if err != nil {
+			return err
+		}
+		n++
+		return s.Write(p)
+	})
+	return n, err
+}
+
+// watermark returns the reorg watermark of a group (math.MinInt64 when
+// nothing was reorganized yet).
+func (s *Store) watermark(group int64) int64 {
+	v, err := s.watermarks.Get(keyenc.AppendInt64(nil, group))
+	if err != nil || len(v) != 8 {
+		return math.MinInt64
+	}
+	return int64(binary.LittleEndian.Uint64(v))
+}
+
+func (s *Store) setWatermark(group, ts int64) error {
+	return s.watermarks.Put(keyenc.AppendInt64(nil, group),
+		binary.LittleEndian.AppendUint64(nil, uint64(ts)))
+}
+
+// TreeSizes reports entry counts of the three batch trees (for tests and
+// the storage-cost experiment).
+func (s *Store) TreeSizes() (rts, irts, mg uint64) {
+	return s.rts.Count(), s.irts.Count(), s.mg.Count()
+}
+
+// BlobBytesTotal reports total persisted ValueBlob bytes across structures.
+func (s *Store) BlobBytesTotal() uint64 {
+	return s.rts.ValueBytes() + s.irts.ValueBytes() + s.mg.ValueBytes()
+}
+
+// --- WAL point codec ---
+
+func encodePointWAL(p model.Point) []byte {
+	b := binary.AppendVarint(nil, p.Source)
+	b = binary.AppendVarint(b, p.TS)
+	b = binary.AppendUvarint(b, uint64(len(p.Values)))
+	for _, v := range p.Values {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+func decodePointWAL(b []byte) (model.Point, error) {
+	var p model.Point
+	var n int
+	if p.Source, n = binary.Varint(b); n <= 0 {
+		return p, fmt.Errorf("tsstore: corrupt WAL point")
+	}
+	b = b[n:]
+	if p.TS, n = binary.Varint(b); n <= 0 {
+		return p, fmt.Errorf("tsstore: corrupt WAL point")
+	}
+	b = b[n:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b[n:])) < count*8 {
+		return p, fmt.Errorf("tsstore: corrupt WAL point")
+	}
+	b = b[n:]
+	p.Values = make([]float64, count)
+	for i := range p.Values {
+		p.Values[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return p, nil
+}

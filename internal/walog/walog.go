@@ -1,0 +1,170 @@
+// Package walog provides a checksummed append-only log. The ODH ingest
+// path is non-transactional (per §3 of the paper, "the insertion process
+// does not support transactions ... reasonable data loss is acceptable"),
+// but deployments that want bounded loss can attach a log to the ingest
+// buffers: appended points survive a crash between buffer fill and batch
+// flush. Records that fail their checksum (a torn final write) terminate
+// replay silently, matching the bounded-loss contract.
+package walog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// record framing: length u32, crc32(payload) u32, payload.
+const recordHeader = 8
+
+// maxRecord bounds a single record so replay cannot allocate absurd sizes
+// from a corrupt length field.
+const maxRecord = 16 << 20
+
+// ErrTooLarge reports an oversized append.
+var ErrTooLarge = fmt.Errorf("walog: record exceeds %d bytes", maxRecord)
+
+// Log is an append-only record log. It is safe for concurrent appends.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	off  int64
+	path string
+}
+
+// Open opens or creates the log at path and positions appends after the
+// last valid record (a torn tail is truncated away).
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("walog: open: %w", err)
+	}
+	l := &Log{f: f, path: path}
+	end, err := l.scanEnd()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("walog: truncate torn tail: %w", err)
+	}
+	l.off = end
+	return l, nil
+}
+
+// scanEnd walks the records and returns the offset just past the last
+// valid one.
+func (l *Log) scanEnd() (int64, error) {
+	var off int64
+	hdr := make([]byte, recordHeader)
+	for {
+		if _, err := l.f.ReadAt(hdr, off); err != nil {
+			return off, nil // EOF or short read: stop at last good record
+		}
+		length := binary.LittleEndian.Uint32(hdr)
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		if length > maxRecord {
+			return off, nil
+		}
+		payload := make([]byte, length)
+		if _, err := l.f.ReadAt(payload, off+recordHeader); err != nil {
+			return off, nil
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return off, nil
+		}
+		off += recordHeader + int64(length)
+	}
+}
+
+// Append writes one record. It does not sync; call Sync for durability
+// points.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > maxRecord {
+		return ErrTooLarge
+	}
+	buf := make([]byte, recordHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeader:], payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.WriteAt(buf, l.off); err != nil {
+		return fmt.Errorf("walog: append: %w", err)
+	}
+	l.off += int64(len(buf))
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
+}
+
+// Replay invokes fn for every valid record in order. A corrupt record ends
+// replay without error (bounded-loss semantics); other I/O failures are
+// reported.
+func (l *Log) Replay(fn func(payload []byte) error) error {
+	l.mu.Lock()
+	end := l.off
+	l.mu.Unlock()
+	var off int64
+	hdr := make([]byte, recordHeader)
+	for off < end {
+		if _, err := l.f.ReadAt(hdr, off); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("walog: replay: %w", err)
+		}
+		length := binary.LittleEndian.Uint32(hdr)
+		want := binary.LittleEndian.Uint32(hdr[4:])
+		if length > maxRecord {
+			return nil
+		}
+		payload := make([]byte, length)
+		if _, err := l.f.ReadAt(payload, off+recordHeader); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return nil
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+		off += recordHeader + int64(length)
+	}
+	return nil
+}
+
+// Reset truncates the log to empty (after a successful batch flush the
+// buffered points are durable in the page store and the log can recycle).
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("walog: reset: %w", err)
+	}
+	l.off = 0
+	return nil
+}
+
+// Close closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}

@@ -1,0 +1,344 @@
+// Package odh is a Go reproduction of the next-generation Operational
+// Data Historian from "The Next Generation Operational Data Historian for
+// IoT Based on Informix" (Huang et al., SIGMOD 2014).
+//
+// A Historian stores high-volume operational (time-series) data in the
+// paper's three batch structures — RTS for regular high-frequency sources,
+// IRTS for irregular high-frequency sources, and MG for massive fleets of
+// low-frequency sources — compresses tag values with a variability-aware
+// strategy, and exposes everything (operational virtual tables and plain
+// relational tables alike) through one SQL interface with a cost-based
+// optimizer whose cost unit is expected ValueBlob bytes.
+//
+// Quick start:
+//
+//	h, _ := odh.Open("", odh.Options{}) // in-memory
+//	schema, _ := h.CreateSchema(odh.SchemaType{
+//		Name: "environ",
+//		Tags: []odh.TagDef{{Name: "temperature"}, {Name: "wind"}},
+//	})
+//	h.CreateVirtualTable("environ_data_v", "environ")
+//	src, _ := h.RegisterSource(odh.DataSource{SchemaID: schema.ID, Regular: true, IntervalMs: 1000})
+//	w := h.Writer()
+//	w.WritePoint(src.ID, ts, 21.5, 3.2)
+//	w.Flush()
+//	res, _ := h.Query("SELECT timestamp, temperature FROM environ_data_v WHERE id = 1")
+package odh
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"odh/internal/catalog"
+	"odh/internal/compress"
+	"odh/internal/model"
+	"odh/internal/pagestore"
+	"odh/internal/relational"
+	"odh/internal/sqlexec"
+	"odh/internal/tsstore"
+	"odh/internal/walog"
+)
+
+// Re-exported model types; these are the vocabulary of the public API.
+type (
+	// Point is one operational record (timestamp, id, tag values).
+	Point = model.Point
+	// SchemaType describes one class of data sources; it becomes a
+	// virtual table (id, timestamp, tags...).
+	SchemaType = model.SchemaType
+	// TagDef describes one measurement attribute.
+	TagDef = model.TagDef
+	// DataSource describes one sensor or device.
+	DataSource = model.DataSource
+	// CompressionPolicy configures per-tag compression (zero = lossless).
+	CompressionPolicy = compress.Policy
+	// SourceStats are the catalog's per-source statistics.
+	SourceStats = model.SourceStats
+	// Value is one SQL value.
+	Value = relational.Value
+	// Row is one SQL result row.
+	Row = sqlexec.Row
+	// Result is a SQL statement outcome (pull rows with Next/FetchAll).
+	Result = sqlexec.Result
+)
+
+// NullValue is the NULL tag value for Point.Values.
+var NullValue = model.NullValue
+
+// IsNull reports whether a tag value is NULL.
+func IsNull(v float64) bool { return model.IsNull(v) }
+
+// Options configures a Historian.
+type Options struct {
+	// BatchSize is b, the points packed per ValueBlob (default 128).
+	BatchSize int
+	// GroupSize is the MG group capacity (default: BatchSize).
+	GroupSize int
+	// PoolPages sizes the buffer pool in 4 KiB pages (default 4096).
+	PoolPages int
+	// EnableRecoveryLog attaches a bounded-loss ingest log (directory
+	// stores only; ignored for in-memory historians).
+	EnableRecoveryLog bool
+	// DisableCompression stores raw tag columns (ablation).
+	DisableCompression bool
+	// RowOrientedBlobs disables the tag-oriented blob layout (ablation).
+	RowOrientedBlobs bool
+}
+
+// Historian is an operational data historian instance.
+type Historian struct {
+	dir    string
+	page   *pagestore.Store
+	cat    *catalog.Catalog
+	ts     *tsstore.Store
+	rel    *relational.DB
+	engine *sqlexec.Engine
+	wal    *walog.Log
+}
+
+// Open opens (creating if necessary) a historian. dir == "" opens an
+// in-memory historian for tests and benchmarks; otherwise the directory
+// holds the page store file and optional recovery log.
+func Open(dir string, opts Options) (*Historian, error) {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = tsstore.DefaultBatchSize
+	}
+	if opts.GroupSize <= 0 {
+		opts.GroupSize = opts.BatchSize
+	}
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 4096
+	}
+	var file pagestore.File
+	var wal *walog.Log
+	if dir == "" {
+		file = pagestore.NewMemFile()
+	} else {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("odh: create dir: %w", err)
+		}
+		f, err := pagestore.OpenOSFile(filepath.Join(dir, "odh.pages"))
+		if err != nil {
+			return nil, err
+		}
+		file = f
+		if opts.EnableRecoveryLog {
+			l, err := walog.Open(filepath.Join(dir, "ingest.wal"))
+			if err != nil {
+				return nil, err
+			}
+			wal = l
+		}
+	}
+	page, err := pagestore.Open(file, pagestore.Options{PoolPages: opts.PoolPages})
+	if err != nil {
+		return nil, err
+	}
+	cat, err := catalog.Open(page, opts.GroupSize)
+	if err != nil {
+		page.Close()
+		return nil, err
+	}
+	ts, err := tsstore.Open(page, cat, tsstore.Config{
+		BatchSize:          opts.BatchSize,
+		DisableCompression: opts.DisableCompression,
+		RowOrientedBlobs:   opts.RowOrientedBlobs,
+		Log:                wal,
+	})
+	if err != nil {
+		page.Close()
+		return nil, err
+	}
+	rel, err := relational.Open(page, relational.ProfileRDB)
+	if err != nil {
+		page.Close()
+		return nil, err
+	}
+	h := &Historian{
+		dir:    dir,
+		page:   page,
+		cat:    cat,
+		ts:     ts,
+		rel:    rel,
+		engine: sqlexec.New(rel, ts),
+		wal:    wal,
+	}
+	if wal != nil {
+		// Buffered points from a previous crash re-enter the buffers.
+		if _, err := ts.RecoverFromLog(wal); err != nil {
+			page.Close()
+			return nil, fmt.Errorf("odh: recovery: %w", err)
+		}
+	}
+	return h, nil
+}
+
+// Close flushes buffers and releases the historian.
+func (h *Historian) Close() error {
+	if err := h.ts.Flush(); err != nil {
+		return err
+	}
+	if h.wal != nil {
+		if err := h.wal.Close(); err != nil {
+			return err
+		}
+	}
+	return h.page.Close()
+}
+
+// CreateSchema registers a schema type; the ID field is assigned.
+func (h *Historian) CreateSchema(st SchemaType) (*SchemaType, error) {
+	return h.cat.CreateSchema(st)
+}
+
+// Schema looks up a schema type by name.
+func (h *Historian) Schema(name string) (*SchemaType, bool) {
+	return h.cat.SchemaByName(name)
+}
+
+// CreateVirtualTable exposes a schema type under a SQL table name.
+func (h *Historian) CreateVirtualTable(table, schemaName string) error {
+	s, ok := h.cat.SchemaByName(schemaName)
+	if !ok {
+		return fmt.Errorf("odh: unknown schema type %q", schemaName)
+	}
+	return h.cat.CreateVirtualTable(table, s.ID)
+}
+
+// RegisterSource registers one data source (ID 0 auto-assigns); the
+// stored source, including any MG group assignment, is returned.
+func (h *Historian) RegisterSource(ds DataSource) (*DataSource, error) {
+	return h.cat.RegisterSource(ds)
+}
+
+// RegisterSources batch-registers sources (the smart-meter provisioning
+// path).
+func (h *Historian) RegisterSources(list []DataSource) ([]*DataSource, error) {
+	return h.cat.RegisterSources(list)
+}
+
+// Source looks up a registered data source.
+func (h *Historian) Source(id int64) (*DataSource, bool) {
+	return h.cat.Source(id)
+}
+
+// Stats returns the catalog statistics of one source.
+func (h *Historian) Stats(source int64) SourceStats {
+	return h.cat.Stats(source)
+}
+
+// Writer returns the high-throughput writer API.
+func (h *Historian) Writer() *Writer { return &Writer{h: h} }
+
+// Query parses and executes one SQL statement (SELECT, CREATE TABLE,
+// CREATE INDEX, CREATE VIRTUAL TABLE, INSERT, EXPLAIN SELECT).
+func (h *Historian) Query(sql string) (*Result, error) {
+	return h.engine.Query(sql)
+}
+
+// Plan returns the optimizer's physical plan for a SELECT.
+func (h *Historian) Plan(sql string) (string, error) {
+	return h.engine.Plan(sql)
+}
+
+// Reorganize converts MG records of a schema older than upTo into
+// per-source RTS/IRTS batches (Table 1's historical layout).
+func (h *Historian) Reorganize(schemaName string, upTo int64) error {
+	s, ok := h.cat.SchemaByName(schemaName)
+	if !ok {
+		return fmt.Errorf("odh: unknown schema type %q", schemaName)
+	}
+	_, err := h.ts.Reorganize(s.ID, upTo)
+	return err
+}
+
+// DropBefore ages out persisted batches of a schema whose data lies
+// entirely before the cutoff (retention is batch-granular). It returns
+// the number of batch records removed.
+func (h *Historian) DropBefore(schemaName string, cutoff int64) (int, error) {
+	s, ok := h.cat.SchemaByName(schemaName)
+	if !ok {
+		return 0, fmt.Errorf("odh: unknown schema type %q", schemaName)
+	}
+	res, err := h.ts.DropBefore(s.ID, cutoff)
+	return res.RecordsDropped, err
+}
+
+// Coalesce merges a schema's fragmented small batches back into full
+// ones (maintenance after out-of-order ingest or MG overflow). It
+// returns the batch counts before and after.
+func (h *Historian) Coalesce(schemaName string) (before, after int, err error) {
+	s, ok := h.cat.SchemaByName(schemaName)
+	if !ok {
+		return 0, 0, fmt.Errorf("odh: unknown schema type %q", schemaName)
+	}
+	res, err := h.ts.Coalesce(s.ID)
+	return res.BatchesBefore, res.BatchesAfter, err
+}
+
+// Schemas lists all registered schema types.
+func (h *Historian) Schemas() []*SchemaType { return h.cat.Schemas() }
+
+// VirtualTables lists the registered virtual table names.
+func (h *Historian) VirtualTables() []string { return h.cat.VirtualTables() }
+
+// Tables lists the relational table names.
+func (h *Historian) Tables() []string { return h.rel.Tables() }
+
+// Flush persists all ingest buffers and syncs the page store.
+func (h *Historian) Flush() error {
+	if err := h.ts.Flush(); err != nil {
+		return err
+	}
+	return h.page.Flush()
+}
+
+// HistorianStats aggregates storage and ingest counters.
+type HistorianStats struct {
+	// PointsWritten and BatchesFlushed count ingest activity.
+	PointsWritten  int64
+	BatchesFlushed int64
+	// BlobBytes is the persisted ValueBlob payload.
+	BlobBytes int64
+	// StorageBytes is the page store's total size.
+	StorageBytes int64
+	// IOBytesWritten / IOBytesRead count page-level I/O.
+	IOBytesWritten int64
+	IOBytesRead    int64
+}
+
+// TotalStats returns historian-wide counters.
+func (h *Historian) TotalStats() HistorianStats {
+	ts := h.ts.Stats()
+	ps := h.page.Stats()
+	return HistorianStats{
+		PointsWritten:  ts.PointsWritten,
+		BatchesFlushed: ts.BatchesFlushed,
+		BlobBytes:      int64(h.ts.BlobBytesTotal()),
+		StorageBytes:   h.page.SizeBytes(),
+		IOBytesWritten: ps.BytesWritten,
+		IOBytesRead:    ps.BytesRead,
+	}
+}
+
+// Writer is the ODH writer API ("a set of carefully designed writer APIs
+// that are highly efficient for the operational data model"). Writes are
+// non-transactional; points become durable when their batch flushes.
+type Writer struct {
+	h *Historian
+}
+
+// Write ingests one point.
+func (w *Writer) Write(p Point) error { return w.h.ts.Write(p) }
+
+// WritePoint ingests one record without building a Point value.
+func (w *Writer) WritePoint(source, ts int64, values ...float64) error {
+	return w.h.ts.Write(Point{Source: source, TS: ts, Values: values})
+}
+
+// WriteBatch ingests a slice of points.
+func (w *Writer) WriteBatch(points []Point) error { return w.h.ts.WriteBatch(points) }
+
+// Flush forces all buffered points into persisted batches.
+func (w *Writer) Flush() error { return w.h.ts.Flush() }

@@ -1,0 +1,335 @@
+package odh
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func openMem(t testing.TB, opts Options) *Historian {
+	t.Helper()
+	h, err := Open("", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h
+}
+
+func setupEnviron(t testing.TB, h *Historian) *SchemaType {
+	t.Helper()
+	schema, err := h.CreateSchema(SchemaType{
+		Name: "environ",
+		Tags: []TagDef{{Name: "temperature"}, {Name: "wind"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CreateVirtualTable("environ_data_v", "environ"); err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+func TestEndToEndQuickstart(t *testing.T) {
+	h := openMem(t, Options{BatchSize: 16})
+	schema := setupEnviron(t, h)
+	src, err := h.RegisterSource(DataSource{SchemaID: schema.ID, Regular: true, IntervalMs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := h.Writer()
+	for i := 0; i < 100; i++ {
+		if err := w.WritePoint(src.ID, int64(i*1000), 20+float64(i)*0.1, 3.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Query(fmt.Sprintf(
+		"SELECT timestamp, temperature FROM environ_data_v WHERE id = %d AND timestamp BETWEEN 10000 AND 20000", src.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(rows))
+	}
+	stats := h.TotalStats()
+	if stats.PointsWritten != 100 || stats.BlobBytes == 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestFusionWithRelationalTable(t *testing.T) {
+	h := openMem(t, Options{BatchSize: 8})
+	schema := setupEnviron(t, h)
+	if _, err := h.Query(`CREATE TABLE sensor_info (id BIGINT, area VARCHAR(4))`); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 6; i++ {
+		if _, err := h.RegisterSource(DataSource{ID: i, SchemaID: schema.ID, Regular: true, IntervalMs: 500}); err != nil {
+			t.Fatal(err)
+		}
+		area := "S1"
+		if i > 3 {
+			area = "S2"
+		}
+		if _, err := h.Query(fmt.Sprintf(`INSERT INTO sensor_info VALUES (%d, '%s')`, i, area)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := h.Writer()
+	for i := int64(1); i <= 6; i++ {
+		for j := 0; j < 20; j++ {
+			w.WritePoint(i, int64(j*500), float64(i*10), float64(j))
+		}
+	}
+	w.Flush()
+	res, err := h.Query(`SELECT temperature, wind FROM environ_data_v a, sensor_info b WHERE a.id = b.id AND b.area = 'S1'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 60 {
+		t.Fatalf("fused rows = %d, want 60", len(rows))
+	}
+}
+
+func TestDiskPersistenceAndRecoveryLog(t *testing.T) {
+	dir := t.TempDir()
+	h, err := Open(filepath.Join(dir, "hist"), Options{BatchSize: 1000, EnableRecoveryLog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, _ := h.CreateSchema(SchemaType{Name: "m", Tags: []TagDef{{Name: "v"}}})
+	h.CreateVirtualTable("m_v", "m")
+	src, _ := h.RegisterSource(DataSource{SchemaID: schema.ID, Regular: true, IntervalMs: 100})
+	w := h.Writer()
+	for i := 0; i < 42; i++ {
+		w.WritePoint(src.ID, int64(i*100), float64(i))
+	}
+	// Simulate crash: close the page store WITHOUT flushing buffers, but
+	// the recovery log has the points.
+	h.wal.Sync()
+	h.page.Close()
+	h.wal.Close()
+
+	h2, err := Open(filepath.Join(dir, "hist"), Options{BatchSize: 1000, EnableRecoveryLog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	res, err := h2.Query(fmt.Sprintf(`SELECT COUNT(*) FROM m_v WHERE id = %d`, src.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].AsInt() != 42 {
+		t.Fatalf("recovered %d points, want 42", rows[0][0].AsInt())
+	}
+}
+
+func TestReorganizeThroughPublicAPI(t *testing.T) {
+	h := openMem(t, Options{BatchSize: 8, GroupSize: 4})
+	schema, _ := h.CreateSchema(SchemaType{Name: "meter", Tags: []TagDef{{Name: "kwh"}}})
+	h.CreateVirtualTable("meter_v", "meter")
+	for i := int64(1); i <= 4; i++ {
+		h.RegisterSource(DataSource{ID: i, SchemaID: schema.ID, Regular: true, IntervalMs: 900000})
+	}
+	w := h.Writer()
+	for round := 0; round < 6; round++ {
+		ts := int64(1000000 + round*900000)
+		for i := int64(1); i <= 4; i++ {
+			w.WritePoint(i, ts, float64(round))
+		}
+	}
+	w.Flush()
+	if err := h.Reorganize("meter", 1000000+3*900000); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := h.Query(`SELECT COUNT(*) FROM meter_v WHERE id = 2`)
+	rows, err := res.FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].AsInt() != 6 {
+		t.Fatalf("post-reorg count = %d, want 6", rows[0][0].AsInt())
+	}
+	if err := h.Reorganize("missing", 0); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+func TestLossyPolicyThroughPublicAPI(t *testing.T) {
+	h := openMem(t, Options{BatchSize: 64})
+	schema, _ := h.CreateSchema(SchemaType{
+		Name: "turbine",
+		Tags: []TagDef{{Name: "rpm", Compression: CompressionPolicy{MaxDev: 0.5}}},
+	})
+	h.CreateVirtualTable("turbine_v", "turbine")
+	src, _ := h.RegisterSource(DataSource{SchemaID: schema.ID, Regular: true, IntervalMs: 10})
+	w := h.Writer()
+	for i := 0; i < 256; i++ {
+		w.WritePoint(src.ID, int64(i*10), 1000+float64(i)*0.01)
+	}
+	w.Flush()
+	res, _ := h.Query(fmt.Sprintf(`SELECT rpm FROM turbine_v WHERE id = %d`, src.ID))
+	rows, err := res.FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 256 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		want := 1000 + float64(i)*0.01
+		got := r[0].AsFloat()
+		if got < want-0.5 || got > want+0.5 {
+			t.Fatalf("row %d outside error bound: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestExplainThroughPublicAPI(t *testing.T) {
+	h := openMem(t, Options{})
+	schema := setupEnviron(t, h)
+	h.RegisterSource(DataSource{ID: 1, SchemaID: schema.ID, Regular: true, IntervalMs: 100})
+	plan, err := h.Plan(`SELECT * FROM environ_data_v WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == "" {
+		t.Fatal("empty plan")
+	}
+}
+
+func TestRetentionThroughPublicAPI(t *testing.T) {
+	h := openMem(t, Options{BatchSize: 10})
+	schema, _ := h.CreateSchema(SchemaType{Name: "r", Tags: []TagDef{{Name: "v"}}})
+	h.CreateVirtualTable("r_v", "r")
+	src, _ := h.RegisterSource(DataSource{SchemaID: schema.ID, Regular: true, IntervalMs: 10})
+	w := h.Writer()
+	for i := 0; i < 100; i++ {
+		w.WritePoint(src.ID, int64(i*10), float64(i))
+	}
+	w.Flush()
+	dropped, err := h.DropBefore("r", 500)
+	if err != nil || dropped != 5 {
+		t.Fatalf("DropBefore: %d, %v", dropped, err)
+	}
+	res, _ := h.Query(`SELECT COUNT(*) FROM r_v`)
+	rows, err := res.FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].AsInt() != 50 {
+		t.Fatalf("surviving = %v", rows[0][0])
+	}
+	if _, err := h.DropBefore("missing", 0); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+}
+
+func TestCatalogListings(t *testing.T) {
+	h := openMem(t, Options{})
+	setupEnviron(t, h)
+	h.Query(`CREATE TABLE sensor_info (id BIGINT)`)
+	if got := len(h.Schemas()); got != 1 {
+		t.Fatalf("Schemas = %d", got)
+	}
+	if got := h.VirtualTables(); len(got) != 1 || got[0] != "environ_data_v" {
+		t.Fatalf("VirtualTables = %v", got)
+	}
+	if got := h.Tables(); len(got) != 1 || got[0] != "sensor_info" {
+		t.Fatalf("Tables = %v", got)
+	}
+}
+
+func TestWriterBatchAndSourceLookup(t *testing.T) {
+	h := openMem(t, Options{BatchSize: 4})
+	schema := setupEnviron(t, h)
+	src, _ := h.RegisterSource(DataSource{SchemaID: schema.ID, Regular: true, IntervalMs: 100})
+	batch := make([]Point, 10)
+	for i := range batch {
+		batch[i] = Point{Source: src.ID, TS: int64(i * 100), Values: []float64{1, 2}}
+	}
+	if err := h.Writer().WriteBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := h.Source(src.ID)
+	if !ok || got.IntervalMs != 100 {
+		t.Fatalf("Source lookup: %+v %v", got, ok)
+	}
+	if _, ok := h.Source(999); ok {
+		t.Fatal("phantom source")
+	}
+	st := h.Stats(src.ID)
+	if st.PointCount != 8 { // 2 full batches persisted, 2 points buffered
+		t.Fatalf("persisted points = %d", st.PointCount)
+	}
+	if !IsNull(NullValue) {
+		t.Fatal("NullValue must be NULL")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open("/dev/null/not-a-dir", Options{}); err == nil {
+		t.Fatal("invalid dir accepted")
+	}
+	h := openMem(t, Options{})
+	if err := h.CreateVirtualTable("x", "missing-schema"); err == nil {
+		t.Fatal("vtable on unknown schema accepted")
+	}
+	if _, _, err := h.Coalesce("missing"); err == nil {
+		t.Fatal("coalesce on unknown schema accepted")
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	h := openMem(t, Options{})
+	setupEnviron(t, h)
+	s, ok := h.Schema("environ")
+	if !ok || s.Name != "environ" {
+		t.Fatalf("Schema: %+v %v", s, ok)
+	}
+	if _, ok := h.Schema("nope"); ok {
+		t.Fatal("phantom schema")
+	}
+}
+
+func TestCoalesceThroughPublicAPI(t *testing.T) {
+	h := openMem(t, Options{BatchSize: 16})
+	schema, _ := h.CreateSchema(SchemaType{Name: "c", Tags: []TagDef{{Name: "v"}}})
+	h.CreateVirtualTable("c_v", "c")
+	src, _ := h.RegisterSource(DataSource{SchemaID: schema.ID, Regular: false, IntervalMs: 100})
+	w := h.Writer()
+	// Interleaved ranges force small out-of-order batches.
+	for i := 0; i < 30; i++ {
+		w.WritePoint(src.ID, int64(i*200+100), 1)
+		w.WritePoint(src.ID, int64(i*200), 2)
+	}
+	w.Flush()
+	before, after, err := h.Coalesce("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("coalesce: %d -> %d", before, after)
+	}
+	res, _ := h.Query(`SELECT COUNT(*) FROM c_v`)
+	rows, _ := res.FetchAll()
+	if rows[0][0].AsInt() != 60 {
+		t.Fatalf("points after coalesce = %v", rows[0][0])
+	}
+}
