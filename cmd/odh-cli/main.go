@@ -1,10 +1,15 @@
 // Command odh-cli is an interactive SQL shell over a historian directory.
-// Besides SQL, it accepts dot commands:
+//
+//	odh-cli -dir DIR        interactive shell
+//	odh-cli -dir DIR fsck   offline integrity check; exit 1 when damaged
+//
+// Besides SQL, the shell accepts dot commands:
 //
 //	.schema          list schema types and virtual tables
 //	.tables          list relational tables
 //	.stats <source>  show a data source's catalog statistics
 //	.flush           flush ingest buffers
+//	.fsck            verify pages, B-trees, and blobs in place
 //	.quit
 package main
 
@@ -23,13 +28,31 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "historian directory (empty = in-memory scratch)")
+	lenient := flag.Bool("recover", false, "lenient recovery: scans skip corrupt blobs instead of failing")
 	flag.Parse()
 
-	h, err := odh.Open(*dir, odh.Options{})
+	opts := odh.Options{}
+	if *lenient {
+		opts.Recovery = odh.RecoverLenient
+	}
+	h, err := odh.Open(*dir, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer h.Close()
+
+	if flag.Arg(0) == "fsck" {
+		rep, err := h.VerifyIntegrity()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep)
+		if !rep.OK() {
+			h.Close()
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("odh-cli (dir=%q) — enter SQL or .help\n", *dir)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -59,7 +82,14 @@ func dotCommand(h *odh.Historian, line string) bool {
 	case ".quit", ".exit":
 		return false
 	case ".help":
-		fmt.Println("SQL statements end at the newline. Dot commands: .schema .tables .stats <id> .flush .quit")
+		fmt.Println("SQL statements end at the newline. Dot commands: .schema .tables .stats <id> .flush .fsck .quit")
+	case ".fsck":
+		rep, err := h.VerifyIntegrity()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println(rep)
 	case ".flush":
 		if err := h.Flush(); err != nil {
 			fmt.Println("error:", err)

@@ -1,0 +1,217 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"odh/internal/pagestore"
+)
+
+// Check walks the entire tree and validates its structural invariants:
+// node types match their depth, cell offsets stay inside the page, keys
+// are strictly increasing and respect separator bounds, child links are
+// acyclic, leaf sibling links thread the leaves in order, overflow chains
+// are intact, and the descriptor's entry/byte counts match what the pages
+// actually hold. It reads every page of the tree, so checksum failures in
+// the pagestore surface here too. Check takes the tree's read lock; it
+// returns the first problem found, wrapping btree's corruption sentinel
+// (or the pagestore's, for checksum failures).
+func (t *Tree) Check() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := &checkState{visited: make(map[pagestore.PageID]struct{})}
+	entries, vbytes, err := t.checkNode(st, t.root, int(t.height), nil, nil)
+	if err != nil {
+		return err
+	}
+	if st.sawLeaf && st.expectNext != pagestore.InvalidPage {
+		return fmt.Errorf("%w: tree %q: last leaf links to page %d, want end of chain", errCorrupt, t.name, st.expectNext)
+	}
+	if entries != t.count {
+		return fmt.Errorf("%w: tree %q holds %d entries, descriptor says %d", errCorrupt, t.name, entries, t.count)
+	}
+	if vbytes != t.valueByte {
+		return fmt.Errorf("%w: tree %q holds %d value bytes, descriptor says %d", errCorrupt, t.name, vbytes, t.valueByte)
+	}
+	return nil
+}
+
+type checkState struct {
+	visited    map[pagestore.PageID]struct{}
+	sawLeaf    bool
+	expectNext pagestore.PageID // previous leaf's sibling pointer
+}
+
+// parsedNode is a validated, copied-out snapshot of one node, so the frame
+// can be unpinned before recursing (keeps pin pressure at one frame total
+// and the copied slices safe from eviction reuse).
+type parsedNode struct {
+	leaf     bool
+	keys     [][]byte
+	children []pagestore.PageID // internal: len(keys) entries; rightmost in next
+	next     pagestore.PageID
+	inline   uint64   // leaf: total inline value bytes
+	ovfRefs  [][]byte // leaf: 8-byte overflow references
+}
+
+// parseNode bounds-checks every offset before dereferencing it, so a
+// corrupted page yields an error rather than a panic.
+func parseNode(pid pagestore.PageID, d []byte) (*parsedNode, error) {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: page %d: %s", errCorrupt, pid, fmt.Sprintf(format, args...))
+	}
+	n := node{d}
+	if n.typ() != typeLeaf && n.typ() != typeInternal {
+		return nil, bad("unknown node type %d", n.typ())
+	}
+	p := &parsedNode{leaf: n.isLeaf(), next: n.next()}
+	nc := n.ncells()
+	slotEnd := nodeHeaderSize + nc*slotSize
+	cs := n.cellStart()
+	if slotEnd > cs || cs > pagestore.PageSize {
+		return nil, bad("slot directory (%d cells) overlaps cell area [%d:%d)", nc, cs, pagestore.PageSize)
+	}
+	for i := 0; i < nc; i++ {
+		off := n.slotOffset(i)
+		hdr := 4
+		if !p.leaf {
+			hdr = 6
+		}
+		if off < slotEnd || off+hdr > pagestore.PageSize {
+			return nil, bad("cell %d offset %d outside page", i, off)
+		}
+		keyLen := int(binary.LittleEndian.Uint16(d[off:]))
+		if keyLen == 0 || keyLen > MaxKeyLen {
+			return nil, bad("cell %d key length %d", i, keyLen)
+		}
+		if p.leaf {
+			rawLen := binary.LittleEndian.Uint16(d[off+2:])
+			ovf := rawLen&overflowBit != 0
+			valLen := int(rawLen &^ overflowBit)
+			if off+4+keyLen+valLen > pagestore.PageSize {
+				return nil, bad("cell %d spills past page end", i)
+			}
+			val := d[off+4+keyLen : off+4+keyLen+valLen]
+			if ovf {
+				if valLen != 8 {
+					return nil, bad("cell %d overflow reference is %d bytes, want 8", i, valLen)
+				}
+				p.ovfRefs = append(p.ovfRefs, append([]byte(nil), val...))
+			} else {
+				p.inline += uint64(valLen)
+			}
+			p.keys = append(p.keys, append([]byte(nil), d[off+4:off+4+keyLen]...))
+		} else {
+			if off+6+keyLen > pagestore.PageSize {
+				return nil, bad("cell %d spills past page end", i)
+			}
+			p.children = append(p.children, pagestore.PageID(binary.LittleEndian.Uint32(d[off+2:])))
+			p.keys = append(p.keys, append([]byte(nil), d[off+6:off+6+keyLen]...))
+		}
+	}
+	return p, nil
+}
+
+// checkNode validates the subtree rooted at pid. Every key in the subtree
+// must satisfy lo <= key < hi (nil bound = unbounded). Returns the entry
+// and value-byte totals of the subtree.
+func (t *Tree) checkNode(st *checkState, pid pagestore.PageID, depth int, lo, hi []byte) (entries, vbytes uint64, err error) {
+	if pid == pagestore.InvalidPage {
+		return 0, 0, fmt.Errorf("%w: nil page link at depth %d", errCorrupt, depth)
+	}
+	if _, dup := st.visited[pid]; dup {
+		return 0, 0, fmt.Errorf("%w: page %d reached twice (cycle or cross-link)", errCorrupt, pid)
+	}
+	st.visited[pid] = struct{}{}
+	fr, err := t.store.Get(pid)
+	if err != nil {
+		return 0, 0, err
+	}
+	p, err := parseNode(pid, fr.Data())
+	fr.Unpin()
+	if err != nil {
+		return 0, 0, err
+	}
+	if p.leaf != (depth == 1) {
+		return 0, 0, fmt.Errorf("%w: page %d: leaf=%v at depth %d of height-%d tree", errCorrupt, pid, p.leaf, depth, t.height)
+	}
+	// Key order within the node and against the subtree bounds. Separator
+	// keys obey the same bounds as the keys below them.
+	prev := lo
+	for i, key := range p.keys {
+		if prev != nil && ((i == 0 && bytes.Compare(key, prev) < 0) || (i > 0 && bytes.Compare(key, prev) <= 0)) {
+			return 0, 0, fmt.Errorf("%w: page %d: cell %d key out of order", errCorrupt, pid, i)
+		}
+		if hi != nil && bytes.Compare(key, hi) >= 0 {
+			return 0, 0, fmt.Errorf("%w: page %d: cell %d key above separator bound", errCorrupt, pid, i)
+		}
+		prev = key
+	}
+	if p.leaf {
+		// Sibling chain must thread the leaves in key order.
+		if st.sawLeaf && st.expectNext != pid {
+			return 0, 0, fmt.Errorf("%w: leaf chain skips to page %d, want %d", errCorrupt, st.expectNext, pid)
+		}
+		st.sawLeaf, st.expectNext = true, p.next
+		vbytes = p.inline
+		for _, ref := range p.ovfRefs {
+			total := uint64(binary.LittleEndian.Uint32(ref))
+			got, err := t.checkOverflow(st, pagestore.PageID(binary.LittleEndian.Uint32(ref[4:])))
+			if err != nil {
+				return 0, 0, err
+			}
+			if got != total {
+				return 0, 0, fmt.Errorf("%w: page %d: overflow chain holds %d bytes, reference says %d", errCorrupt, pid, got, total)
+			}
+			vbytes += total
+		}
+		return uint64(len(p.keys)), vbytes, nil
+	}
+	// Internal: child i holds keys in [prev separator, separator i); the
+	// rightmost pointer holds keys >= the last separator.
+	if len(p.keys) == 0 {
+		return 0, 0, fmt.Errorf("%w: page %d: internal node with no separators", errCorrupt, pid)
+	}
+	childLo := lo
+	for i, sep := range p.keys {
+		e, v, err := t.checkNode(st, p.children[i], depth-1, childLo, sep)
+		if err != nil {
+			return 0, 0, err
+		}
+		entries += e
+		vbytes += v
+		childLo = sep
+	}
+	e, v, err := t.checkNode(st, p.next, depth-1, childLo, hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	return entries + e, vbytes + v, nil
+}
+
+// checkOverflow walks one overflow chain, validating chunk sizes and
+// guarding against cycles and cross-linked chains.
+func (t *Tree) checkOverflow(st *checkState, pid pagestore.PageID) (uint64, error) {
+	var total uint64
+	for pid != pagestore.InvalidPage {
+		if _, dup := st.visited[pid]; dup {
+			return 0, fmt.Errorf("%w: overflow page %d reached twice (cycle or cross-link)", errCorrupt, pid)
+		}
+		st.visited[pid] = struct{}{}
+		fr, err := t.store.Get(pid)
+		if err != nil {
+			return 0, err
+		}
+		d := fr.Data()
+		next := pagestore.PageID(binary.LittleEndian.Uint32(d))
+		chunk := int(binary.LittleEndian.Uint16(d[4:]))
+		fr.Unpin()
+		if chunk == 0 || chunk > ovfChunkSize {
+			return 0, fmt.Errorf("%w: overflow page %d: chunk length %d", errCorrupt, pid, chunk)
+		}
+		total += uint64(chunk)
+		pid = next
+	}
+	return total, nil
+}

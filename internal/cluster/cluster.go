@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"odh/internal/catalog"
@@ -16,6 +17,22 @@ import (
 	"odh/internal/sqlexec"
 	"odh/internal/tsstore"
 )
+
+// NodeError tags an error with the index of the node it came from, so a
+// scatter operation's aggregate error pinpoints the failing data servers.
+type NodeError struct {
+	Node int
+	Err  error
+}
+
+func (e *NodeError) Error() string { return fmt.Sprintf("cluster: node %d: %v", e.Node, e.Err) }
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// joinNodeErrors aggregates per-node failures (nil when none). The result
+// supports errors.Is/As traversal into each NodeError.
+func joinNodeErrors(errs []error) error {
+	return errors.Join(errs...)
+}
 
 // NodeOptions configures each node's storage stack.
 type NodeOptions struct {
@@ -34,10 +51,16 @@ type Node struct {
 }
 
 func newNode(opts NodeOptions) (*Node, error) {
+	return newNodeWithFile(pagestore.NewMemFile(), opts)
+}
+
+// newNodeWithFile builds a node's stack over an explicit backing file
+// (crash tests inject fault wrappers here).
+func newNodeWithFile(f pagestore.File, opts NodeOptions) (*Node, error) {
 	if opts.PoolPages <= 0 {
 		opts.PoolPages = 4096
 	}
-	page, err := pagestore.Open(pagestore.NewMemFile(), pagestore.Options{PoolPages: opts.PoolPages})
+	page, err := pagestore.Open(f, pagestore.Options{PoolPages: opts.PoolPages})
 	if err != nil {
 		return nil, err
 	}
@@ -69,6 +92,24 @@ func New(n int, opts NodeOptions) (*Cluster, error) {
 	c := &Cluster{}
 	for i := 0; i < n; i++ {
 		node, err := newNode(opts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	return c, nil
+}
+
+// NewWithFiles builds a cluster with one node per backing file, so tests
+// can inject faults into individual data servers.
+func NewWithFiles(files []pagestore.File, opts NodeOptions) (*Cluster, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	c := &Cluster{}
+	for _, f := range files {
+		node, err := newNodeWithFile(f, opts)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -157,25 +198,32 @@ func (c *Cluster) Write(p model.Point) error {
 	return c.homeNode(p.Source).TS.Write(p)
 }
 
-// Flush flushes every node's ingest buffers.
+// Flush flushes every node's ingest buffers. A failing node does not
+// abort the sweep: healthy nodes still flush, and the per-node failures
+// come back aggregated as NodeErrors — one dead data server degrades the
+// cluster instead of wedging it.
 func (c *Cluster) Flush() error {
-	for _, n := range c.nodes {
+	var errs []error
+	for i, n := range c.nodes {
 		if err := n.TS.Flush(); err != nil {
-			return err
+			errs = append(errs, &NodeError{Node: i, Err: err})
 		}
 	}
-	return nil
+	return joinNodeErrors(errs)
 }
 
 // ExecAll runs a DDL or DML statement on every node (relational tables and
-// their contents are replicated).
+// their contents are replicated). Like Flush, it continues past failing
+// nodes and aggregates their errors, so replicas that can apply the
+// statement do.
 func (c *Cluster) ExecAll(sql string) error {
+	var errs []error
 	for i, n := range c.nodes {
 		if _, err := n.Engine.Query(sql); err != nil {
-			return fmt.Errorf("cluster: node %d: %w", i, err)
+			errs = append(errs, &NodeError{Node: i, Err: err})
 		}
 	}
-	return nil
+	return joinNodeErrors(errs)
 }
 
 // QueryResult gathers rows from a scattered query.

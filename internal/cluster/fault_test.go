@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"odh/internal/fault"
+	"odh/internal/model"
+	"odh/internal/pagestore"
+)
+
+// newFaultCluster builds a 3-node cluster whose nodes run on fault-
+// injectable files, with a pool small enough that flushes must touch them.
+func newFaultCluster(t *testing.T) (*Cluster, []*fault.File) {
+	t.Helper()
+	ffs := make([]*fault.File, 3)
+	files := make([]pagestore.File, 3)
+	for i := range ffs {
+		ffs[i] = fault.Wrap(pagestore.NewMemFile())
+		files[i] = ffs[i]
+	}
+	c, err := NewWithFiles(files, NodeOptions{BatchSize: 8, GroupSize: 4, PoolPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ffs
+}
+
+func TestFlushDegradesPastFailingNode(t *testing.T) {
+	c, ffs := newFaultCluster(t)
+	if err := c.CreateSchema(model.SchemaType{
+		Name: "vehicle",
+		Tags: []model.TagDef{{Name: "speed"}, {Name: "fuel"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	schema, _ := c.Node(0).Cat.SchemaByName("vehicle")
+	// Register sources across all nodes and leave points buffered (batch
+	// size 8, 5 points each) so Flush has real work on every node.
+	victim := -1
+	for id := int64(1); id <= 24; id++ {
+		if err := c.RegisterSource(model.DataSource{ID: id, SchemaID: schema.ID, Regular: true, IntervalMs: 10}); err != nil {
+			t.Fatal(err)
+		}
+		for j := int64(0); j < 5; j++ {
+			if err := c.Write(model.Point{Source: id, TS: j * 10, Values: []float64{float64(j), 1}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if victim == -1 {
+			for i := 0; i < c.Nodes(); i++ {
+				if c.Node(i) == c.homeNode(id) {
+					victim = i
+				}
+			}
+		}
+	}
+	before := make([]int64, c.Nodes())
+	for i := range before {
+		before[i] = c.Node(i).TS.Stats().BatchesFlushed
+	}
+	ffs[victim].FailWritesAfter(0)
+	err := c.Flush()
+	if err == nil {
+		t.Fatal("expected the failing node to surface an error")
+	}
+	var ne *NodeError
+	if !errors.As(err, &ne) || ne.Node != victim {
+		t.Fatalf("Flush error = %v, want NodeError for node %d", err, victim)
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("aggregate error %v does not unwrap to the injected fault", err)
+	}
+	if agg, ok := err.(interface{ Unwrap() []error }); !ok || len(agg.Unwrap()) != 1 {
+		t.Fatalf("want exactly one node failure in aggregate, got %v", err)
+	}
+	// The healthy nodes must have flushed their buffers despite the
+	// failure: degradation, not abort.
+	for i := 0; i < c.Nodes(); i++ {
+		if i == victim {
+			continue
+		}
+		if got := c.Node(i).TS.Stats().BatchesFlushed; got <= before[i] {
+			t.Fatalf("healthy node %d did not flush (batches %d -> %d)", i, before[i], got)
+		}
+	}
+}
+
+func TestExecAllDegradesPastFailingNode(t *testing.T) {
+	c, _ := newFaultCluster(t)
+	// Diverge node 1 so the replicated DDL fails there and only there.
+	if _, err := c.Node(1).Engine.Query(`CREATE TABLE fleet (id BIGINT, depot VARCHAR(8))`); err != nil {
+		t.Fatal(err)
+	}
+	err := c.ExecAll(`CREATE TABLE fleet (id BIGINT, depot VARCHAR(8))`)
+	var ne *NodeError
+	if !errors.As(err, &ne) || ne.Node != 1 {
+		t.Fatalf("ExecAll error = %v, want NodeError for node 1", err)
+	}
+	// Nodes 0 and 2 must have applied the statement anyway.
+	for _, i := range []int{0, 2} {
+		if err := func() error {
+			_, qerr := c.Node(i).Engine.Query(fmt.Sprintf(`INSERT INTO fleet VALUES (%d, 'north')`, i))
+			return qerr
+		}(); err != nil {
+			t.Fatalf("node %d missing replicated table: %v", i, err)
+		}
+	}
+}

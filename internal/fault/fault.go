@@ -1,0 +1,219 @@
+// Package fault provides an injectable random-access file wrapper for
+// crash- and corruption-simulation tests across the storage stack. A
+// fault.File wraps any backing file and can be armed to fail after a
+// countdown of writes, reads, or syncs; to tear a write (persist only a
+// prefix of the buffer before reporting failure, simulating a power cut
+// mid-sector); and to flip bits in already-persisted data (silent media
+// corruption). Failures are sticky: once a countdown fires, every later
+// operation of that kind keeps failing, which models a dead device or a
+// killed process whose file descriptor went away.
+//
+// The interface is structural so the package depends on nothing:
+// *pagestore.MemFile, pagestore.OSFile, and anything else exposing the
+// same methods can be wrapped, and the wrapper itself satisfies both
+// pagestore.File and walog.File.
+package fault
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrInjected is the error every armed fault reports. Tests assert on it
+// with errors.Is.
+var ErrInjected = errors.New("fault: injected I/O error")
+
+// Unlimited disarms a countdown: the operation never fails.
+const Unlimited = -1
+
+// Backing is the minimal random-access file a fault.File wraps. It is
+// structurally identical to pagestore.File.
+type Backing interface {
+	io.ReaderAt
+	io.WriterAt
+	// Size returns the current length of the file in bytes.
+	Size() (int64, error)
+	// Truncate changes the file length.
+	Truncate(size int64) error
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+	// Close releases the file.
+	Close() error
+}
+
+// Counters is a snapshot of operations the wrapper has passed through
+// (failed operations are not counted).
+type Counters struct {
+	Reads, Writes, Syncs int64
+}
+
+// File wraps a Backing with fault injection. The zero countdowns mean
+// "fail immediately"; use Unlimited (the Wrap default) to disarm. All
+// methods are safe for concurrent use.
+type File struct {
+	mu         sync.Mutex
+	inner      Backing
+	writesLeft int // Unlimited = disarmed
+	readsLeft  int
+	syncsLeft  int
+	tornBytes  int // on the failing write, persist this prefix first
+	tearArmed  bool
+	tearOff    int64 // tear every write whose range covers this offset
+	tearKeep   int   // ...persisting only this many leading bytes
+	counters   Counters
+}
+
+// Wrap returns a File over inner with every fault disarmed.
+func Wrap(inner Backing) *File {
+	return &File{
+		inner:      inner,
+		writesLeft: Unlimited,
+		readsLeft:  Unlimited,
+		syncsLeft:  Unlimited,
+	}
+}
+
+// FailWritesAfter arms the write countdown: the next n WriteAt calls
+// succeed and every one after that fails. n = Unlimited disarms.
+func (f *File) FailWritesAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writesLeft = n
+}
+
+// FailReadsAfter arms the read countdown.
+func (f *File) FailReadsAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readsLeft = n
+}
+
+// FailSyncsAfter arms the sync countdown.
+func (f *File) FailSyncsAfter(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncsLeft = n
+}
+
+// SetTornWrite makes the failing write persist its first n bytes before
+// reporting ErrInjected — a torn write. Zero restores fail-clean behavior
+// (nothing of the failing write reaches the file).
+func (f *File) SetTornWrite(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tornBytes = n
+}
+
+// TearWriteAt arms an offset-targeted torn write: every WriteAt whose
+// range covers off persists only its first keep bytes and reports
+// ErrInjected, while writes elsewhere pass through untouched. It pins
+// the "power died while this block was mid-write" scenario to a known
+// page even when the caller's flush order is opaque. Disarm with
+// ClearTearWriteAt.
+func (f *File) TearWriteAt(off int64, keep int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tearArmed, f.tearOff, f.tearKeep = true, off, keep
+}
+
+// ClearTearWriteAt disarms the offset-targeted torn write.
+func (f *File) ClearTearWriteAt() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tearArmed = false
+}
+
+// Counters returns a snapshot of successful operation counts.
+func (f *File) Counters() Counters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counters
+}
+
+// Inner returns the wrapped backing file, for reopening "after the crash".
+func (f *File) Inner() Backing { return f.inner }
+
+// CorruptAt XORs mask into the byte at off in the backing file, bypassing
+// the fault countdowns — silent media corruption for checksum tests.
+func (f *File) CorruptAt(off int64, mask byte) error {
+	var b [1]byte
+	if _, err := f.inner.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= mask
+	_, err := f.inner.WriteAt(b[:], off)
+	return err
+}
+
+// WriteAt implements io.WriterAt with the write countdown and torn-write
+// behavior.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	if f.tearArmed && off <= f.tearOff && f.tearOff < off+int64(len(p)) {
+		keep := f.tearKeep
+		f.mu.Unlock()
+		if keep > len(p) {
+			keep = len(p)
+		}
+		n, _ := f.inner.WriteAt(p[:keep], off)
+		return n, ErrInjected
+	}
+	if f.writesLeft == 0 {
+		torn := f.tornBytes
+		f.mu.Unlock()
+		if torn > 0 {
+			if torn > len(p) {
+				torn = len(p)
+			}
+			n, _ := f.inner.WriteAt(p[:torn], off)
+			return n, ErrInjected
+		}
+		return 0, ErrInjected
+	}
+	if f.writesLeft > 0 {
+		f.writesLeft--
+	}
+	f.counters.Writes++
+	f.mu.Unlock()
+	return f.inner.WriteAt(p, off)
+}
+
+// ReadAt implements io.ReaderAt with the read countdown.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	if f.readsLeft == 0 {
+		f.mu.Unlock()
+		return 0, ErrInjected
+	}
+	if f.readsLeft > 0 {
+		f.readsLeft--
+	}
+	f.counters.Reads++
+	f.mu.Unlock()
+	return f.inner.ReadAt(p, off)
+}
+
+// Size returns the backing file's length.
+func (f *File) Size() (int64, error) { return f.inner.Size() }
+
+// Truncate resizes the backing file.
+func (f *File) Truncate(size int64) error { return f.inner.Truncate(size) }
+
+// Sync applies the sync countdown, then syncs the backing file.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	if f.syncsLeft == 0 {
+		f.mu.Unlock()
+		return ErrInjected
+	}
+	if f.syncsLeft > 0 {
+		f.syncsLeft--
+	}
+	f.counters.Syncs++
+	f.mu.Unlock()
+	return f.inner.Sync()
+}
+
+// Close closes the backing file.
+func (f *File) Close() error { return f.inner.Close() }

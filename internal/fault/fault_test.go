@@ -1,0 +1,176 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+// memBacking is a tiny in-memory Backing for the package's own tests
+// (mirrors pagestore.MemFile without importing it).
+type memBacking struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func (m *memBacking) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memBacking) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if end := off + int64(len(p)); end > int64(len(m.data)) {
+		grown := make([]byte, end)
+		copy(grown, m.data)
+		m.data = grown
+	}
+	copy(m.data[off:], p)
+	return len(p), nil
+}
+
+func (m *memBacking) Size() (int64, error) { return int64(len(m.data)), nil }
+func (m *memBacking) Truncate(size int64) error {
+	if size <= int64(len(m.data)) {
+		m.data = m.data[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, m.data)
+	m.data = grown
+	return nil
+}
+func (m *memBacking) Sync() error  { return nil }
+func (m *memBacking) Close() error { return nil }
+
+func TestWriteCountdownSticky(t *testing.T) {
+	f := Wrap(&memBacking{})
+	f.FailWritesAfter(2)
+	for i := 0; i < 2; i++ {
+		if _, err := f.WriteAt([]byte("ok"), int64(i*2)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := f.WriteAt([]byte("no"), 0); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write after countdown = %v, want ErrInjected (sticky)", err)
+		}
+	}
+	if c := f.Counters(); c.Writes != 2 {
+		t.Fatalf("Writes = %d, want 2", c.Writes)
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	inner := &memBacking{}
+	f := Wrap(inner)
+	if _, err := f.WriteAt([]byte("aaaaaaaa"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.FailWritesAfter(0)
+	f.SetTornWrite(3)
+	n, err := f.WriteAt([]byte("bbbbbbbb"), 0)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write n = %d, want 3", n)
+	}
+	got := make([]byte, 8)
+	if _, err := inner.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte("bbbaaaaa"); !bytes.Equal(got, want) {
+		t.Fatalf("file = %q, want %q", got, want)
+	}
+}
+
+func TestReadAndSyncCountdowns(t *testing.T) {
+	f := Wrap(&memBacking{})
+	if _, err := f.WriteAt([]byte("data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.FailReadsAfter(1)
+	buf := make([]byte, 4)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read = %v, want ErrInjected", err)
+	}
+	f.FailSyncsAfter(0)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync = %v, want ErrInjected", err)
+	}
+}
+
+func TestCorruptAtFlipsBit(t *testing.T) {
+	inner := &memBacking{}
+	f := Wrap(inner)
+	if _, err := f.WriteAt([]byte{0b0000_1111}, 5); err != nil {
+		t.Fatal(err)
+	}
+	// CorruptAt bypasses countdowns entirely.
+	f.FailWritesAfter(0)
+	f.FailReadsAfter(0)
+	if err := f.CorruptAt(5, 0b1000_0000); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if _, err := inner.ReadAt(got, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0b1000_1111 {
+		t.Fatalf("byte = %08b, want 10001111", got[0])
+	}
+}
+
+func TestUnlimitedDisarms(t *testing.T) {
+	f := Wrap(&memBacking{})
+	f.FailWritesAfter(0)
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("expected armed fault")
+	}
+	f.FailWritesAfter(Unlimited)
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("disarmed write failed: %v", err)
+	}
+}
+
+func TestTearWriteAtTargetsOffset(t *testing.T) {
+	m := &memBacking{}
+	f := Wrap(m)
+	f.TearWriteAt(100, 3)
+	if _, err := f.WriteAt([]byte("safe"), 0); err != nil {
+		t.Fatalf("write outside target failed: %v", err)
+	}
+	n, err := f.WriteAt([]byte("ABCDEFGH"), 96)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("covering write err = %v, want ErrInjected", err)
+	}
+	if n != 3 || string(m.data[96:99]) != "ABC" {
+		t.Fatalf("torn prefix = %d bytes %q, want 3 bytes ABC", n, m.data[96:96+n])
+	}
+	if int64(len(m.data)) != 99 {
+		t.Fatalf("file grew to %d, want 99", len(m.data))
+	}
+	// Sticky until cleared; then the same write passes.
+	if _, err := f.WriteAt([]byte("ABCDEFGH"), 96); !errors.Is(err, ErrInjected) {
+		t.Fatal("second covering write passed while armed")
+	}
+	f.ClearTearWriteAt()
+	if _, err := f.WriteAt([]byte("ABCDEFGH"), 96); err != nil {
+		t.Fatalf("write after disarm failed: %v", err)
+	}
+}

@@ -2,62 +2,28 @@ package pagestore
 
 import (
 	"errors"
-	"sync"
 	"testing"
+
+	"odh/internal/fault"
 )
 
-// faultFile wraps a MemFile and starts failing writes (or reads) after a
-// countdown, simulating a device error mid-workload.
-type faultFile struct {
-	inner      *MemFile
-	mu         sync.Mutex
-	writesLeft int // -1 = unlimited
-	readsLeft  int
-}
+// The store must surface injected I/O faults loudly (never return zeroed
+// or stale data), keep its pool consistent across a fault, detect silent
+// corruption via page checksums, and survive torn meta writes through the
+// dual-slot protocol.
 
-var errInjected = errors.New("injected I/O fault")
-
-func newFaultFile(writesLeft, readsLeft int) *faultFile {
-	return &faultFile{inner: NewMemFile(), writesLeft: writesLeft, readsLeft: readsLeft}
-}
-
-func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
-	f.mu.Lock()
-	if f.writesLeft == 0 {
-		f.mu.Unlock()
-		return 0, errInjected
+func newFaultStore(t *testing.T, pool int) (*Store, *fault.File) {
+	t.Helper()
+	ff := fault.Wrap(NewMemFile())
+	s, err := Open(ff, Options{PoolPages: pool})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
 	}
-	if f.writesLeft > 0 {
-		f.writesLeft--
-	}
-	f.mu.Unlock()
-	return f.inner.WriteAt(p, off)
+	return s, ff
 }
-
-func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
-	f.mu.Lock()
-	if f.readsLeft == 0 {
-		f.mu.Unlock()
-		return 0, errInjected
-	}
-	if f.readsLeft > 0 {
-		f.readsLeft--
-	}
-	f.mu.Unlock()
-	return f.inner.ReadAt(p, off)
-}
-
-func (f *faultFile) Size() (int64, error)      { return f.inner.Size() }
-func (f *faultFile) Truncate(size int64) error { return f.inner.Truncate(size) }
-func (f *faultFile) Sync() error               { return f.inner.Sync() }
-func (f *faultFile) Close() error              { return f.inner.Close() }
 
 func TestWriteFaultSurfacesOnFlush(t *testing.T) {
-	ff := newFaultFile(1, -1) // allow only the initial format write
-	s, err := Open(ff, Options{PoolPages: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
+	s, ff := newFaultStore(t, 4)
 	_, fr, err := s.Allocate()
 	if err != nil {
 		t.Fatal(err)
@@ -65,17 +31,14 @@ func TestWriteFaultSurfacesOnFlush(t *testing.T) {
 	fr.Data()[0] = 0xAB
 	fr.MarkDirty()
 	fr.Unpin()
-	if err := s.Flush(); !errors.Is(err, errInjected) {
+	ff.FailWritesAfter(0)
+	if err := s.Flush(); !errors.Is(err, fault.ErrInjected) {
 		t.Fatalf("Flush error = %v, want injected fault", err)
 	}
 }
 
 func TestWriteFaultSurfacesOnEviction(t *testing.T) {
-	ff := newFaultFile(1, -1)
-	s, err := Open(ff, Options{PoolPages: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
+	s, ff := newFaultStore(t, 2)
 	// Fill the pool with dirty pages, then force an eviction.
 	for i := 0; i < 2; i++ {
 		_, fr, err := s.Allocate()
@@ -85,18 +48,15 @@ func TestWriteFaultSurfacesOnEviction(t *testing.T) {
 		fr.MarkDirty()
 		fr.Unpin()
 	}
-	_, _, err = s.Allocate() // must evict a dirty frame -> write -> fault
-	if !errors.Is(err, errInjected) {
+	ff.FailWritesAfter(0)
+	_, _, err := s.Allocate() // must evict a dirty frame -> write -> fault
+	if !errors.Is(err, fault.ErrInjected) {
 		t.Fatalf("Allocate error = %v, want injected fault", err)
 	}
 }
 
 func TestReadFaultSurfacesOnGet(t *testing.T) {
-	ff := newFaultFile(-1, -1)
-	s, err := Open(ff, Options{PoolPages: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
+	s, ff := newFaultStore(t, 2)
 	var ids []PageID
 	for i := 0; i < 4; i++ {
 		id, fr, err := s.Allocate()
@@ -109,20 +69,14 @@ func TestReadFaultSurfacesOnGet(t *testing.T) {
 	}
 	// Stop reads: fetching an evicted page must fail loudly, not return
 	// zeroed data.
-	ff.mu.Lock()
-	ff.readsLeft = 0
-	ff.mu.Unlock()
-	if _, err := s.Get(ids[0]); !errors.Is(err, errInjected) {
+	ff.FailReadsAfter(0)
+	if _, err := s.Get(ids[0]); !errors.Is(err, fault.ErrInjected) {
 		t.Fatalf("Get error = %v, want injected fault", err)
 	}
 }
 
 func TestFaultDoesNotCorruptPool(t *testing.T) {
-	ff := newFaultFile(-1, -1)
-	s, err := Open(ff, Options{PoolPages: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
+	s, ff := newFaultStore(t, 2)
 	var ids []PageID
 	for i := 0; i < 4; i++ {
 		id, fr, err := s.Allocate()
@@ -135,15 +89,11 @@ func TestFaultDoesNotCorruptPool(t *testing.T) {
 		ids = append(ids, id)
 	}
 	// One failed read must not poison subsequent operations.
-	ff.mu.Lock()
-	ff.readsLeft = 0
-	ff.mu.Unlock()
+	ff.FailReadsAfter(0)
 	if _, err := s.Get(ids[0]); err == nil {
 		t.Fatal("expected fault")
 	}
-	ff.mu.Lock()
-	ff.readsLeft = -1
-	ff.mu.Unlock()
+	ff.FailReadsAfter(fault.Unlimited)
 	fr, err := s.Get(ids[0])
 	if err != nil {
 		t.Fatalf("recovery Get: %v", err)
@@ -152,4 +102,144 @@ func TestFaultDoesNotCorruptPool(t *testing.T) {
 		t.Fatalf("data corrupted after fault: %d", fr.Data()[0])
 	}
 	fr.Unpin()
+}
+
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	s, ff := newFaultStore(t, 4)
+	id, fr, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(fr.Data(), "precious data")
+	fr.MarkDirty()
+	fr.Unpin()
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit on disk, then force the page out of the pool so
+	// the next Get reads from the file.
+	if err := ff.CorruptAt(blockFor(id)*DiskPageSize+PageHeaderSize+3, 0x01); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(ff.Inner(), Options{PoolPages: 4})
+	if err != nil {
+		t.Fatalf("reopen after bit flip: %v", err)
+	}
+	defer s2.Close()
+	_, err = s2.Get(id)
+	var cp *ErrCorruptPage
+	if !errors.As(err, &cp) || cp.PageNo != id {
+		t.Fatalf("Get = %v, want ErrCorruptPage{%d}", err, id)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("errors.Is(err, ErrCorrupt) = false for %v", err)
+	}
+	checked, corrupt, err := s2.VerifyPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 || len(corrupt) != 1 || corrupt[0] != id {
+		t.Fatalf("VerifyPages = (%d, %v), want exactly page %d corrupt", checked, corrupt, id)
+	}
+}
+
+func TestTornMetaWriteFallsBackToPreviousEpoch(t *testing.T) {
+	s, ff := newFaultStore(t, 8)
+	id1, fr1, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(fr1.Data(), "epoch one")
+	fr1.MarkDirty()
+	fr1.Unpin()
+	if err := s.SetRoot("anchor", id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Next flush: dirty the page again, then tear the flush partway
+	// through the meta write (the data page write is allowed through).
+	fr1b, err := s.Get(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(fr1b.Data(), "epoch two")
+	fr1b.MarkDirty()
+	fr1b.Unpin()
+	ff.FailWritesAfter(1) // one data page write, then tear the meta write
+	ff.SetTornWrite(100)
+	if err := s.Flush(); err == nil {
+		t.Fatal("expected torn meta write to surface")
+	}
+	// "Crash": reopen on the underlying bytes.
+	s2, err := Open(ff.Inner(), Options{PoolPages: 8})
+	if err != nil {
+		t.Fatalf("reopen after torn meta write: %v", err)
+	}
+	defer s2.Close()
+	got, err := s2.Root("anchor")
+	if err != nil {
+		t.Fatalf("root lost after torn meta write: %v", err)
+	}
+	if got != id1 {
+		t.Fatalf("root = %d, want previous epoch's %d", got, id1)
+	}
+	fr, err := s2.Get(got)
+	if err != nil {
+		t.Fatalf("root page unreadable after torn meta write: %v", err)
+	}
+	defer fr.Unpin()
+	if string(fr.Data()[:6]) != "epoch " {
+		t.Fatalf("root page lost: %q", fr.Data()[:9])
+	}
+}
+
+func TestMetaAlternatesSlots(t *testing.T) {
+	s, _ := newFaultStore(t, 8)
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		if err := s.SetRoot("r", PageID(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both slots must now hold a valid meta page (epochs alternate).
+	var page [PageSize]byte
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for slot := int64(0); slot < 2; slot++ {
+		if _, err := s.readBlock(slot, 0, page[:]); err != nil {
+			t.Fatalf("meta slot %d invalid after alternating writes: %v", slot, err)
+		}
+	}
+}
+
+func TestVerifyPagesCleanStore(t *testing.T) {
+	s, _ := newFaultStore(t, 8)
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		_, fr, err := s.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(i)
+		fr.MarkDirty()
+		fr.Unpin()
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checked, corrupt, err := s.VerifyPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrupt) != 0 {
+		t.Fatalf("clean store reports corrupt pages %v", corrupt)
+	}
+	if checked != 11 { // meta + 10 data pages
+		t.Fatalf("checked = %d, want 11", checked)
+	}
 }

@@ -15,8 +15,19 @@ import (
 	"sync"
 )
 
-// PageSize is the size in bytes of every page managed by a Store.
-const PageSize = 4096
+// DiskPageSize is the physical size of one page slot on disk: an 8-byte
+// integrity header followed by the page payload.
+const DiskPageSize = 4096
+
+// PageHeaderSize is the per-page on-disk header: a CRC32-C checksum over
+// the payload plus the page number (so a page written to the wrong offset
+// is detected too), and a 4-byte auxiliary word (the meta page's epoch;
+// zero for data pages).
+const PageHeaderSize = 8
+
+// PageSize is the usable payload size in bytes of every page managed by a
+// Store — what Frame.Data exposes to higher layers.
+const PageSize = DiskPageSize - PageHeaderSize
 
 // PageID identifies a page within a Store. Page 0 is the store's meta page
 // and is never handed out by Allocate.

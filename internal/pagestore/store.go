@@ -5,13 +5,17 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
+	"slices"
 	"sync"
 )
 
-// Magic bytes identifying a pagestore file.
-var magic = [8]byte{'O', 'D', 'H', 'P', 'A', 'G', 'E', '1'}
+// Magic bytes identifying a pagestore file (format 2: checksummed pages,
+// dual-slot meta).
+var magic = [8]byte{'O', 'D', 'H', 'P', 'A', 'G', 'E', '2'}
 
-// Meta page layout (page 0):
+// Meta page payload layout (page 0):
 //
 //	[0:8]   magic
 //	[8:12]  format version
@@ -19,8 +23,16 @@ var magic = [8]byte{'O', 'D', 'H', 'P', 'A', 'G', 'E', '1'}
 //	[16:20] free list head PageID
 //	[20:24] number of named roots
 //	[24:]   named roots: {nameLen uint16, name bytes, page uint32}*
+//
+// On disk every page occupies one DiskPageSize slot: an 8-byte header
+// (CRC32-C over aux word + payload + page number, then the aux word)
+// followed by the PageSize payload. The meta page is double-written: it
+// owns physical slots 0 and 1 and alternates between them with a
+// monotonically increasing epoch in the aux word, so a torn meta write
+// loses at most the newest epoch, never the store's roots. Data page id
+// (>= 1) lives in physical slot id+1.
 const (
-	metaVersion     = 1
+	metaVersion     = 2
 	offNumPages     = 12
 	offFreeHead     = 16
 	offNumRoots     = 20
@@ -28,6 +40,10 @@ const (
 	maxRootNameLen  = 64
 	defaultPoolSize = 1024
 )
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// most CPUs).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Errors returned by Store operations.
 var (
@@ -37,7 +53,23 @@ var (
 	ErrClosed      = errors.New("pagestore: store is closed")
 	ErrRootMissing = errors.New("pagestore: named root not found")
 	ErrPoolFull    = errors.New("pagestore: buffer pool exhausted (all frames pinned)")
+	// ErrCorrupt is the sentinel wrapped by every checksum failure;
+	// errors.Is(err, ErrCorrupt) matches any ErrCorruptPage.
+	ErrCorrupt = errors.New("pagestore: page corrupt")
 )
+
+// ErrCorruptPage reports a page whose on-disk checksum did not match its
+// contents (bit rot, a torn write, or a page that was never written).
+type ErrCorruptPage struct {
+	PageNo PageID
+}
+
+func (e *ErrCorruptPage) Error() string {
+	return fmt.Sprintf("pagestore: page %d corrupt (checksum mismatch)", e.PageNo)
+}
+
+// Unwrap lets errors.Is(err, ErrCorrupt) match.
+func (e *ErrCorruptPage) Unwrap() error { return ErrCorrupt }
 
 // Stats counts buffer-pool and I/O activity. The IoT-X metrics layer reads
 // these to report I/O throughput and storage size.
@@ -73,16 +105,19 @@ type frame struct {
 // are owned by the pool; callers must hold the pin while reading or writing
 // the data and call MarkDirty before Unpin after mutation.
 type Store struct {
-	mu       sync.Mutex
-	file     File
-	closed   bool
-	numPages uint32
-	freeHead PageID
-	roots    map[string]PageID
+	mu        sync.Mutex
+	file      File
+	closed    bool
+	numPages  uint32
+	freeHead  PageID
+	metaEpoch uint32 // epoch of the newest valid meta slot
+	roots     map[string]PageID
 
 	poolCap int
 	frames  map[PageID]*frame
 	lru     *list.List // of PageID, front = most recently used
+
+	iobuf [DiskPageSize]byte // scratch for block I/O; guarded by mu
 
 	stats Stats
 }
@@ -116,54 +151,64 @@ func Open(f File, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// format writes a fresh meta page.
-func (s *Store) format() error {
-	var page [PageSize]byte
-	copy(page[:8], magic[:])
-	binary.LittleEndian.PutUint32(page[8:12], metaVersion)
-	binary.LittleEndian.PutUint32(page[offNumPages:], 1)
-	s.numPages = 1
-	s.freeHead = InvalidPage
-	return s.writePage(0, page[:])
+// pageChecksum computes the CRC32-C of a page slot: aux word, payload,
+// then the page number, so a valid page replayed at the wrong slot still
+// fails verification.
+func pageChecksum(aux uint32, payload []byte, pageNo PageID) uint32 {
+	var w [4]byte
+	binary.LittleEndian.PutUint32(w[:], aux)
+	crc := crc32.Update(0, crcTable, w[:])
+	crc = crc32.Update(crc, crcTable, payload)
+	binary.LittleEndian.PutUint32(w[:], uint32(pageNo))
+	return crc32.Update(crc, crcTable, w[:])
 }
 
-// loadMeta reads and validates the meta page.
-func (s *Store) loadMeta() error {
-	var page [PageSize]byte
-	if err := s.readPage(0, page[:]); err != nil {
-		return err
-	}
-	if [8]byte(page[:8]) != magic {
-		return ErrBadMagic
-	}
-	if v := binary.LittleEndian.Uint32(page[8:12]); v != metaVersion {
-		return fmt.Errorf("%w: %d", ErrBadVersion, v)
-	}
-	s.numPages = binary.LittleEndian.Uint32(page[offNumPages:])
-	s.freeHead = PageID(binary.LittleEndian.Uint32(page[offFreeHead:]))
-	n := int(binary.LittleEndian.Uint32(page[offNumRoots:]))
-	off := offRoots
-	for i := 0; i < n; i++ {
-		if off+2 > PageSize {
-			return errors.New("pagestore: corrupt root directory")
-		}
-		nameLen := int(binary.LittleEndian.Uint16(page[off:]))
-		off += 2
-		if nameLen > maxRootNameLen || off+nameLen+4 > PageSize {
-			return errors.New("pagestore: corrupt root directory")
-		}
-		name := string(page[off : off+nameLen])
-		off += nameLen
-		s.roots[name] = PageID(binary.LittleEndian.Uint32(page[off:]))
-		off += 4
+// blockFor maps a logical page to its physical slot: the meta page owns
+// slots 0 and 1 (double write), data page id lives at slot id+1.
+func blockFor(id PageID) int64 { return int64(id) + 1 }
+
+// writeBlock seals payload with its checksum header and writes the slot.
+// Caller holds s.mu.
+func (s *Store) writeBlock(block int64, pageNo PageID, aux uint32, payload []byte) error {
+	binary.LittleEndian.PutUint32(s.iobuf[0:4], pageChecksum(aux, payload, pageNo))
+	binary.LittleEndian.PutUint32(s.iobuf[4:8], aux)
+	copy(s.iobuf[PageHeaderSize:], payload[:PageSize])
+	n, err := s.file.WriteAt(s.iobuf[:], block*DiskPageSize)
+	s.stats.PageWrites++
+	s.stats.BytesWritten += int64(n)
+	if err != nil {
+		return fmt.Errorf("pagestore: write page %d: %w", pageNo, err)
 	}
 	return nil
 }
 
-// flushMeta persists the meta page (counts, free list head, root directory).
-// Caller holds s.mu.
-func (s *Store) flushMeta() error {
-	var page [PageSize]byte
+// readBlock reads one slot, verifies its checksum, and copies the payload
+// out. A checksum mismatch or a slot that was never written reports
+// ErrCorruptPage. Caller holds s.mu.
+func (s *Store) readBlock(block int64, pageNo PageID, payload []byte) (aux uint32, err error) {
+	n, rerr := s.file.ReadAt(s.iobuf[:], block*DiskPageSize)
+	s.stats.PageReads++
+	s.stats.BytesRead += int64(n)
+	if rerr != nil {
+		if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
+			// Short read / EOF: the slot does not exist on disk (truncated
+			// file). Report it as corruption so callers can quarantine
+			// rather than crash; real device errors pass through as-is.
+			return 0, &ErrCorruptPage{PageNo: pageNo}
+		}
+		return 0, fmt.Errorf("pagestore: read page %d: %w", pageNo, rerr)
+	}
+	want := binary.LittleEndian.Uint32(s.iobuf[0:4])
+	aux = binary.LittleEndian.Uint32(s.iobuf[4:8])
+	if pageChecksum(aux, s.iobuf[PageHeaderSize:], pageNo) != want {
+		return 0, &ErrCorruptPage{PageNo: pageNo}
+	}
+	copy(payload[:PageSize], s.iobuf[PageHeaderSize:])
+	return aux, nil
+}
+
+// buildMeta serializes the meta payload from the store's state.
+func (s *Store) buildMeta(page []byte) error {
 	copy(page[:8], magic[:])
 	binary.LittleEndian.PutUint32(page[8:12], metaVersion)
 	binary.LittleEndian.PutUint32(page[offNumPages:], s.numPages)
@@ -182,27 +227,96 @@ func (s *Store) flushMeta() error {
 		binary.LittleEndian.PutUint32(page[off:], uint32(id))
 		off += 4
 	}
-	return s.writePage(0, page[:])
+	return nil
+}
+
+// format writes a fresh meta page into slot 0.
+func (s *Store) format() error {
+	s.numPages = 1
+	s.freeHead = InvalidPage
+	s.metaEpoch = 0
+	var page [PageSize]byte
+	if err := s.buildMeta(page[:]); err != nil {
+		return err
+	}
+	return s.writeBlock(0, 0, 0, page[:])
+}
+
+// loadMeta reads both meta slots and loads the newest valid one. A torn
+// write in one slot falls back to the other (older but consistent) epoch.
+func (s *Store) loadMeta() error {
+	var best [PageSize]byte
+	bestEpoch, found := uint32(0), false
+	sawMagic := false
+	var page [PageSize]byte
+	for slot := int64(0); slot < 2; slot++ {
+		epoch, err := s.readBlock(slot, 0, page[:])
+		if err != nil {
+			continue // torn, missing, or rotted slot: try the other
+		}
+		if [8]byte(page[:8]) != magic {
+			continue
+		}
+		sawMagic = true
+		if v := binary.LittleEndian.Uint32(page[8:12]); v != metaVersion {
+			return fmt.Errorf("%w: %d", ErrBadVersion, v)
+		}
+		if !found || epoch > bestEpoch {
+			best, bestEpoch, found = page, epoch, true
+		}
+	}
+	if !found {
+		if sawMagic {
+			return &ErrCorruptPage{PageNo: 0}
+		}
+		return ErrBadMagic
+	}
+	s.metaEpoch = bestEpoch
+	s.numPages = binary.LittleEndian.Uint32(best[offNumPages:])
+	s.freeHead = PageID(binary.LittleEndian.Uint32(best[offFreeHead:]))
+	n := int(binary.LittleEndian.Uint32(best[offNumRoots:]))
+	off := offRoots
+	for i := 0; i < n; i++ {
+		if off+2 > PageSize {
+			return errors.New("pagestore: corrupt root directory")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(best[off:]))
+		off += 2
+		if nameLen > maxRootNameLen || off+nameLen+4 > PageSize {
+			return errors.New("pagestore: corrupt root directory")
+		}
+		name := string(best[off : off+nameLen])
+		off += nameLen
+		s.roots[name] = PageID(binary.LittleEndian.Uint32(best[off:]))
+		off += 4
+	}
+	return nil
+}
+
+// flushMeta persists the meta page (counts, free list head, root
+// directory) into the slot the current epoch does NOT occupy, so the
+// previous meta stays intact until the new one is fully on disk.
+// Caller holds s.mu.
+func (s *Store) flushMeta() error {
+	var page [PageSize]byte
+	if err := s.buildMeta(page[:]); err != nil {
+		return err
+	}
+	epoch := s.metaEpoch + 1
+	if err := s.writeBlock(int64(epoch%2), 0, epoch, page[:]); err != nil {
+		return err
+	}
+	s.metaEpoch = epoch
+	return nil
 }
 
 func (s *Store) readPage(id PageID, buf []byte) error {
-	n, err := s.file.ReadAt(buf[:PageSize], int64(id)*PageSize)
-	s.stats.PageReads++
-	s.stats.BytesRead += int64(n)
-	if err != nil {
-		return fmt.Errorf("pagestore: read page %d: %w", id, err)
-	}
-	return nil
+	_, err := s.readBlock(blockFor(id), id, buf)
+	return err
 }
 
 func (s *Store) writePage(id PageID, buf []byte) error {
-	n, err := s.file.WriteAt(buf[:PageSize], int64(id)*PageSize)
-	s.stats.PageWrites++
-	s.stats.BytesWritten += int64(n)
-	if err != nil {
-		return fmt.Errorf("pagestore: write page %d: %w", id, err)
-	}
-	return nil
+	return s.writeBlock(blockFor(id), id, 0, buf)
 }
 
 // Allocate returns a fresh page, either reusing a freed page or extending
@@ -272,7 +386,10 @@ func (s *Store) Get(id PageID) (*Frame, error) {
 		return nil, ErrClosed
 	}
 	if id == InvalidPage || uint32(id) >= s.numPages {
-		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageRange, id, s.numPages)
+		// A reference to a page this epoch never allocated is a dangling
+		// pointer — after a crash it means the referencing page was flushed
+		// but its target was not, so scans treat it as corruption.
+		return nil, fmt.Errorf("%w: %d (have %d): %w", ErrPageRange, id, s.numPages, ErrCorrupt)
 	}
 	fr, err := s.pin(id)
 	if err != nil {
@@ -408,12 +525,30 @@ func (s *Store) Flush() error {
 }
 
 func (s *Store) flushLocked() error {
+	// Write dirty pages in ascending id order: the I/O is sequential on
+	// disk, and a crash mid-flush tears a deterministic prefix of the
+	// dirty set rather than a random map-order subset.
+	dirty := make([]PageID, 0, len(s.frames))
 	for id, fr := range s.frames {
 		if fr.dirty {
-			if err := s.writePage(id, fr.data[:]); err != nil {
-				return err
-			}
-			fr.dirty = false
+			dirty = append(dirty, id)
+		}
+	}
+	slices.Sort(dirty)
+	for _, id := range dirty {
+		fr := s.frames[id]
+		if err := s.writePage(id, fr.data[:]); err != nil {
+			return err
+		}
+		fr.dirty = false
+	}
+	wrote := len(dirty) > 0
+	// Sync data pages before the meta page points at them: a crash between
+	// the two syncs leaves the previous meta epoch valid and every page it
+	// references fully on disk.
+	if wrote {
+		if err := s.file.Sync(); err != nil {
+			return err
 		}
 	}
 	if err := s.flushMeta(); err != nil {
@@ -443,9 +578,51 @@ func (s *Store) NumPages() uint32 {
 	return s.numPages
 }
 
-// SizeBytes returns the logical size of the store in bytes.
+// SizeBytes returns the on-disk size of the store in bytes (the meta
+// page's second slot included).
 func (s *Store) SizeBytes() int64 {
-	return int64(s.NumPages()) * PageSize
+	return (int64(s.NumPages()) + 1) * DiskPageSize
+}
+
+// VerifyPages scrubs the on-disk image, verifying every page checksum
+// without disturbing the buffer pool. Dirty frames not yet flushed make
+// the on-disk copy stale but still checksum-valid, so callers wanting an
+// exact picture should Flush first. The meta page (id 0) is reported
+// corrupt only when neither of its slots is valid.
+func (s *Store) VerifyPages() (checked int, corrupt []PageID, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, nil, ErrClosed
+	}
+	var page [PageSize]byte
+	metaOK := false
+	for slot := int64(0); slot < 2; slot++ {
+		if _, err := s.readBlock(slot, 0, page[:]); err == nil {
+			metaOK = true
+			break
+		}
+	}
+	checked++
+	if !metaOK {
+		corrupt = append(corrupt, 0)
+	}
+	// Scrub to the physical end of the file, not just this epoch's page
+	// count: a crash mid-flush can leave torn pages past the recovered
+	// meta's extent, and fsck should surface them.
+	last := uint32(s.numPages)
+	if size, err := s.file.Size(); err == nil {
+		if blocks := (size + DiskPageSize - 1) / DiskPageSize; blocks > int64(last)+1 {
+			last = uint32(blocks - 1)
+		}
+	}
+	for id := PageID(1); uint32(id) < last; id++ {
+		checked++
+		if _, err := s.readBlock(blockFor(id), id, page[:]); err != nil {
+			corrupt = append(corrupt, id)
+		}
+	}
+	return checked, corrupt, nil
 }
 
 // Stats returns a snapshot of I/O counters.

@@ -295,7 +295,7 @@ func TestOSFileBacking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Size()%PageSize != 0 {
+	if st.Size()%DiskPageSize != 0 {
 		t.Fatalf("file size %d not page aligned", st.Size())
 	}
 
@@ -396,7 +396,7 @@ func TestStatsAccounting(t *testing.T) {
 	if st.Misses == 0 || st.PageReads == 0 {
 		t.Fatalf("expected misses/reads after eviction churn: %+v", st)
 	}
-	if st.BytesWritten == 0 || st.BytesWritten%PageSize != 0 {
+	if st.BytesWritten == 0 || st.BytesWritten%DiskPageSize != 0 {
 		t.Fatalf("BytesWritten = %d, want positive page multiple", st.BytesWritten)
 	}
 }

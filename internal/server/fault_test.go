@@ -1,0 +1,103 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"odh"
+)
+
+// newPipeServer runs ServeConn on one end of a net.Pipe and returns the
+// client end plus a channel of errors the OnError hook received.
+func newPipeServer(t *testing.T, opts Options) (net.Conn, <-chan error) {
+	t.Helper()
+	h, err := odh.Open("", odh.Options{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	hooked := make(chan error, 4)
+	opts.OnError = func(err error) { hooked <- err }
+	srv := NewWith(h, opts)
+	clientEnd, serverEnd := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeConn(serverEnd)
+		close(done)
+	}()
+	t.Cleanup(func() {
+		clientEnd.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("ServeConn did not return after client close")
+		}
+	})
+	return clientEnd, hooked
+}
+
+func readLine(t *testing.T, r *bufio.Reader) string {
+	t.Helper()
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading reply: %v (got %q)", err, line)
+	}
+	return strings.TrimRight(line, "\n")
+}
+
+func TestOversizedLineReportedAsERR(t *testing.T) {
+	conn, hooked := newPipeServer(t, Options{})
+	r := bufio.NewReader(conn)
+	// A line larger than the scanner's 1 MiB cap. net.Pipe writes are
+	// synchronous, and the scanner stops reading once its buffer fills,
+	// so the write must not block the assertion path.
+	go func() {
+		big := make([]byte, 1<<20+512)
+		for i := range big {
+			big[i] = 'a'
+		}
+		conn.Write(big) // never completes; unblocked by conn close
+	}()
+	reply := readLine(t, r)
+	if !strings.HasPrefix(reply, "ERR connection:") {
+		t.Fatalf("reply = %q, want ERR connection prefix", reply)
+	}
+	select {
+	case err := <-hooked:
+		if !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("hook got %v, want bufio.ErrTooLong", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnError hook never fired")
+	}
+}
+
+func TestIdleTimeoutDisconnects(t *testing.T) {
+	conn, hooked := newPipeServer(t, Options{IdleTimeout: 50 * time.Millisecond})
+	r := bufio.NewReader(conn)
+	// A live exchange first: the deadline must not clip active clients.
+	if _, err := conn.Write([]byte("PING\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readLine(t, r); got != "PONG" {
+		t.Fatalf("PING reply = %q", got)
+	}
+	// Now go idle and wait for the server to hang up on us.
+	reply := readLine(t, r)
+	if !strings.HasPrefix(reply, "ERR connection:") {
+		t.Fatalf("reply = %q, want ERR connection prefix", reply)
+	}
+	select {
+	case err := <-hooked:
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("hook got %v, want a timeout error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnError hook never fired")
+	}
+}

@@ -20,22 +20,53 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"odh"
 )
 
+// Options tunes server behavior. The zero value keeps the defaults.
+type Options struct {
+	// IdleTimeout, when > 0, disconnects a connection that sends no
+	// complete line for this long (applied as a per-read deadline on
+	// connections that support deadlines; others are unaffected).
+	IdleTimeout time.Duration
+	// OnError, when non-nil, is invoked with every connection-level
+	// failure the protocol loop hits: scanner errors (oversized lines,
+	// read failures) and idle-timeout disconnects. Command errors are
+	// reported to the client as ERR replies, not here.
+	OnError func(err error)
+}
+
 // Server accepts connections and serves the protocol over a historian.
 type Server struct {
-	h  *odh.Historian
-	ln net.Listener
-	wg sync.WaitGroup
+	h    *odh.Historian
+	opts Options
+	ln   net.Listener
+	wg   sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
 }
 
-// New wraps a historian.
-func New(h *odh.Historian) *Server { return &Server{h: h} }
+// New wraps a historian with default options.
+func New(h *odh.Historian) *Server { return NewWith(h, Options{}) }
+
+// NewWith wraps a historian with explicit options.
+func NewWith(h *odh.Historian, opts Options) *Server { return &Server{h: h, opts: opts} }
+
+// deadlineConn is the subset of net.Conn the idle timeout needs;
+// net.Pipe ends satisfy it too.
+type deadlineConn interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// reportError invokes the error hook, if any.
+func (s *Server) reportError(err error) {
+	if s.opts.OnError != nil && err != nil {
+		s.opts.OnError(err)
+	}
+}
 
 // Listen starts accepting on addr and returns the bound address (useful
 // with ":0").
@@ -84,14 +115,30 @@ func (s *Server) Close() error {
 	return err
 }
 
-// ServeConn runs the protocol on one connection until EOF or QUIT.
+// ServeConn runs the protocol on one connection until EOF, QUIT, a read
+// failure, or an idle timeout. Read failures (an oversized line, a torn
+// connection, an expired idle deadline) are answered with a final ERR
+// line so the client sees why the session ended, and handed to the
+// OnError hook; the old behavior was to drop the connection silently.
 func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	defer conn.Close()
 	w := s.h.Writer()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	out := bufio.NewWriter(conn)
-	for sc.Scan() {
+	dc, hasDeadline := conn.(deadlineConn)
+	for {
+		if s.opts.IdleTimeout > 0 && hasDeadline {
+			_ = dc.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				s.reportError(err)
+				fmt.Fprintf(out, "ERR connection: %v\n", err)
+				out.Flush()
+			}
+			return
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue

@@ -1,0 +1,65 @@
+package tsstore
+
+import (
+	"testing"
+
+	"odh/internal/model"
+)
+
+// FuzzValueBlobDecode asserts DecodeBlob never panics or over-allocates on
+// adversarial bytes — every outcome must be a decoded batch or an error.
+// Seeds cover all three structures plus both layouts so mutations explore
+// deep decode paths, not just header rejection.
+func FuzzValueBlobDecode(f *testing.F) {
+	pts := make([]model.Point, 12)
+	for i := range pts {
+		pts[i] = model.Point{
+			Source: 7,
+			TS:     int64(1000 + i*50 + i%3), // slightly irregular
+			Values: []float64{float64(i), 20.5 - float64(i), model.NullValue}[:3],
+		}
+	}
+	f.Add(EncodeRTS(pts, 3, 50, encodeOpts{}))
+	f.Add(EncodeRTS(pts, 3, 50, encodeOpts{layout: layoutRowOriented}))
+	f.Add(EncodeRTS(pts, 3, 50, encodeOpts{disable: true}))
+	f.Add(EncodeIRTS(pts, 3, encodeOpts{}))
+	present := []bool{true, false, true, true}
+	rows := [][]float64{{1.5}, nil, {2.5}, {model.NullValue}}
+	offsets := []int64{3, 0, 7, 12}
+	f.Add(EncodeMG(present, rows, offsets, 1, encodeOpts{}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		batch, err := DecodeBlob(blob, 1000, nil)
+		if err != nil {
+			return
+		}
+		// Structural postconditions on anything that decodes cleanly.
+		if len(batch.Timestamps) != len(batch.Rows) {
+			t.Fatalf("%d timestamps for %d rows", len(batch.Timestamps), len(batch.Rows))
+		}
+		if batch.Slots != nil && len(batch.Slots) != len(batch.Rows) {
+			t.Fatalf("%d slots for %d rows", len(batch.Slots), len(batch.Rows))
+		}
+		// Partial-column decode must be consistent too.
+		if _, err := DecodeBlob(blob, 1000, []int{0}); err != nil {
+			t.Fatalf("full decode succeeded but wantTags decode failed: %v", err)
+		}
+		// Zone-map peeking must never panic either.
+		_ = BlobOverlaps(blob, []TagRange{{Tag: 0, Lo: -1, Hi: 1}})
+	})
+}
+
+// FuzzWALPointDecode asserts the WAL point codec rejects corrupt records
+// without panicking (replay feeds it checksummed but possibly torn bytes).
+func FuzzWALPointDecode(f *testing.F) {
+	f.Add(encodePointWAL(model.Point{Source: 3, TS: 12345, Values: []float64{1, 2, 3}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := decodePointWAL(b)
+		if err == nil && len(p.Values) > 1<<20 {
+			t.Fatalf("accepted %d values from a %d-byte record", len(p.Values), len(b))
+		}
+	})
+}

@@ -174,6 +174,7 @@ func (it *mergeIter) BlobsSkipped() int64 {
 // splits a batch); the iterator merges overlapping batches by holding
 // points back until every batch that could precede them has been loaded.
 type batchIter struct {
+	store     *Store
 	cur       *btree.Cursor
 	hi        []byte
 	source    int64
@@ -194,7 +195,7 @@ type batchIter struct {
 // newBatchIter scans tree for source's batches overlapping [t1, t2).
 // lookback widens the scan start so a batch beginning before t1 but
 // spilling into the window is found.
-func newBatchIter(tree *btree.Tree, source, t1, t2, lookback int64, wantTags []int, tagRanges []TagRange) *batchIter {
+func (s *Store) newBatchIter(tree *btree.Tree, source, t1, t2, lookback int64, wantTags []int, tagRanges []TagRange) *batchIter {
 	loTS := t1
 	if lookback > 0 {
 		if loTS > math.MinInt64+lookback+1 {
@@ -204,6 +205,7 @@ func newBatchIter(tree *btree.Tree, source, t1, t2, lookback int64, wantTags []i
 		}
 	}
 	it := &batchIter{
+		store:     s,
 		source:    source,
 		t1:        t1,
 		t2:        t2,
@@ -243,9 +245,18 @@ func (it *batchIter) peek() {
 }
 
 // loadOne decodes the batch under the cursor into the queue and advances.
+// In lenient mode an unreadable or undecodable record is quarantined
+// (skipped and counted) instead of failing the scan; a broken tree walk
+// still aborts either way, since the cursor cannot advance past it.
 func (it *batchIter) loadOne() {
 	blob, err := it.cur.Value()
 	if err != nil {
+		if it.store.lenient() {
+			it.store.noteCorruptBlob()
+			it.cur.Next()
+			it.peek()
+			return
+		}
 		it.err = err
 		it.done = true
 		return
@@ -259,6 +270,10 @@ func (it *batchIter) loadOne() {
 	}
 	batch, err := DecodeBlob(blob, baseTS, it.wantTags)
 	if err != nil {
+		if it.store.lenient() {
+			it.store.noteCorruptBlob()
+			return
+		}
 		it.err = err
 		it.done = true
 		return
@@ -310,6 +325,7 @@ func keyCompare(a, b []byte) int { return bytes.Compare(a, b) }
 // mgIter decodes MG records of one group in [t1, t2), yielding points for
 // every reported member, or only onlySource when it is non-zero.
 type mgIter struct {
+	store         *Store
 	cur           *btree.Cursor
 	hi            []byte
 	group         int64
@@ -349,6 +365,7 @@ func (s *Store) newMGIter(group int64, t1, t2 int64, onlySource int64, wantTags 
 		lo = t1 - window
 	}
 	it := &mgIter{
+		store:      s,
 		group:      group,
 		members:    s.cat.GroupMembers(group),
 		onlySource: onlySource,
@@ -385,6 +402,11 @@ func (it *mgIter) Next() (model.Point, bool) {
 		}
 		blob, err := it.cur.Value()
 		if err != nil {
+			if it.store.lenient() {
+				it.store.noteCorruptBlob()
+				it.cur.Next()
+				continue
+			}
 			it.err = err
 			return model.Point{}, false
 		}
@@ -395,6 +417,10 @@ func (it *mgIter) Next() (model.Point, bool) {
 		}
 		batch, err := DecodeBlob(blob, ts, it.wantTags)
 		if err != nil {
+			if it.store.lenient() {
+				it.store.noteCorruptBlob()
+				continue
+			}
 			it.err = err
 			return model.Point{}, false
 		}
@@ -497,7 +523,7 @@ func (s *Store) HistoricalScan(source, t1, t2 int64, wantTags []int, tagRanges .
 		// tree can contain anything.
 		if stats := s.cat.Stats(source); stats.BatchCount > 0 {
 			tree := s.treeFor(ds.HistoricalStructure())
-			parts = append(parts, newBatchIter(tree, source, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+			parts = append(parts, s.newBatchIter(tree, source, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
 		}
 		parts = append(parts, s.newMGIter(ds.Group, t1, t2, source, wantTags, tagRanges))
 		if buf := s.snapshotGroupBuffer(ds.Group, t1, t2, source); len(buf) > 0 {
@@ -506,7 +532,7 @@ func (s *Store) HistoricalScan(source, t1, t2 int64, wantTags []int, tagRanges .
 	} else {
 		stats := s.cat.Stats(source)
 		tree := s.treeFor(ds.IngestStructure())
-		parts = append(parts, newBatchIter(tree, source, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+		parts = append(parts, s.newBatchIter(tree, source, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
 		if buf := s.snapshotSourceBuffer(source, t1, t2); len(buf) > 0 {
 			parts = append(parts, &sliceIterAdapter{points: buf})
 		}
@@ -540,7 +566,7 @@ func (s *Store) SliceScan(schemaID int64, t1, t2 int64, wantTags []int, tagRange
 			if stats.BatchCount == 0 {
 				continue
 			}
-			parts = append(parts, newBatchIter(s.treeFor(ds.HistoricalStructure()), src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+			parts = append(parts, s.newBatchIter(s.treeFor(ds.HistoricalStructure()), src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
 		}
 		parts = append(parts, s.newMGIter(g, t1, t2, 0, wantTags, tagRanges))
 		if buf := s.snapshotGroupBuffer(g, t1, t2, 0); len(buf) > 0 {
@@ -557,7 +583,7 @@ func (s *Store) SliceScan(schemaID int64, t1, t2 int64, wantTags []int, tagRange
 		if stats.PointCount > 0 && (stats.LastTS < t1 || stats.FirstTS >= t2) && s.bufferEmpty(src) {
 			continue // partition elimination: source has no data in range
 		}
-		parts = append(parts, newBatchIter(s.treeFor(ds.IngestStructure()), src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+		parts = append(parts, s.newBatchIter(s.treeFor(ds.IngestStructure()), src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
 		if buf := s.snapshotSourceBuffer(src, t1, t2); len(buf) > 0 {
 			parts = append(parts, &sliceIterAdapter{points: buf})
 		}

@@ -34,6 +34,11 @@ type Config struct {
 	MaxOpenMGRows int
 	// Log, when non-nil, records buffered points for bounded-loss recovery.
 	Log *walog.Log
+	// LenientScan makes scans quarantine unreadable batch records (skip
+	// them and count Stats.CorruptBlobsSkipped) instead of aborting the
+	// query. The default is strict: a corrupt blob fails the scan with the
+	// underlying error so callers cannot silently miss data.
+	LenientScan bool
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +57,9 @@ type Stats struct {
 	BatchesFlushed int64
 	BlobBytes      int64
 	MGPartialRows  int64 // MG rows flushed before every member reported
+	// CorruptBlobsSkipped counts batch records that lenient scans could
+	// not read or decode and therefore quarantined.
+	CorruptBlobsSkipped int64
 }
 
 // Store is the ODH storage component over one page store.
@@ -495,6 +503,59 @@ func (s *Store) setWatermark(group, ts int64) error {
 		binary.LittleEndian.AppendUint64(nil, uint64(ts)))
 }
 
+// lenient reports whether scans quarantine corrupt blobs.
+func (s *Store) lenient() bool { return s.cfg.LenientScan }
+
+// noteCorruptBlob counts one quarantined record.
+func (s *Store) noteCorruptBlob() {
+	s.mu.Lock()
+	s.stats.CorruptBlobsSkipped++
+	s.mu.Unlock()
+}
+
+// BlobRef identifies one batch record for integrity reporting.
+type BlobRef struct {
+	Tree   string // "ts.rts", "ts.irts", or "ts.mg"
+	Source int64  // source id (group id for MG records)
+	TS     int64  // record base timestamp
+}
+
+func (r BlobRef) String() string {
+	return fmt.Sprintf("%s source=%d ts=%d", r.Tree, r.Source, r.TS)
+}
+
+// VerifyBlobs decodes every persisted batch record in the three trees and
+// reports the ones that fail — the blob-level half of fsck (page- and
+// tree-level checks live in pagestore.VerifyPages and btree.Check). It
+// keeps going past corrupt records; only a broken tree walk aborts.
+func (s *Store) VerifyBlobs() (checked int, corrupt []BlobRef, err error) {
+	trees := []struct {
+		name string
+		t    *btree.Tree
+	}{{"ts.rts", s.rts}, {"ts.irts", s.irts}, {"ts.mg", s.mg}}
+	for _, tr := range trees {
+		cur := tr.t.First()
+		for cur.Valid() {
+			src, ts, kerr := keyenc.DecodeSourceTime(cur.Key())
+			checked++
+			blob, verr := cur.Value()
+			switch {
+			case kerr != nil || verr != nil:
+				corrupt = append(corrupt, BlobRef{Tree: tr.name, Source: src, TS: ts})
+			default:
+				if _, derr := DecodeBlob(blob, ts, nil); derr != nil {
+					corrupt = append(corrupt, BlobRef{Tree: tr.name, Source: src, TS: ts})
+				}
+			}
+			cur.Next()
+		}
+		if cerr := cur.Err(); cerr != nil {
+			return checked, corrupt, cerr
+		}
+	}
+	return checked, corrupt, nil
+}
+
 // TreeSizes reports entry counts of the three batch trees (for tests and
 // the storage-cost experiment).
 func (s *Store) TreeSizes() (rts, irts, mg uint64) {
@@ -530,7 +591,9 @@ func decodePointWAL(b []byte) (model.Point, error) {
 	}
 	b = b[n:]
 	count, n := binary.Uvarint(b)
-	if n <= 0 || uint64(len(b[n:])) < count*8 {
+	// Bound count before the length math: count*8 wraps for adversarial
+	// values, which would pass the check and then fail the allocation.
+	if n <= 0 || count > 1<<20 || uint64(len(b[n:])) < count*8 {
 		return p, fmt.Errorf("tsstore: corrupt WAL point")
 	}
 	b = b[n:]

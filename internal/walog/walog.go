@@ -27,22 +27,58 @@ const maxRecord = 16 << 20
 // ErrTooLarge reports an oversized append.
 var ErrTooLarge = fmt.Errorf("walog: record exceeds %d bytes", maxRecord)
 
-// Log is an append-only record log. It is safe for concurrent appends.
-type Log struct {
-	mu   sync.Mutex
-	f    *os.File
-	off  int64
-	path string
+// File is the backing storage a Log runs on — satisfied by *os.File and by
+// fault-injection wrappers in crash tests.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
 }
 
-// Open opens or creates the log at path and positions appends after the
-// last valid record (a torn tail is truncated away).
+// Options selects the log's durability policy. The zero value is the
+// paper's bounded-loss default: appends are buffered by the OS and only
+// forced to stable storage by explicit Sync calls (the historian syncs at
+// batch-flush boundaries), so a crash loses at most the tail written since
+// the last sync.
+type Options struct {
+	// SyncOnAppend forces every append to stable storage before Append
+	// returns — zero loss, at the cost of one fsync per record.
+	SyncOnAppend bool
+	// SyncEvery, when > 0, syncs after every Nth append — an intermediate
+	// point on the durability/throughput curve. Ignored if SyncOnAppend.
+	SyncEvery int
+}
+
+// Log is an append-only record log. It is safe for concurrent appends.
+type Log struct {
+	mu       sync.Mutex
+	f        File
+	off      int64
+	opts     Options
+	unsynced int // appends since the last sync
+}
+
+// Open opens or creates the log at path with the default (bounded-loss)
+// durability policy.
 func Open(path string) (*Log, error) {
+	return OpenPath(path, Options{})
+}
+
+// OpenPath opens or creates the log at path with the given policy.
+func OpenPath(path string, opts Options) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("walog: open: %w", err)
 	}
-	l := &Log{f: f, path: path}
+	return OpenFile(f, opts)
+}
+
+// OpenFile opens a log over an already-open backing file and positions
+// appends after the last valid record (a torn tail is truncated away).
+func OpenFile(f File, opts Options) (*Log, error) {
+	l := &Log{f: f, opts: opts}
 	end, err := l.scanEnd()
 	if err != nil {
 		f.Close()
@@ -81,8 +117,8 @@ func (l *Log) scanEnd() (int64, error) {
 	}
 }
 
-// Append writes one record. It does not sync; call Sync for durability
-// points.
+// Append writes one record and applies the configured sync policy. Under
+// the default policy it does not sync; call Sync for durability points.
 func (l *Log) Append(payload []byte) error {
 	if len(payload) > maxRecord {
 		return ErrTooLarge
@@ -97,6 +133,13 @@ func (l *Log) Append(payload []byte) error {
 		return fmt.Errorf("walog: append: %w", err)
 	}
 	l.off += int64(len(buf))
+	l.unsynced++
+	if l.opts.SyncOnAppend || (l.opts.SyncEvery > 0 && l.unsynced >= l.opts.SyncEvery) {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("walog: sync: %w", err)
+		}
+		l.unsynced = 0
+	}
 	return nil
 }
 
@@ -104,7 +147,11 @@ func (l *Log) Append(payload []byte) error {
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.f.Sync()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.unsynced = 0
+	return nil
 }
 
 // Size returns the current log size in bytes.
@@ -159,6 +206,7 @@ func (l *Log) Reset() error {
 		return fmt.Errorf("walog: reset: %w", err)
 	}
 	l.off = 0
+	l.unsynced = 0
 	return nil
 }
 

@@ -84,6 +84,19 @@ type Options struct {
 	DisableCompression bool
 	// RowOrientedBlobs disables the tag-oriented blob layout (ablation).
 	RowOrientedBlobs bool
+	// Backing overrides the page-store file (crash tests inject fault
+	// wrappers here); when set it wins over dir's page file. The recovery
+	// log still lives in dir when enabled.
+	Backing pagestore.File
+	// Recovery selects how reads treat corrupt ValueBlobs: fail fast
+	// (the default) or quarantine-and-continue (RecoverLenient).
+	Recovery RecoveryMode
+	// WALSyncOnAppend fsyncs the recovery log after every append
+	// (zero loss, slowest); WALSyncEvery > 0 fsyncs every N appends
+	// instead. With neither set the log syncs only on flush/rotation,
+	// bounding loss to one batch per source.
+	WALSyncOnAppend bool
+	WALSyncEvery    int
 }
 
 // Historian is an operational data historian instance.
@@ -112,24 +125,32 @@ func Open(dir string, opts Options) (*Historian, error) {
 	}
 	var file pagestore.File
 	var wal *walog.Log
-	if dir == "" {
-		file = pagestore.NewMemFile()
-	} else {
+	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("odh: create dir: %w", err)
 		}
+	}
+	switch {
+	case opts.Backing != nil:
+		file = opts.Backing
+	case dir == "":
+		file = pagestore.NewMemFile()
+	default:
 		f, err := pagestore.OpenOSFile(filepath.Join(dir, "odh.pages"))
 		if err != nil {
 			return nil, err
 		}
 		file = f
-		if opts.EnableRecoveryLog {
-			l, err := walog.Open(filepath.Join(dir, "ingest.wal"))
-			if err != nil {
-				return nil, err
-			}
-			wal = l
+	}
+	if dir != "" && opts.EnableRecoveryLog {
+		l, err := walog.OpenPath(filepath.Join(dir, "ingest.wal"), walog.Options{
+			SyncOnAppend: opts.WALSyncOnAppend,
+			SyncEvery:    opts.WALSyncEvery,
+		})
+		if err != nil {
+			return nil, err
 		}
+		wal = l
 	}
 	page, err := pagestore.Open(file, pagestore.Options{PoolPages: opts.PoolPages})
 	if err != nil {
@@ -144,6 +165,7 @@ func Open(dir string, opts Options) (*Historian, error) {
 		BatchSize:          opts.BatchSize,
 		DisableCompression: opts.DisableCompression,
 		RowOrientedBlobs:   opts.RowOrientedBlobs,
+		LenientScan:        opts.Recovery == RecoverLenient,
 		Log:                wal,
 	})
 	if err != nil {
@@ -306,6 +328,8 @@ type HistorianStats struct {
 	// IOBytesWritten / IOBytesRead count page-level I/O.
 	IOBytesWritten int64
 	IOBytesRead    int64
+	// CorruptBlobsSkipped counts blobs quarantined by lenient scans.
+	CorruptBlobsSkipped int64
 }
 
 // TotalStats returns historian-wide counters.
@@ -313,12 +337,13 @@ func (h *Historian) TotalStats() HistorianStats {
 	ts := h.ts.Stats()
 	ps := h.page.Stats()
 	return HistorianStats{
-		PointsWritten:  ts.PointsWritten,
-		BatchesFlushed: ts.BatchesFlushed,
-		BlobBytes:      int64(h.ts.BlobBytesTotal()),
-		StorageBytes:   h.page.SizeBytes(),
-		IOBytesWritten: ps.BytesWritten,
-		IOBytesRead:    ps.BytesRead,
+		PointsWritten:       ts.PointsWritten,
+		BatchesFlushed:      ts.BatchesFlushed,
+		BlobBytes:           int64(h.ts.BlobBytesTotal()),
+		StorageBytes:        h.page.SizeBytes(),
+		IOBytesWritten:      ps.BytesWritten,
+		IOBytesRead:         ps.BytesRead,
+		CorruptBlobsSkipped: ts.CorruptBlobsSkipped,
 	}
 }
 
