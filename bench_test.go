@@ -9,6 +9,7 @@ package odh
 
 import (
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -295,3 +296,121 @@ func BenchmarkAblationMGvsIRTS(b *testing.B) {
 }
 
 func sizeName(n int) string { return "b" + strconv.Itoa(n) }
+
+// BenchmarkConcurrentIngest measures the sharded write path's scaling
+// curve: run with `-cpu 1,4,8` to see points/sec grow with cores. Each
+// goroutine streams points to its own RTS source, so all contention is on
+// the shard locks, the group-committed WAL-free buffer path, and the
+// partitioned page pool — the structures this matters for.
+func BenchmarkConcurrentIngest(b *testing.B) {
+	const nSources = 256
+	h, err := Open("", Options{BatchSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	schema, err := h.CreateSchema(SchemaType{
+		Name: "concurrent",
+		Tags: []TagDef{{Name: "t0"}, {Name: "t1"}, {Name: "t2"}, {Name: "t3"}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := make([]int64, nSources)
+	for i := range srcs {
+		ds, err := h.RegisterSource(DataSource{SchemaID: schema.ID, Regular: true, IntervalMs: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srcs[i] = ds.ID
+	}
+	w := h.Writer()
+	var nextGoroutine atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		g := nextGoroutine.Add(1) - 1
+		src := srcs[int(g)%nSources]
+		vals := []float64{1.5, 2.5, 3.5, float64(g)}
+		ts := int64(0)
+		for pb.Next() {
+			ts += 10
+			if err := w.WritePoint(src, ts, vals...); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "pts/s")
+	}
+}
+
+// BenchmarkParallelBatchIngest measures Writer.WriteBatchParallel against
+// the sequential WriteBatch on the same large mixed-source batch.
+func BenchmarkParallelBatchIngest(b *testing.B) {
+	const (
+		nSources  = 64
+		batchPts  = 64_000
+		perSource = batchPts / nSources
+	)
+	run := func(b *testing.B, parallel bool) {
+		h, err := Open("", Options{BatchSize: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer h.Close()
+		schema, err := h.CreateSchema(SchemaType{
+			Name: "batchbench",
+			Tags: []TagDef{{Name: "t0"}, {Name: "t1"}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srcs := make([]int64, nSources)
+		for i := range srcs {
+			ds, err := h.RegisterSource(DataSource{SchemaID: schema.ID, Regular: true, IntervalMs: 10})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srcs[i] = ds.ID
+		}
+		// Interleave sources the way a gateway-aggregated batch arrives.
+		points := make([]Point, 0, batchPts)
+		for j := 0; j < perSource; j++ {
+			for i := 0; i < nSources; i++ {
+				points = append(points, Point{
+					Source: srcs[i],
+					TS:     int64(j+1) * 10,
+					Values: []float64{float64(i), float64(j)},
+				})
+			}
+		}
+		w := h.Writer()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Shift timestamps so every iteration appends fresh data.
+			base := int64(i) * int64(perSource+1) * 10
+			for k := range points {
+				points[k].TS += base
+			}
+			if parallel {
+				err = w.WriteBatchParallel(points)
+			} else {
+				err = w.WriteBatch(points)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			for k := range points {
+				points[k].TS -= base
+			}
+		}
+		b.StopTimer()
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)*batchPts/secs, "pts/s")
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, false) })
+	b.Run("parallel", func(b *testing.B) { run(b, true) })
+}

@@ -7,7 +7,7 @@
 //
 //	.schema          list schema types and virtual tables
 //	.tables          list relational tables
-//	.stats <source>  show a data source's catalog statistics
+//	.stats [source]  historian-wide counters, or one source's statistics
 //	.flush           flush ingest buffers
 //	.fsck            verify pages, B-trees, and blobs in place
 //	.quit
@@ -82,7 +82,7 @@ func dotCommand(h *odh.Historian, line string) bool {
 	case ".quit", ".exit":
 		return false
 	case ".help":
-		fmt.Println("SQL statements end at the newline. Dot commands: .schema .tables .stats <id> .flush .fsck .quit")
+		fmt.Println("SQL statements end at the newline. Dot commands: .schema .tables .stats [id] .flush .fsck .quit")
 	case ".fsck":
 		rep, err := h.VerifyIntegrity()
 		if err != nil {
@@ -97,9 +97,27 @@ func dotCommand(h *odh.Historian, line string) bool {
 			fmt.Println("flushed")
 		}
 	case ".stats":
-		id, err := strconv.ParseInt(strings.TrimSpace(arg), 10, 64)
+		arg = strings.TrimSpace(arg)
+		if arg == "" {
+			total := h.TotalStats()
+			fmt.Printf("points=%d batches=%d blobBytes=%d storage=%d bytes\n",
+				total.PointsWritten, total.BatchesFlushed, total.BlobBytes, total.StorageBytes)
+			fmt.Printf("pool: hits=%d misses=%d evictions=%d hitRate=%.1f%%\n",
+				total.PoolHits, total.PoolMisses, total.PoolEvictions, 100*total.PoolHitRate)
+			if total.WALRecords > 0 {
+				fmt.Printf("wal: records=%d groupCommits=%d coalescing=%.1fx\n",
+					total.WALRecords, total.WALGroupCommits,
+					float64(total.WALRecords)/float64(total.WALGroupCommits))
+			}
+			for i, ps := range h.PoolPartitionStats() {
+				fmt.Printf("  partition %d: hits=%d misses=%d evictions=%d hitRate=%.1f%%\n",
+					i, ps.Hits, ps.Misses, ps.Evictions, 100*ps.HitRate())
+			}
+			break
+		}
+		id, err := strconv.ParseInt(arg, 10, 64)
 		if err != nil {
-			fmt.Println("usage: .stats <source-id>")
+			fmt.Println("usage: .stats [source-id]")
 			break
 		}
 		st := h.Stats(id)

@@ -208,10 +208,9 @@ func TestMetaAlternatesSlots(t *testing.T) {
 	}
 	// Both slots must now hold a valid meta page (epochs alternate).
 	var page [PageSize]byte
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	scratch := &blockIO{}
 	for slot := int64(0); slot < 2; slot++ {
-		if _, err := s.readBlock(slot, 0, page[:]); err != nil {
+		if _, err := s.readBlock(scratch, slot, 0, page[:]); err != nil {
 			t.Fatalf("meta slot %d invalid after alternating writes: %v", slot, err)
 		}
 	}

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 )
 
 // Magic bytes identifying a pagestore file (format 2: checksummed pages,
@@ -39,6 +41,12 @@ const (
 	offRoots        = 24
 	maxRootNameLen  = 64
 	defaultPoolSize = 1024
+
+	// maxPartitions caps the buffer-pool latch partitioning; minPartPages
+	// is the smallest per-partition pool worth splitting into (tiny pools
+	// collapse to one partition, preserving exact LRU/eviction behavior).
+	maxPartitions = 16
+	minPartPages  = 64
 )
 
 // crcTable is the Castagnoli polynomial table (hardware-accelerated on
@@ -76,6 +84,7 @@ func (e *ErrCorruptPage) Unwrap() error { return ErrCorrupt }
 type Stats struct {
 	Hits         int64 // buffer pool hits
 	Misses       int64 // buffer pool misses (page read from file)
+	Evictions    int64 // unpinned frames written back / dropped for space
 	PageReads    int64 // pages read from the backing file
 	PageWrites   int64 // pages written to the backing file
 	BytesRead    int64
@@ -84,11 +93,38 @@ type Stats struct {
 	Frees        int64 // pages freed
 }
 
+// HitRate returns the buffer-pool hit fraction in [0, 1] (0 when the pool
+// was never touched).
+func (st Stats) HitRate() float64 {
+	total := st.Hits + st.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.Hits) / float64(total)
+}
+
+// add accumulates other into st.
+func (st *Stats) add(other Stats) {
+	st.Hits += other.Hits
+	st.Misses += other.Misses
+	st.Evictions += other.Evictions
+	st.PageReads += other.PageReads
+	st.PageWrites += other.PageWrites
+	st.BytesRead += other.BytesRead
+	st.BytesWritten += other.BytesWritten
+	st.Allocs += other.Allocs
+	st.Frees += other.Frees
+}
+
 // Options configures a Store.
 type Options struct {
 	// PoolPages is the buffer pool capacity in pages. Zero means a default
 	// of 1024 pages (4 MiB).
 	PoolPages int
+	// PoolPartitions overrides the buffer pool's latch partition count
+	// (rounded to a power of two, capped at 16). Zero picks a default from
+	// GOMAXPROCS and the pool size; 1 gives a single global pool latch.
+	PoolPartitions int
 }
 
 // frame is one buffer-pool slot.
@@ -100,26 +136,71 @@ type frame struct {
 	lru   *list.Element // position in lru list when unpinned; nil while pinned
 }
 
-// Store manages fixed-size pages in a File behind an LRU buffer pool.
-// All methods are safe for concurrent use. Page contents handed out by Get
-// are owned by the pool; callers must hold the pin while reading or writing
-// the data and call MarkDirty before Unpin after mutation.
+// blockIO is a per-lock-domain I/O scratch: a block buffer plus the stats
+// it accounts to. Each pool partition owns one (guarded by the partition
+// latch), and the store's meta domain owns one (guarded by metaMu), so
+// block reads and writes in different domains never share a buffer.
+type blockIO struct {
+	iobuf [DiskPageSize]byte
+	stats Stats
+}
+
+// partition is one latch-partitioned segment of the buffer pool. Pages
+// hash to exactly one partition by PageID, so readers and writers of
+// pages in different partitions proceed in parallel.
+type partition struct {
+	mu     sync.Mutex
+	cap    int
+	frames map[PageID]*frame
+	lru    *list.List // of PageID, front = most recently used
+	io     blockIO
+}
+
+// Store manages fixed-size pages in a File behind a latch-partitioned LRU
+// buffer pool. All methods are safe for concurrent use. Page contents
+// handed out by Get are owned by the pool; callers must hold the pin while
+// reading or writing the data and call MarkDirty before Unpin after
+// mutation.
+//
+// Lock order: metaMu before any partition latch, partitions in index
+// order. numPages and closed are atomics so the hot Get path takes only
+// its page's partition latch.
 type Store struct {
-	mu        sync.Mutex
-	file      File
-	closed    bool
-	numPages  uint32
+	file   File
+	closed atomic.Bool
+
+	numPages atomic.Uint32
+
+	metaMu    sync.Mutex // guards freeHead, metaEpoch, roots, metaIO
 	freeHead  PageID
 	metaEpoch uint32 // epoch of the newest valid meta slot
 	roots     map[string]PageID
+	metaIO    blockIO // meta page + alloc/free + verify accounting
 
-	poolCap int
-	frames  map[PageID]*frame
-	lru     *list.List // of PageID, front = most recently used
+	parts    []*partition
+	partMask uint32
+}
 
-	iobuf [DiskPageSize]byte // scratch for block I/O; guarded by mu
-
-	stats Stats
+// partitionCount picks the pool's latch partition count: a power of two
+// sized from GOMAXPROCS, but never so many that a partition drops below
+// minPartPages frames (tiny pools collapse to one partition).
+func partitionCount(poolPages, override int) int {
+	n := override
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxPartitions {
+		n = maxPartitions
+	}
+	for n > 1 && poolPages/n < minPartPages {
+		n /= 2
+	}
+	// Round down to a power of two so partition selection is a mask.
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
 }
 
 // Open initializes a Store on f. An empty file is formatted; an existing
@@ -128,12 +209,23 @@ func Open(f File, opts Options) (*Store, error) {
 	if opts.PoolPages <= 0 {
 		opts.PoolPages = defaultPoolSize
 	}
+	nparts := partitionCount(opts.PoolPages, opts.PoolPartitions)
 	s := &Store{
-		file:    f,
-		poolCap: opts.PoolPages,
-		frames:  make(map[PageID]*frame, opts.PoolPages),
-		lru:     list.New(),
-		roots:   make(map[string]PageID),
+		file:     f,
+		roots:    make(map[string]PageID),
+		parts:    make([]*partition, nparts),
+		partMask: uint32(nparts - 1),
+	}
+	perCap := opts.PoolPages / nparts
+	if perCap < 1 {
+		perCap = 1
+	}
+	for i := range s.parts {
+		s.parts[i] = &partition{
+			cap:    perCap,
+			frames: make(map[PageID]*frame, perCap),
+			lru:    list.New(),
+		}
 	}
 	size, err := f.Size()
 	if err != nil {
@@ -150,6 +242,16 @@ func Open(f File, opts Options) (*Store, error) {
 	}
 	return s, nil
 }
+
+// part returns the partition owning page id. The multiplicative hash
+// spreads both sequential B-tree pages and strided access patterns.
+func (s *Store) part(id PageID) *partition {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return s.parts[uint32(h>>32)&s.partMask]
+}
+
+// Partitions returns the buffer pool's latch partition count.
+func (s *Store) Partitions() int { return len(s.parts) }
 
 // pageChecksum computes the CRC32-C of a page slot: aux word, payload,
 // then the page number, so a valid page replayed at the wrong slot still
@@ -168,14 +270,14 @@ func pageChecksum(aux uint32, payload []byte, pageNo PageID) uint32 {
 func blockFor(id PageID) int64 { return int64(id) + 1 }
 
 // writeBlock seals payload with its checksum header and writes the slot.
-// Caller holds s.mu.
-func (s *Store) writeBlock(block int64, pageNo PageID, aux uint32, payload []byte) error {
-	binary.LittleEndian.PutUint32(s.iobuf[0:4], pageChecksum(aux, payload, pageNo))
-	binary.LittleEndian.PutUint32(s.iobuf[4:8], aux)
-	copy(s.iobuf[PageHeaderSize:], payload[:PageSize])
-	n, err := s.file.WriteAt(s.iobuf[:], block*DiskPageSize)
-	s.stats.PageWrites++
-	s.stats.BytesWritten += int64(n)
+// Caller holds the lock guarding bio.
+func (s *Store) writeBlock(bio *blockIO, block int64, pageNo PageID, aux uint32, payload []byte) error {
+	binary.LittleEndian.PutUint32(bio.iobuf[0:4], pageChecksum(aux, payload, pageNo))
+	binary.LittleEndian.PutUint32(bio.iobuf[4:8], aux)
+	copy(bio.iobuf[PageHeaderSize:], payload[:PageSize])
+	n, err := s.file.WriteAt(bio.iobuf[:], block*DiskPageSize)
+	bio.stats.PageWrites++
+	bio.stats.BytesWritten += int64(n)
 	if err != nil {
 		return fmt.Errorf("pagestore: write page %d: %w", pageNo, err)
 	}
@@ -184,11 +286,11 @@ func (s *Store) writeBlock(block int64, pageNo PageID, aux uint32, payload []byt
 
 // readBlock reads one slot, verifies its checksum, and copies the payload
 // out. A checksum mismatch or a slot that was never written reports
-// ErrCorruptPage. Caller holds s.mu.
-func (s *Store) readBlock(block int64, pageNo PageID, payload []byte) (aux uint32, err error) {
-	n, rerr := s.file.ReadAt(s.iobuf[:], block*DiskPageSize)
-	s.stats.PageReads++
-	s.stats.BytesRead += int64(n)
+// ErrCorruptPage. Caller holds the lock guarding bio.
+func (s *Store) readBlock(bio *blockIO, block int64, pageNo PageID, payload []byte) (aux uint32, err error) {
+	n, rerr := s.file.ReadAt(bio.iobuf[:], block*DiskPageSize)
+	bio.stats.PageReads++
+	bio.stats.BytesRead += int64(n)
 	if rerr != nil {
 		if errors.Is(rerr, io.EOF) || errors.Is(rerr, io.ErrUnexpectedEOF) {
 			// Short read / EOF: the slot does not exist on disk (truncated
@@ -198,20 +300,21 @@ func (s *Store) readBlock(block int64, pageNo PageID, payload []byte) (aux uint3
 		}
 		return 0, fmt.Errorf("pagestore: read page %d: %w", pageNo, rerr)
 	}
-	want := binary.LittleEndian.Uint32(s.iobuf[0:4])
-	aux = binary.LittleEndian.Uint32(s.iobuf[4:8])
-	if pageChecksum(aux, s.iobuf[PageHeaderSize:], pageNo) != want {
+	want := binary.LittleEndian.Uint32(bio.iobuf[0:4])
+	aux = binary.LittleEndian.Uint32(bio.iobuf[4:8])
+	if pageChecksum(aux, bio.iobuf[PageHeaderSize:], pageNo) != want {
 		return 0, &ErrCorruptPage{PageNo: pageNo}
 	}
-	copy(payload[:PageSize], s.iobuf[PageHeaderSize:])
+	copy(payload[:PageSize], bio.iobuf[PageHeaderSize:])
 	return aux, nil
 }
 
 // buildMeta serializes the meta payload from the store's state.
+// Caller holds s.metaMu.
 func (s *Store) buildMeta(page []byte) error {
 	copy(page[:8], magic[:])
 	binary.LittleEndian.PutUint32(page[8:12], metaVersion)
-	binary.LittleEndian.PutUint32(page[offNumPages:], s.numPages)
+	binary.LittleEndian.PutUint32(page[offNumPages:], s.numPages.Load())
 	binary.LittleEndian.PutUint32(page[offFreeHead:], uint32(s.freeHead))
 	binary.LittleEndian.PutUint32(page[offNumRoots:], uint32(len(s.roots)))
 	off := offRoots
@@ -232,14 +335,14 @@ func (s *Store) buildMeta(page []byte) error {
 
 // format writes a fresh meta page into slot 0.
 func (s *Store) format() error {
-	s.numPages = 1
+	s.numPages.Store(1)
 	s.freeHead = InvalidPage
 	s.metaEpoch = 0
 	var page [PageSize]byte
 	if err := s.buildMeta(page[:]); err != nil {
 		return err
 	}
-	return s.writeBlock(0, 0, 0, page[:])
+	return s.writeBlock(&s.metaIO, 0, 0, 0, page[:])
 }
 
 // loadMeta reads both meta slots and loads the newest valid one. A torn
@@ -250,7 +353,7 @@ func (s *Store) loadMeta() error {
 	sawMagic := false
 	var page [PageSize]byte
 	for slot := int64(0); slot < 2; slot++ {
-		epoch, err := s.readBlock(slot, 0, page[:])
+		epoch, err := s.readBlock(&s.metaIO, slot, 0, page[:])
 		if err != nil {
 			continue // torn, missing, or rotted slot: try the other
 		}
@@ -272,7 +375,7 @@ func (s *Store) loadMeta() error {
 		return ErrBadMagic
 	}
 	s.metaEpoch = bestEpoch
-	s.numPages = binary.LittleEndian.Uint32(best[offNumPages:])
+	s.numPages.Store(binary.LittleEndian.Uint32(best[offNumPages:]))
 	s.freeHead = PageID(binary.LittleEndian.Uint32(best[offFreeHead:]))
 	n := int(binary.LittleEndian.Uint32(best[offNumRoots:]))
 	off := offRoots
@@ -296,127 +399,129 @@ func (s *Store) loadMeta() error {
 // flushMeta persists the meta page (counts, free list head, root
 // directory) into the slot the current epoch does NOT occupy, so the
 // previous meta stays intact until the new one is fully on disk.
-// Caller holds s.mu.
+// Caller holds s.metaMu.
 func (s *Store) flushMeta() error {
 	var page [PageSize]byte
 	if err := s.buildMeta(page[:]); err != nil {
 		return err
 	}
 	epoch := s.metaEpoch + 1
-	if err := s.writeBlock(int64(epoch%2), 0, epoch, page[:]); err != nil {
+	if err := s.writeBlock(&s.metaIO, int64(epoch%2), 0, epoch, page[:]); err != nil {
 		return err
 	}
 	s.metaEpoch = epoch
 	return nil
 }
 
-func (s *Store) readPage(id PageID, buf []byte) error {
-	_, err := s.readBlock(blockFor(id), id, buf)
-	return err
-}
-
-func (s *Store) writePage(id PageID, buf []byte) error {
-	return s.writeBlock(blockFor(id), id, 0, buf)
-}
-
 // Allocate returns a fresh page, either reusing a freed page or extending
 // the file. The page's contents are zeroed. The returned page is pinned;
 // call Unpin when done.
 func (s *Store) Allocate() (PageID, *Frame, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return InvalidPage, nil, ErrClosed
 	}
-	var id PageID
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	if s.freeHead != InvalidPage {
 		// Pop the free list: the first 4 bytes of a free page hold the next
 		// free page id.
-		id = s.freeHead
-		fr, err := s.pin(id)
+		id := s.freeHead
+		p := s.part(id)
+		p.mu.Lock()
+		fr, err := p.pin(s, id)
 		if err != nil {
+			p.mu.Unlock()
 			return InvalidPage, nil, err
 		}
 		s.freeHead = PageID(binary.LittleEndian.Uint32(fr.data[:4]))
 		clear(fr.data[:])
 		fr.dirty = true
-		s.stats.Allocs++
+		p.mu.Unlock()
+		s.metaIO.stats.Allocs++
 		return id, &Frame{s: s, f: fr}, nil
 	}
-	id = PageID(s.numPages)
-	s.numPages++
-	fr, err := s.pinFresh(id)
+	id := PageID(s.numPages.Load())
+	p := s.part(id)
+	p.mu.Lock()
+	fr, err := p.pinFresh(s, id)
 	if err != nil {
-		s.numPages--
+		p.mu.Unlock()
 		return InvalidPage, nil, err
 	}
+	s.numPages.Add(1)
 	fr.dirty = true
-	s.stats.Allocs++
+	p.mu.Unlock()
+	s.metaIO.stats.Allocs++
 	return id, &Frame{s: s, f: fr}, nil
 }
 
 // Free returns a page to the free list. The caller must not hold a pin on it.
 func (s *Store) Free(id PageID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	if id == InvalidPage || uint32(id) >= s.numPages {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	if id == InvalidPage || uint32(id) >= s.numPages.Load() {
 		return ErrPageRange
 	}
-	fr, err := s.pin(id)
+	p := s.part(id)
+	p.mu.Lock()
+	fr, err := p.pin(s, id)
 	if err != nil {
+		p.mu.Unlock()
 		return err
 	}
 	clear(fr.data[:])
 	binary.LittleEndian.PutUint32(fr.data[:4], uint32(s.freeHead))
 	fr.dirty = true
 	s.freeHead = id
-	s.stats.Frees++
-	s.unpin(fr)
+	s.metaIO.stats.Frees++
+	p.unpin(fr)
+	p.mu.Unlock()
 	return nil
 }
 
 // Get pins page id into the buffer pool and returns a Frame handle.
 func (s *Store) Get(id PageID) (*Frame, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
-	if id == InvalidPage || uint32(id) >= s.numPages {
+	if id == InvalidPage || uint32(id) >= s.numPages.Load() {
 		// A reference to a page this epoch never allocated is a dangling
 		// pointer — after a crash it means the referencing page was flushed
 		// but its target was not, so scans treat it as corruption.
-		return nil, fmt.Errorf("%w: %d (have %d): %w", ErrPageRange, id, s.numPages, ErrCorrupt)
+		return nil, fmt.Errorf("%w: %d (have %d): %w", ErrPageRange, id, s.numPages.Load(), ErrCorrupt)
 	}
-	fr, err := s.pin(id)
+	p := s.part(id)
+	p.mu.Lock()
+	fr, err := p.pin(s, id)
+	p.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
 	return &Frame{s: s, f: fr}, nil
 }
 
-// pin brings page id into the pool (reading it if absent) and pins it.
-// Caller holds s.mu.
-func (s *Store) pin(id PageID) (*frame, error) {
-	if fr, ok := s.frames[id]; ok {
-		s.stats.Hits++
+// pin brings page id into the partition (reading it if absent) and pins
+// it. Caller holds p.mu.
+func (p *partition) pin(s *Store, id PageID) (*frame, error) {
+	if fr, ok := p.frames[id]; ok {
+		p.io.stats.Hits++
 		if fr.pins == 0 && fr.lru != nil {
-			s.lru.Remove(fr.lru)
+			p.lru.Remove(fr.lru)
 			fr.lru = nil
 		}
 		fr.pins++
 		return fr, nil
 	}
-	s.stats.Misses++
-	fr, err := s.newFrame(id)
+	p.io.stats.Misses++
+	fr, err := p.newFrame(s, id)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.readPage(id, fr.data[:]); err != nil {
-		delete(s.frames, id)
+	if _, err := s.readBlock(&p.io, blockFor(id), id, fr.data[:]); err != nil {
+		delete(p.frames, id)
 		return nil, err
 	}
 	fr.pins = 1
@@ -424,9 +529,9 @@ func (s *Store) pin(id PageID) (*frame, error) {
 }
 
 // pinFresh pins a newly allocated page without reading the file.
-// Caller holds s.mu.
-func (s *Store) pinFresh(id PageID) (*frame, error) {
-	fr, err := s.newFrame(id)
+// Caller holds p.mu.
+func (p *partition) pinFresh(s *Store, id PageID) (*frame, error) {
+	fr, err := p.newFrame(s, id)
 	if err != nil {
 		return nil, err
 	}
@@ -434,43 +539,44 @@ func (s *Store) pinFresh(id PageID) (*frame, error) {
 	return fr, nil
 }
 
-// newFrame finds a pool slot for page id, evicting the least recently used
-// unpinned frame if the pool is full. Caller holds s.mu.
-func (s *Store) newFrame(id PageID) (*frame, error) {
-	if len(s.frames) >= s.poolCap {
-		if err := s.evictOne(); err != nil {
+// newFrame finds a slot for page id, evicting the least recently used
+// unpinned frame if the partition is full. Caller holds p.mu.
+func (p *partition) newFrame(s *Store, id PageID) (*frame, error) {
+	if len(p.frames) >= p.cap {
+		if err := p.evictOne(s); err != nil {
 			return nil, err
 		}
 	}
 	fr := &frame{id: id}
-	s.frames[id] = fr
+	p.frames[id] = fr
 	return fr, nil
 }
 
-// evictOne writes back and drops the LRU unpinned frame. Caller holds s.mu.
-func (s *Store) evictOne() error {
-	back := s.lru.Back()
+// evictOne writes back and drops the LRU unpinned frame. Caller holds p.mu.
+func (p *partition) evictOne(s *Store) error {
+	back := p.lru.Back()
 	if back == nil {
 		return ErrPoolFull
 	}
 	id := back.Value.(PageID)
-	fr := s.frames[id]
+	fr := p.frames[id]
 	if fr.dirty {
-		if err := s.writePage(id, fr.data[:]); err != nil {
+		if err := s.writeBlock(&p.io, blockFor(id), id, 0, fr.data[:]); err != nil {
 			return err
 		}
 		fr.dirty = false
 	}
-	s.lru.Remove(back)
-	delete(s.frames, id)
+	p.lru.Remove(back)
+	delete(p.frames, id)
+	p.io.stats.Evictions++
 	return nil
 }
 
-// unpin releases one pin. Caller holds s.mu.
-func (s *Store) unpin(fr *frame) {
+// unpin releases one pin. Caller holds p.mu.
+func (p *partition) unpin(fr *frame) {
 	fr.pins--
 	if fr.pins == 0 {
-		fr.lru = s.lru.PushFront(fr.id)
+		fr.lru = p.lru.PushFront(fr.id)
 	}
 }
 
@@ -480,22 +586,22 @@ func (s *Store) SetRoot(name string, id PageID) error {
 	if len(name) == 0 || len(name) > maxRootNameLen {
 		return fmt.Errorf("pagestore: invalid root name %q", name)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	s.roots[name] = id
 	return s.flushMeta()
 }
 
 // Root looks up a named root page.
 func (s *Store) Root(name string) (PageID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return InvalidPage, ErrClosed
 	}
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	id, ok := s.roots[name]
 	if !ok {
 		return InvalidPage, fmt.Errorf("%w: %q", ErrRootMissing, name)
@@ -505,8 +611,8 @@ func (s *Store) Root(name string) (PageID, error) {
 
 // Roots returns the names of all registered roots.
 func (s *Store) Roots() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	names := make([]string, 0, len(s.roots))
 	for name := range s.roots {
 		names = append(names, name)
@@ -514,39 +620,65 @@ func (s *Store) Roots() []string {
 	return names
 }
 
+// lockAll acquires the meta lock and every partition latch in fixed
+// (index) order — the flush/close path's global quiesce. unlockAll
+// releases them in reverse.
+func (s *Store) lockAll() {
+	s.metaMu.Lock()
+	for _, p := range s.parts {
+		p.mu.Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for i := len(s.parts) - 1; i >= 0; i-- {
+		s.parts[i].mu.Unlock()
+	}
+	s.metaMu.Unlock()
+}
+
 // Flush writes all dirty frames and the meta page to the file and syncs it.
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
+	s.lockAll()
+	defer s.unlockAll()
 	return s.flushLocked()
 }
 
+// flushLocked runs the two-phase flush protocol. Caller holds the meta
+// lock and every partition latch (lockAll), so no new dirty pages can
+// slip in between the data sync and the meta write.
 func (s *Store) flushLocked() error {
 	// Write dirty pages in ascending id order: the I/O is sequential on
 	// disk, and a crash mid-flush tears a deterministic prefix of the
 	// dirty set rather than a random map-order subset.
-	dirty := make([]PageID, 0, len(s.frames))
-	for id, fr := range s.frames {
-		if fr.dirty {
-			dirty = append(dirty, id)
+	type dirtyPage struct {
+		fr *frame
+		p  *partition
+	}
+	var dirty []dirtyPage
+	for _, p := range s.parts {
+		for _, fr := range p.frames {
+			if fr.dirty {
+				dirty = append(dirty, dirtyPage{fr: fr, p: p})
+			}
 		}
 	}
-	slices.Sort(dirty)
-	for _, id := range dirty {
-		fr := s.frames[id]
-		if err := s.writePage(id, fr.data[:]); err != nil {
+	slices.SortFunc(dirty, func(a, b dirtyPage) int {
+		return int(int64(a.fr.id) - int64(b.fr.id))
+	})
+	for _, d := range dirty {
+		if err := s.writeBlock(&d.p.io, blockFor(d.fr.id), d.fr.id, 0, d.fr.data[:]); err != nil {
 			return err
 		}
-		fr.dirty = false
+		d.fr.dirty = false
 	}
-	wrote := len(dirty) > 0
 	// Sync data pages before the meta page points at them: a crash between
 	// the two syncs leaves the previous meta epoch valid and every page it
 	// references fully on disk.
-	if wrote {
+	if len(dirty) > 0 {
 		if err := s.file.Sync(); err != nil {
 			return err
 		}
@@ -559,23 +691,24 @@ func (s *Store) flushLocked() error {
 
 // Close flushes and closes the store. Further operations return ErrClosed.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
+		return nil
+	}
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() {
 		return nil
 	}
 	if err := s.flushLocked(); err != nil {
 		return err
 	}
-	s.closed = true
+	s.closed.Store(true)
 	return s.file.Close()
 }
 
 // NumPages returns the total number of pages (including meta and free pages).
 func (s *Store) NumPages() uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.numPages
+	return s.numPages.Load()
 }
 
 // SizeBytes returns the on-disk size of the store in bytes (the meta
@@ -588,17 +721,17 @@ func (s *Store) SizeBytes() int64 {
 // without disturbing the buffer pool. Dirty frames not yet flushed make
 // the on-disk copy stale but still checksum-valid, so callers wanting an
 // exact picture should Flush first. The meta page (id 0) is reported
-// corrupt only when neither of its slots is valid.
+// corrupt only when neither of its slots is valid. The scrub runs on its
+// own scratch buffer, so concurrent page access keeps flowing.
 func (s *Store) VerifyPages() (checked int, corrupt []PageID, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, nil, ErrClosed
 	}
+	scratch := &blockIO{}
 	var page [PageSize]byte
 	metaOK := false
 	for slot := int64(0); slot < 2; slot++ {
-		if _, err := s.readBlock(slot, 0, page[:]); err == nil {
+		if _, err := s.readBlock(scratch, slot, 0, page[:]); err == nil {
 			metaOK = true
 			break
 		}
@@ -610,7 +743,7 @@ func (s *Store) VerifyPages() (checked int, corrupt []PageID, err error) {
 	// Scrub to the physical end of the file, not just this epoch's page
 	// count: a crash mid-flush can leave torn pages past the recovered
 	// meta's extent, and fsck should surface them.
-	last := uint32(s.numPages)
+	last := s.numPages.Load()
 	if size, err := s.file.Size(); err == nil {
 		if blocks := (size + DiskPageSize - 1) / DiskPageSize; blocks > int64(last)+1 {
 			last = uint32(blocks - 1)
@@ -618,18 +751,41 @@ func (s *Store) VerifyPages() (checked int, corrupt []PageID, err error) {
 	}
 	for id := PageID(1); uint32(id) < last; id++ {
 		checked++
-		if _, err := s.readBlock(blockFor(id), id, page[:]); err != nil {
+		if _, err := s.readBlock(scratch, blockFor(id), id, page[:]); err != nil {
 			corrupt = append(corrupt, id)
 		}
 	}
+	s.metaMu.Lock()
+	s.metaIO.stats.add(scratch.stats)
+	s.metaMu.Unlock()
 	return checked, corrupt, nil
 }
 
-// Stats returns a snapshot of I/O counters.
+// Stats returns a snapshot of I/O counters aggregated across the meta
+// domain and every pool partition.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	s.metaMu.Lock()
+	st := s.metaIO.stats
+	s.metaMu.Unlock()
+	for _, p := range s.parts {
+		p.mu.Lock()
+		st.add(p.io.stats)
+		p.mu.Unlock()
+	}
+	return st
+}
+
+// PartitionStats returns a per-partition snapshot of pool counters (hits,
+// misses, evictions, partition-local I/O). Meta-page and alloc/free
+// accounting is not included; Stats aggregates everything.
+func (s *Store) PartitionStats() []Stats {
+	out := make([]Stats, len(s.parts))
+	for i, p := range s.parts {
+		p.mu.Lock()
+		out[i] = p.io.stats
+		p.mu.Unlock()
+	}
+	return out
 }
 
 // Frame is a pinned page handle. Data returns the page contents; the slice
@@ -657,7 +813,8 @@ func (fr *Frame) Unpin() {
 		return
 	}
 	fr.released = true
-	fr.s.mu.Lock()
-	fr.s.unpin(fr.f)
-	fr.s.mu.Unlock()
+	p := fr.s.part(fr.f.id)
+	p.mu.Lock()
+	p.unpin(fr.f)
+	p.mu.Unlock()
 }

@@ -1,0 +1,212 @@
+package tsstore
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"odh/internal/model"
+)
+
+// countPoints drains a historical scan of one source over all time.
+func countPoints(t *testing.T, s *Store, source int64) int {
+	t.Helper()
+	it, err := s.HistoricalScan(source, math.MinInt64, math.MaxInt64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("scan source %d: %v", source, err)
+	}
+	return n
+}
+
+// TestConcurrentIngestAcrossStructures runs parallel writers over RTS,
+// IRTS, and MG sources with a background flush loop — the sharded write
+// path's bread and butter — and verifies under -race that no point is
+// lost or duplicated and that per-source catalog watermarks only move
+// forward.
+func TestConcurrentIngestAcrossStructures(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16, MaxOpenMGRows: 4}, 8)
+	schema := f.schema(t, "concurrent", 2)
+
+	const (
+		nRTS, nIRTS, nMG = 6, 6, 8 // MG sources land in one group of 8
+		perSource        = 400
+	)
+	var rtsSrc, irtsSrc, mgSrc []*model.DataSource
+	for i := 0; i < nRTS; i++ {
+		rtsSrc = append(rtsSrc, f.source(t, schema.ID, true, 10))
+	}
+	for i := 0; i < nIRTS; i++ {
+		irtsSrc = append(irtsSrc, f.source(t, schema.ID, false, 10))
+	}
+	for i := 0; i < nMG; i++ {
+		mgSrc = append(mgSrc, f.source(t, schema.ID, true, 10_000))
+	}
+
+	var wg sync.WaitGroup
+	writer := func(ds *model.DataSource, tsFor func(i int) int64) {
+		defer wg.Done()
+		for i := 0; i < perSource; i++ {
+			p := model.Point{Source: ds.ID, TS: tsFor(i), Values: []float64{float64(i), float64(ds.ID)}}
+			if err := f.store.Write(p); err != nil {
+				t.Errorf("source %d: %v", ds.ID, err)
+				return
+			}
+		}
+	}
+	for _, ds := range rtsSrc {
+		wg.Add(1)
+		go writer(ds, func(i int) int64 { return int64(i+1) * 10 })
+	}
+	for _, ds := range irtsSrc {
+		wg.Add(1)
+		// Jittered but monotonic timestamps, with an occasional step back
+		// to exercise the out-of-order batch split.
+		go writer(ds, func(i int) int64 {
+			ts := int64(i+1)*10 + int64(i%3)
+			if i%97 == 96 {
+				ts -= 40
+			}
+			return ts
+		})
+	}
+	for _, ds := range mgSrc {
+		wg.Add(1)
+		// One point per 10s window, slight per-member offset inside it.
+		off := ds.GroupSlot
+		go writer(ds, func(i int) int64 { return int64(i+1)*10_000 + int64(off) })
+	}
+
+	// Background flush loop racing the writers.
+	done := make(chan struct{})
+	var flusherWG sync.WaitGroup
+	flusherWG.Add(1)
+	go func() {
+		defer flusherWG.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if err := f.store.Flush(); err != nil {
+					t.Errorf("background flush: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Watermark monitor: a source's catalog LastTS must never move
+	// backwards while writers only append forward in time.
+	var monitorWG sync.WaitGroup
+	monitorWG.Add(1)
+	var monitorStop atomic.Bool
+	go func() {
+		defer monitorWG.Done()
+		last := make(map[int64]int64)
+		for !monitorStop.Load() {
+			for _, ds := range rtsSrc {
+				st := f.cat.Stats(ds.ID)
+				if prev, ok := last[ds.ID]; ok && st.PointCount > 0 && st.LastTS < prev {
+					t.Errorf("source %d watermark moved back: %d -> %d", ds.ID, prev, st.LastTS)
+					return
+				}
+				if st.PointCount > 0 {
+					last[ds.ID] = st.LastTS
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	flusherWG.Wait()
+	monitorStop.Store(true)
+	monitorWG.Wait()
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	total := int64(nRTS+nIRTS+nMG) * perSource
+	if st := f.store.Stats(); st.PointsWritten != total {
+		t.Fatalf("PointsWritten = %d, want %d", st.PointsWritten, total)
+	}
+	for _, ds := range append(append(append([]*model.DataSource{}, rtsSrc...), irtsSrc...), mgSrc...) {
+		if n := countPoints(t, f.store, ds.ID); n != perSource {
+			t.Errorf("source %d: scanned %d points, want %d", ds.ID, n, perSource)
+		}
+	}
+}
+
+// TestWriteBatchParallelMatchesSequential checks the fan-out path writes
+// exactly what the sequential path would: same point counts per source,
+// same scan results.
+func TestWriteBatchParallelMatchesSequential(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 32}, 8)
+	schema := f.schema(t, "parbatch", 1)
+	const nSources, perSource = 16, 100
+	srcs := make([]*model.DataSource, nSources)
+	for i := range srcs {
+		srcs[i] = f.source(t, schema.ID, true, 10)
+	}
+	// Interleaved mixed-source batch.
+	var batch []model.Point
+	for i := 0; i < perSource; i++ {
+		for _, ds := range srcs {
+			batch = append(batch, model.Point{Source: ds.ID, TS: int64(i+1) * 10, Values: []float64{float64(i)}})
+		}
+	}
+	if err := f.store.WriteBatchParallel(batch, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range srcs {
+		if n := countPoints(t, f.store, ds.ID); n != perSource {
+			t.Errorf("source %d: %d points, want %d", ds.ID, n, perSource)
+		}
+		st := f.cat.Stats(ds.ID)
+		if st.PointCount != perSource {
+			t.Errorf("source %d catalog count = %d, want %d", ds.ID, st.PointCount, perSource)
+		}
+		if st.FirstTS != 10 || st.LastTS != perSource*10 {
+			t.Errorf("source %d range [%d,%d], want [10,%d]", ds.ID, st.FirstTS, st.LastTS, perSource*10)
+		}
+	}
+	// Unknown source anywhere in the batch fails the whole batch before
+	// any buffering.
+	bad := []model.Point{
+		{Source: srcs[0].ID, TS: 99_999, Values: []float64{1}},
+		{Source: 0xDEAD, TS: 99_999, Values: []float64{1}},
+	}
+	if err := f.store.WriteBatchParallel(bad, 4); err == nil {
+		t.Fatal("batch with unknown source must fail")
+	}
+	if n := countPoints(t, f.store, srcs[0].ID); n != perSource {
+		t.Fatalf("failed batch leaked points: %d", n)
+	}
+}
+
+// TestShardConfigOverride pins Config.Shards behavior.
+func TestShardConfigOverride(t *testing.T) {
+	f1 := newFixture(t, Config{Shards: 1}, 8)
+	if got := f1.store.Shards(); got != 1 {
+		t.Fatalf("Shards=1 gave %d shards", got)
+	}
+	f8 := newFixture(t, Config{Shards: 7}, 8)
+	if got := f8.store.Shards(); got != 8 {
+		t.Fatalf("Shards=7 should round up to 8, got %d", got)
+	}
+}

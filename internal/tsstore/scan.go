@@ -453,9 +453,10 @@ func (it *mgIter) BlobsSkipped() int64 { return it.skipped }
 // read' isolation level to access uncommitted rows from concurrent
 // insertions").
 func (s *Store) snapshotSourceBuffer(source, t1, t2 int64) []model.Point {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	buf, ok := s.buffers[source]
+	sh := s.shardFor(source)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	buf, ok := sh.buffers[source]
 	if !ok {
 		return nil
 	}
@@ -471,9 +472,10 @@ func (s *Store) snapshotSourceBuffer(source, t1, t2 int64) []model.Point {
 // snapshotGroupBuffer copies buffered MG rows of a group in [t1, t2),
 // optionally restricted to one source.
 func (s *Store) snapshotGroupBuffer(group, t1, t2, onlySource int64) []model.Point {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	gb, ok := s.groups[group]
+	sh := s.shardFor(group)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	gb, ok := sh.groups[group]
 	if !ok {
 		return nil
 	}
@@ -614,9 +616,10 @@ func (s *Store) MultiHistoricalScan(sources []int64, t1, t2 int64, wantTags []in
 
 // bufferEmpty reports whether a source has no buffered points.
 func (s *Store) bufferEmpty(source int64) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	buf, ok := s.buffers[source]
+	sh := s.shardFor(source)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	buf, ok := sh.buffers[source]
 	return !ok || len(buf.points) == 0
 }
 

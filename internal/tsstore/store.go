@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"odh/internal/btree"
 	"odh/internal/catalog"
@@ -39,6 +41,9 @@ type Config struct {
 	// query. The default is strict: a corrupt blob fails the scan with the
 	// underlying error so callers cannot silently miss data.
 	LenientScan bool
+	// Shards overrides the ingest-lock shard count (rounded to a power of
+	// two). Zero sizes it from GOMAXPROCS; 1 gives a single global lock.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -62,7 +67,36 @@ type Stats struct {
 	CorruptBlobsSkipped int64
 }
 
-// Store is the ODH storage component over one page store.
+// Stats.add accumulates other into st (shard aggregation).
+func (st *Stats) add(other Stats) {
+	st.PointsWritten += other.PointsWritten
+	st.BatchesFlushed += other.BatchesFlushed
+	st.BlobBytes += other.BlobBytes
+	st.MGPartialRows += other.MGPartialRows
+	st.CorruptBlobsSkipped += other.CorruptBlobsSkipped
+}
+
+// maxShards caps the ingest shard count.
+const maxShards = 64
+
+// shard is one latch domain of the ingest path: RTS/IRTS source buffers
+// hash here by source id and MG group buffers by group id, so writers of
+// different sources (or groups) never contend. The two maps are disjoint
+// namespaces — a source id colliding numerically with a group id is
+// harmless. The B-trees and the catalog have their own internal locks
+// and never call back into the shard, so holding a shard lock across a
+// batch flush cannot deadlock.
+type shard struct {
+	mu      sync.RWMutex
+	buffers map[int64]*sourceBuffer
+	groups  map[int64]*groupBuffer
+	stats   Stats
+}
+
+// Store is the ODH storage component over one page store. Writes for
+// different sources proceed in parallel on separate shards; writes for
+// the same source (or MG group) serialize on its shard, preserving
+// per-source arrival order.
 type Store struct {
 	cfg Config
 	cat *catalog.Catalog
@@ -70,11 +104,40 @@ type Store struct {
 	rts, irts, mg *btree.Tree
 	watermarks    *btree.Tree // group id -> reorg watermark ts
 
-	mu      sync.RWMutex
-	buffers map[int64]*sourceBuffer
-	groups  map[int64]*groupBuffer
-	stats   Stats
+	shards    []*shard
+	shardMask uint32
+
+	// corruptBlobs is kept outside the shards: scans quarantine records
+	// without knowing (or locking) a shard.
+	corruptBlobs atomic.Int64
 }
+
+// shardCount picks the ingest shard count: a power of two sized from
+// GOMAXPROCS (or the override), capped at maxShards.
+func shardCount(override int) int {
+	n := override
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// shardFor returns the shard owning key (a source id for RTS/IRTS, a
+// group id for MG).
+func (s *Store) shardFor(key int64) *shard {
+	h := uint64(key) * 0x9E3779B97F4A7C15
+	return s.shards[uint32(h>>32)&s.shardMask]
+}
+
+// Shards returns the ingest shard count.
+func (s *Store) Shards() int { return len(s.shards) }
 
 // sourceBuffer accumulates points for one RTS/IRTS source.
 type sourceBuffer struct {
@@ -119,10 +182,17 @@ func windowBase(ts, window int64) int64 {
 // Open opens the batch stores inside store using cat for metadata.
 func Open(store *pagestore.Store, cat *catalog.Catalog, cfg Config) (*Store, error) {
 	s := &Store{
-		cfg:     cfg.withDefaults(),
-		cat:     cat,
-		buffers: make(map[int64]*sourceBuffer),
-		groups:  make(map[int64]*groupBuffer),
+		cfg: cfg.withDefaults(),
+		cat: cat,
+	}
+	n := shardCount(s.cfg.Shards)
+	s.shards = make([]*shard, n)
+	s.shardMask = uint32(n - 1)
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			buffers: make(map[int64]*sourceBuffer),
+			groups:  make(map[int64]*groupBuffer),
+		}
 	}
 	var err error
 	if s.rts, err = btree.Open(store, "ts.rts"); err != nil {
@@ -146,11 +216,16 @@ func (s *Store) Catalog() *catalog.Catalog { return s.cat }
 // BatchSize returns the configured b.
 func (s *Store) BatchSize() int { return s.cfg.BatchSize }
 
-// Stats returns a snapshot of activity counters.
+// Stats returns a snapshot of activity counters aggregated across shards.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.stats
+	var st Stats
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		st.add(sh.stats)
+		sh.mu.RUnlock()
+	}
+	st.CorruptBlobsSkipped += s.corruptBlobs.Load()
+	return st
 }
 
 // encodeOptsFor builds the blob codec options for a schema.
@@ -166,53 +241,173 @@ func (s *Store) encodeOptsFor(schema *model.SchemaType) encodeOpts {
 	return opts
 }
 
-// Write ingests one operational record through the writer API. It is the
-// paper's non-transactional insert path: the point lands in an in-memory
-// buffer and becomes a persisted batch when b points accumulate.
-func (s *Store) Write(p model.Point) error {
+// resolved is a point whose source and schema were validated against the
+// catalog — ready to enter a shard.
+type resolved struct {
+	ds     *model.DataSource
+	schema *model.SchemaType
+	p      model.Point
+}
+
+// resolve validates one point against the catalog.
+func (s *Store) resolve(p model.Point) (resolved, error) {
 	ds, ok := s.cat.Source(p.Source)
 	if !ok {
-		return fmt.Errorf("tsstore: unknown data source %d", p.Source)
+		return resolved{}, fmt.Errorf("tsstore: unknown data source %d", p.Source)
 	}
 	schema, ok := s.cat.SchemaByID(ds.SchemaID)
 	if !ok {
-		return fmt.Errorf("tsstore: source %d has unknown schema %d", p.Source, ds.SchemaID)
+		return resolved{}, fmt.Errorf("tsstore: source %d has unknown schema %d", p.Source, ds.SchemaID)
 	}
 	if len(p.Values) != len(schema.Tags) {
-		return fmt.Errorf("tsstore: source %d: %d values for %d tags", p.Source, len(p.Values), len(schema.Tags))
+		return resolved{}, fmt.Errorf("tsstore: source %d: %d values for %d tags", p.Source, len(p.Values), len(schema.Tags))
+	}
+	return resolved{ds: ds, schema: schema, p: p}, nil
+}
+
+// writeResolved routes a validated point into its shard: RTS/IRTS shard by
+// source id, MG by group id (every member of a group serializes on one
+// shard, which the windowed row merge requires).
+func (s *Store) writeResolved(r resolved) error {
+	switch r.ds.IngestStructure() {
+	case model.RTS, model.IRTS:
+		sh := s.shardFor(r.ds.ID)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		sh.stats.PointsWritten++
+		return s.writeBuffered(sh, r.ds, r.schema, r.p)
+	default:
+		sh := s.shardFor(r.ds.Group)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		sh.stats.PointsWritten++
+		return s.writeMG(sh, r.ds, r.schema, r.p)
+	}
+}
+
+// Write ingests one operational record through the writer API. It is the
+// paper's non-transactional insert path: the point lands in an in-memory
+// buffer and becomes a persisted batch when b points accumulate. Writes
+// for different sources proceed in parallel.
+func (s *Store) Write(p model.Point) error {
+	r, err := s.resolve(p)
+	if err != nil {
+		return err
 	}
 	if s.cfg.Log != nil {
 		if err := s.cfg.Log.Append(encodePointWAL(p)); err != nil {
 			return err
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.PointsWritten++
-	switch ds.IngestStructure() {
-	case model.RTS, model.IRTS:
-		return s.writeBuffered(ds, schema, p)
-	default:
-		return s.writeMG(ds, schema, p)
-	}
+	return s.writeResolved(r)
 }
 
-// WriteBatch ingests a slice of points.
+// WriteBatch ingests a slice of points. The whole batch is validated
+// first and logged with a single group commit before any point enters a
+// buffer, so the WAL-before-buffer ordering of Write holds batch-wide.
 func (s *Store) WriteBatch(points []model.Point) error {
-	for _, p := range points {
-		if err := s.Write(p); err != nil {
+	rs, err := s.resolveBatch(points)
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if err := s.writeResolved(r); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// writeBuffered handles the RTS/IRTS per-source path. Caller holds s.mu.
-func (s *Store) writeBuffered(ds *model.DataSource, schema *model.SchemaType, p model.Point) error {
-	buf, ok := s.buffers[ds.ID]
+// resolveBatch validates every point and appends the batch to the WAL.
+func (s *Store) resolveBatch(points []model.Point) ([]resolved, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	rs := make([]resolved, len(points))
+	for i, p := range points {
+		r, err := s.resolve(p)
+		if err != nil {
+			return nil, err
+		}
+		rs[i] = r
+	}
+	if s.cfg.Log != nil {
+		recs := make([][]byte, len(points))
+		for i, p := range points {
+			recs[i] = encodePointWAL(p)
+		}
+		if err := s.cfg.Log.AppendBatch(recs); err != nil {
+			return nil, err
+		}
+	}
+	return rs, nil
+}
+
+// WriteBatchParallel ingests a batch using up to workers goroutines, one
+// per ingest shard bucket, so sources living on different shards are
+// buffered concurrently. Per-source point order is preserved (a source's
+// points all land in one bucket, processed in order). workers <= 1 falls
+// back to the sequential path. On error the batch may be partially
+// buffered — the same non-transactional contract as sequential ingest.
+func (s *Store) WriteBatchParallel(points []model.Point, workers int) error {
+	if workers <= 1 || len(points) < 2 || len(s.shards) == 1 {
+		return s.WriteBatch(points)
+	}
+	rs, err := s.resolveBatch(points)
+	if err != nil {
+		return err
+	}
+	buckets := make([][]resolved, len(s.shards))
+	for _, r := range rs {
+		key := r.ds.ID
+		if r.ds.IngestStructure() == model.MG {
+			key = r.ds.Group
+		}
+		h := uint64(key) * 0x9E3779B97F4A7C15
+		idx := uint32(h>>32) & s.shardMask
+		buckets[idx] = append(buckets[idx], r)
+	}
+	work := make(chan []resolved, len(buckets))
+	nonEmpty := 0
+	for _, b := range buckets {
+		if len(b) > 0 {
+			work <- b
+			nonEmpty++
+		}
+	}
+	close(work)
+	if workers > nonEmpty {
+		workers = nonEmpty
+	}
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bucket := range work {
+				for _, r := range bucket {
+					if err := s.writeResolved(r); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+// writeBuffered handles the RTS/IRTS per-source path. Caller holds sh.mu.
+func (s *Store) writeBuffered(sh *shard, ds *model.DataSource, schema *model.SchemaType, p model.Point) error {
+	buf, ok := sh.buffers[ds.ID]
 	if !ok {
 		buf = &sourceBuffer{ds: ds, schema: schema, points: make([]model.Point, 0, s.cfg.BatchSize)}
-		s.buffers[ds.ID] = buf
+		sh.buffers[ds.ID] = buf
 	}
 	if len(buf.points) > 0 {
 		last := buf.points[len(buf.points)-1].TS
@@ -221,7 +416,7 @@ func (s *Store) writeBuffered(ds *model.DataSource, schema *model.SchemaType, p 
 			// A gap or drift breaks the implicit-timestamp contract; close
 			// the batch and start a new run.
 			if p.TS != last+ds.IntervalMs {
-				if err := s.flushSourceLocked(buf); err != nil {
+				if err := s.flushSourceLocked(sh, buf); err != nil {
 					return err
 				}
 			}
@@ -229,7 +424,7 @@ func (s *Store) writeBuffered(ds *model.DataSource, schema *model.SchemaType, p 
 			if p.TS < last {
 				// Out-of-order point: close the batch so each blob's
 				// timestamps stay monotonic.
-				if err := s.flushSourceLocked(buf); err != nil {
+				if err := s.flushSourceLocked(sh, buf); err != nil {
 					return err
 				}
 			}
@@ -237,14 +432,14 @@ func (s *Store) writeBuffered(ds *model.DataSource, schema *model.SchemaType, p 
 	}
 	buf.points = append(buf.points, p.Clone())
 	if len(buf.points) >= s.cfg.BatchSize {
-		return s.flushSourceLocked(buf)
+		return s.flushSourceLocked(sh, buf)
 	}
 	return nil
 }
 
-// writeMG handles the MG per-group path. Caller holds s.mu.
-func (s *Store) writeMG(ds *model.DataSource, schema *model.SchemaType, p model.Point) error {
-	gb, ok := s.groups[ds.Group]
+// writeMG handles the MG per-group path. Caller holds sh.mu.
+func (s *Store) writeMG(sh *shard, ds *model.DataSource, schema *model.SchemaType, p model.Point) error {
+	gb, ok := sh.groups[ds.Group]
 	if !ok {
 		members := s.cat.GroupMembers(ds.Group)
 		window := ds.IntervalMs
@@ -262,7 +457,7 @@ func (s *Store) writeMG(ds *model.DataSource, schema *model.SchemaType, p model.
 		for slot, id := range members {
 			gb.slots[id] = slot
 		}
-		s.groups[ds.Group] = gb
+		sh.groups[ds.Group] = gb
 	}
 	slot, ok := gb.slots[ds.ID]
 	if !ok {
@@ -314,18 +509,19 @@ func (s *Store) writeMG(ds *model.DataSource, schema *model.SchemaType, p model.
 	copy(vals, p.Values)
 	row.values[slot] = vals
 	if row.reported >= len(gb.members) {
-		return s.flushMGRowLocked(gb, bucket)
+		return s.flushMGRowLocked(sh, gb, bucket)
 	}
 	if len(gb.order) > s.cfg.MaxOpenMGRows {
 		oldest := gb.order[0]
-		s.stats.MGPartialRows++
-		return s.flushMGRowLocked(gb, oldest)
+		sh.stats.MGPartialRows++
+		return s.flushMGRowLocked(sh, gb, oldest)
 	}
 	return nil
 }
 
-// flushSourceLocked persists and clears one source buffer. Caller holds s.mu.
-func (s *Store) flushSourceLocked(buf *sourceBuffer) error {
+// flushSourceLocked persists and clears one source buffer. Caller holds
+// the buffer's shard lock.
+func (s *Store) flushSourceLocked(sh *shard, buf *sourceBuffer) error {
 	if len(buf.points) == 0 {
 		return nil
 	}
@@ -357,8 +553,8 @@ func (s *Store) flushSourceLocked(buf *sourceBuffer) error {
 	}); err != nil {
 		return err
 	}
-	s.stats.BatchesFlushed++
-	s.stats.BlobBytes += int64(len(blob))
+	sh.stats.BatchesFlushed++
+	sh.stats.BlobBytes += int64(len(blob))
 	buf.points = buf.points[:0]
 	return nil
 }
@@ -366,8 +562,8 @@ func (s *Store) flushSourceLocked(buf *sourceBuffer) error {
 // flushMGRowLocked persists and removes one group row, merging with any
 // record already stored at (group, ts): a partially filled row may have
 // been flushed earlier (open-row cap) and late members must not clobber
-// it. Caller holds s.mu.
-func (s *Store) flushMGRowLocked(gb *groupBuffer, ts int64) error {
+// it. Caller holds the group's shard lock.
+func (s *Store) flushMGRowLocked(sh *shard, gb *groupBuffer, ts int64) error {
 	row, ok := gb.rows[ts]
 	if !ok {
 		return nil
@@ -442,25 +638,37 @@ func (s *Store) flushMGRowLocked(gb *groupBuffer, ts int64) error {
 			break
 		}
 	}
-	s.stats.BatchesFlushed++
-	s.stats.BlobBytes += int64(len(blob))
+	sh.stats.BatchesFlushed++
+	sh.stats.BlobBytes += int64(len(blob))
 	return nil
 }
 
 // Flush persists every open buffer (partially filled batches included) and
-// recycles the recovery log if one is attached.
+// recycles the recovery log if one is attached. It quiesces ingest by
+// taking every shard lock in index order for the duration: recycling the
+// log is only safe while no writer can slip a point into a buffer after
+// its WAL record was appended — that record would be truncated away while
+// the point is still volatile. Writers resume as soon as Flush returns.
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, buf := range s.buffers {
-		if err := s.flushSourceLocked(buf); err != nil {
-			return err
-		}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
 	}
-	for _, gb := range s.groups {
-		for len(gb.order) > 0 {
-			if err := s.flushMGRowLocked(gb, gb.order[0]); err != nil {
+	defer func() {
+		for i := len(s.shards) - 1; i >= 0; i-- {
+			s.shards[i].mu.Unlock()
+		}
+	}()
+	for _, sh := range s.shards {
+		for _, buf := range sh.buffers {
+			if err := s.flushSourceLocked(sh, buf); err != nil {
 				return err
+			}
+		}
+		for _, gb := range sh.groups {
+			for len(gb.order) > 0 {
+				if err := s.flushMGRowLocked(sh, gb, gb.order[0]); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -508,9 +716,7 @@ func (s *Store) lenient() bool { return s.cfg.LenientScan }
 
 // noteCorruptBlob counts one quarantined record.
 func (s *Store) noteCorruptBlob() {
-	s.mu.Lock()
-	s.stats.CorruptBlobsSkipped++
-	s.mu.Unlock()
+	s.corruptBlobs.Add(1)
 }
 
 // BlobRef identifies one batch record for integrity reporting.

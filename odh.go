@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"odh/internal/catalog"
 	"odh/internal/compress"
@@ -94,20 +95,35 @@ type Options struct {
 	// WALSyncOnAppend fsyncs the recovery log after every append
 	// (zero loss, slowest); WALSyncEvery > 0 fsyncs every N appends
 	// instead. With neither set the log syncs only on flush/rotation,
-	// bounding loss to one batch per source.
+	// bounding loss to one batch per source. Concurrent appends are
+	// group-committed, so the fsync cost amortizes across writers.
 	WALSyncOnAppend bool
 	WALSyncEvery    int
+	// WALBacking overrides the recovery log's backing file (crash tests
+	// inject fault wrappers here); it wins over dir's WAL file and
+	// implies EnableRecoveryLog.
+	WALBacking walog.File
+	// IngestWorkers sets the fan-out of Writer.WriteBatchParallel when the
+	// caller passes no explicit worker count (default GOMAXPROCS).
+	IngestWorkers int
+	// IngestShards overrides the ingest-lock shard count (default: sized
+	// from GOMAXPROCS; 1 restores the old fully serialized write path).
+	IngestShards int
+	// PoolPartitions overrides the buffer pool's latch partition count
+	// (default: sized from GOMAXPROCS and the pool size).
+	PoolPartitions int
 }
 
 // Historian is an operational data historian instance.
 type Historian struct {
-	dir    string
-	page   *pagestore.Store
-	cat    *catalog.Catalog
-	ts     *tsstore.Store
-	rel    *relational.DB
-	engine *sqlexec.Engine
-	wal    *walog.Log
+	dir     string
+	page    *pagestore.Store
+	cat     *catalog.Catalog
+	ts      *tsstore.Store
+	rel     *relational.DB
+	engine  *sqlexec.Engine
+	wal     *walog.Log
+	workers int // default WriteBatchParallel fan-out
 }
 
 // Open opens (creating if necessary) a historian. dir == "" opens an
@@ -142,17 +158,28 @@ func Open(dir string, opts Options) (*Historian, error) {
 		}
 		file = f
 	}
-	if dir != "" && opts.EnableRecoveryLog {
-		l, err := walog.OpenPath(filepath.Join(dir, "ingest.wal"), walog.Options{
-			SyncOnAppend: opts.WALSyncOnAppend,
-			SyncEvery:    opts.WALSyncEvery,
-		})
+	walOpts := walog.Options{
+		SyncOnAppend: opts.WALSyncOnAppend,
+		SyncEvery:    opts.WALSyncEvery,
+	}
+	switch {
+	case opts.WALBacking != nil:
+		l, err := walog.OpenFile(opts.WALBacking, walOpts)
+		if err != nil {
+			return nil, err
+		}
+		wal = l
+	case dir != "" && opts.EnableRecoveryLog:
+		l, err := walog.OpenPath(filepath.Join(dir, "ingest.wal"), walOpts)
 		if err != nil {
 			return nil, err
 		}
 		wal = l
 	}
-	page, err := pagestore.Open(file, pagestore.Options{PoolPages: opts.PoolPages})
+	page, err := pagestore.Open(file, pagestore.Options{
+		PoolPages:      opts.PoolPages,
+		PoolPartitions: opts.PoolPartitions,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +194,7 @@ func Open(dir string, opts Options) (*Historian, error) {
 		RowOrientedBlobs:   opts.RowOrientedBlobs,
 		LenientScan:        opts.Recovery == RecoverLenient,
 		Log:                wal,
+		Shards:             opts.IngestShards,
 	})
 	if err != nil {
 		page.Close()
@@ -177,14 +205,19 @@ func Open(dir string, opts Options) (*Historian, error) {
 		page.Close()
 		return nil, err
 	}
+	workers := opts.IngestWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	h := &Historian{
-		dir:    dir,
-		page:   page,
-		cat:    cat,
-		ts:     ts,
-		rel:    rel,
-		engine: sqlexec.New(rel, ts),
-		wal:    wal,
+		dir:     dir,
+		page:    page,
+		cat:     cat,
+		ts:      ts,
+		rel:     rel,
+		engine:  sqlexec.New(rel, ts),
+		wal:     wal,
+		workers: workers,
 	}
 	if wal != nil {
 		// Buffered points from a previous crash re-enter the buffers.
@@ -328,6 +361,17 @@ type HistorianStats struct {
 	// IOBytesWritten / IOBytesRead count page-level I/O.
 	IOBytesWritten int64
 	IOBytesRead    int64
+	// PoolHits / PoolMisses / PoolEvictions count buffer-pool activity
+	// across all latch partitions; PoolHitRate is Hits/(Hits+Misses).
+	PoolHits      int64
+	PoolMisses    int64
+	PoolEvictions int64
+	PoolHitRate   float64
+	// WALRecords / WALGroupCommits count recovery-log appends and the
+	// write syscalls that carried them; their ratio is the achieved
+	// group-commit coalescing factor. Zero when no log is attached.
+	WALRecords      int64
+	WALGroupCommits int64
 	// CorruptBlobsSkipped counts blobs quarantined by lenient scans.
 	CorruptBlobsSkipped int64
 }
@@ -336,15 +380,31 @@ type HistorianStats struct {
 func (h *Historian) TotalStats() HistorianStats {
 	ts := h.ts.Stats()
 	ps := h.page.Stats()
-	return HistorianStats{
+	st := HistorianStats{
 		PointsWritten:       ts.PointsWritten,
 		BatchesFlushed:      ts.BatchesFlushed,
 		BlobBytes:           int64(h.ts.BlobBytesTotal()),
 		StorageBytes:        h.page.SizeBytes(),
 		IOBytesWritten:      ps.BytesWritten,
 		IOBytesRead:         ps.BytesRead,
+		PoolHits:            ps.Hits,
+		PoolMisses:          ps.Misses,
+		PoolEvictions:       ps.Evictions,
+		PoolHitRate:         ps.HitRate(),
 		CorruptBlobsSkipped: ts.CorruptBlobsSkipped,
 	}
+	if h.wal != nil {
+		ws := h.wal.Stats()
+		st.WALRecords = ws.Records
+		st.WALGroupCommits = ws.GroupCommits
+	}
+	return st
+}
+
+// PoolPartitionStats returns per-partition buffer-pool counters (one
+// entry per latch partition), for the CLI's .stats view and tuning.
+func (h *Historian) PoolPartitionStats() []pagestore.Stats {
+	return h.page.PartitionStats()
 }
 
 // Writer is the ODH writer API ("a set of carefully designed writer APIs
@@ -364,6 +424,15 @@ func (w *Writer) WritePoint(source, ts int64, values ...float64) error {
 
 // WriteBatch ingests a slice of points.
 func (w *Writer) WriteBatch(points []Point) error { return w.h.ts.WriteBatch(points) }
+
+// WriteBatchParallel ingests a batch with the points fanned out across the
+// ingest shards (Options.IngestWorkers goroutines by default). Points of
+// the same source keep their order; points of different sources are
+// buffered concurrently. Best for large mixed-source batches — a batch
+// touching one source degenerates to the sequential path.
+func (w *Writer) WriteBatchParallel(points []Point) error {
+	return w.h.ts.WriteBatchParallel(points, w.h.workers)
+}
 
 // Flush forces all buffered points into persisted batches.
 func (w *Writer) Flush() error { return w.h.ts.Flush() }
