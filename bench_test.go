@@ -414,3 +414,117 @@ func BenchmarkParallelBatchIngest(b *testing.B) {
 	b.Run("sequential", func(b *testing.B) { run(b, false) })
 	b.Run("parallel", func(b *testing.B) { run(b, true) })
 }
+
+// benchQueryFixture builds a historian with one dense RTS history big
+// enough for the optimizer to fan its scans out.
+func benchQueryFixture(b *testing.B, opts Options) (*Historian, int64, int64) {
+	const nPts = 200_000
+	opts.BatchSize = 128
+	h, err := Open("", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { h.Close() })
+	schema, err := h.CreateSchema(SchemaType{
+		Name: "scan", IDName: "id", TSName: "ts",
+		Tags: []TagDef{{Name: "t0"}, {Name: "t1"}, {Name: "t2"}, {Name: "t3"}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := h.CreateVirtualTable("V", "scan"); err != nil {
+		b.Fatal(err)
+	}
+	ds, err := h.RegisterSource(DataSource{SchemaID: schema.ID, Regular: true, IntervalMs: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := h.Writer()
+	for i := 0; i < nPts; i++ {
+		if err := w.WritePoint(ds.ID, int64(i+1)*10, float64(i%97), float64(i), 3.5, float64(i%11)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return h, ds.ID, int64(nPts+1) * 10
+}
+
+// BenchmarkParallelScan measures the fanned-out read path against the
+// serial one on the same 200k-point history (no cache, so every
+// iteration pays the full read + decode). On a single-core host the two
+// converge; the fan-out pays off with cores.
+func BenchmarkParallelScan(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		h, src, maxTS := benchQueryFixture(b, Options{QueryWorkers: workers})
+		q := `SELECT COUNT(*), SUM(t1), MAX(t0) FROM V WHERE id = ` + strconv.FormatInt(src, 10) +
+			` AND ts >= 0 AND ts < ` + strconv.FormatInt(maxTS, 10)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := h.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.FetchAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := h.TotalStats()
+		b.ReportMetric(float64(st.ParallelParts)/float64(max64(st.ParallelScans, 1)), "fanout")
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)*200_000/secs, "rows/s")
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 0) })
+	b.Run("workers-4", func(b *testing.B) { run(b, 4) })
+}
+
+// BenchmarkBlobCache measures repeated scans of the same history with
+// the decoded-ValueBlob cache off and on: the cached runs skip the
+// pagestore read and the column decode (the paper's dominant
+// row-assembly overhead).
+func BenchmarkBlobCache(b *testing.B) {
+	run := func(b *testing.B, cacheBytes int64) {
+		h, src, maxTS := benchQueryFixture(b, Options{BlobCacheBytes: cacheBytes})
+		q := `SELECT COUNT(*), SUM(t1), MAX(t0) FROM V WHERE id = ` + strconv.FormatInt(src, 10) +
+			` AND ts >= 0 AND ts < ` + strconv.FormatInt(maxTS, 10)
+		// Warm outside the timed region so the cached runs measure hits.
+		res, err := h.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := res.FetchAll(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := h.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.FetchAll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := h.TotalStats()
+		if lookups := st.BlobCacheHits + st.BlobCacheMisses; lookups > 0 {
+			b.ReportMetric(100*float64(st.BlobCacheHits)/float64(lookups), "hit%")
+			b.ReportMetric(float64(st.BlobCacheBytesSaved)/float64(max64(int64(b.N), 1)), "savedB/op")
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(b.N)*200_000/secs, "rows/s")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	b.Run("on-64MiB", func(b *testing.B) { run(b, 64<<20) })
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

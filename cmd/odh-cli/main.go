@@ -29,9 +29,11 @@ import (
 func main() {
 	dir := flag.String("dir", "", "historian directory (empty = in-memory scratch)")
 	lenient := flag.Bool("recover", false, "lenient recovery: scans skip corrupt blobs instead of failing")
+	queryWorkers := flag.Int("query-workers", 0, "parallel degree cap for virtual-table scans (0 = serial)")
+	blobCache := flag.Int64("blob-cache", 0, "decoded-ValueBlob cache budget in bytes (0 = off)")
 	flag.Parse()
 
-	opts := odh.Options{}
+	opts := odh.Options{QueryWorkers: *queryWorkers, BlobCacheBytes: *blobCache}
 	if *lenient {
 		opts.Recovery = odh.RecoverLenient
 	}
@@ -108,6 +110,18 @@ func dotCommand(h *odh.Historian, line string) bool {
 				fmt.Printf("wal: records=%d groupCommits=%d coalescing=%.1fx\n",
 					total.WALRecords, total.WALGroupCommits,
 					float64(total.WALRecords)/float64(total.WALGroupCommits))
+			}
+			if lookups := total.BlobCacheHits + total.BlobCacheMisses; lookups > 0 {
+				fmt.Printf("blobCache: hits=%d misses=%d hitRate=%.1f%% bytesSaved=%d size=%d evictions=%d invalidations=%d\n",
+					total.BlobCacheHits, total.BlobCacheMisses,
+					100*float64(total.BlobCacheHits)/float64(lookups),
+					total.BlobCacheBytesSaved, total.BlobCacheSizeBytes,
+					total.BlobCacheEvictions, total.BlobCacheInvalidations)
+			}
+			if total.ParallelScans > 0 {
+				fmt.Printf("parallel: scans=%d parts=%d avgFanout=%.1f\n",
+					total.ParallelScans, total.ParallelParts,
+					float64(total.ParallelParts)/float64(total.ParallelScans))
 			}
 			for i, ps := range h.PoolPartitionStats() {
 				fmt.Printf("  partition %d: hits=%d misses=%d evictions=%d hitRate=%.1f%%\n",

@@ -22,6 +22,7 @@ func (pc *planContext) buildScan(acc *tableAccess) (Operator, error) {
 		} else if len(acc.idList) > 0 {
 			vs.sources = acc.idList
 		}
+		vs.workers = pc.e.parallelDegree(acc.estCost)
 		op = vs
 	} else if acc.index != nil {
 		if acc.prefixVals != nil {

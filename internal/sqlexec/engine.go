@@ -18,11 +18,37 @@ type Engine struct {
 	rel *relational.DB
 	ts  *tsstore.Store
 	cat *catalog.Catalog
+	// queryWorkers caps the parallel degree of virtual-table scans;
+	// <= 1 keeps every scan serial.
+	queryWorkers int
 }
 
 // New builds an engine over the two stores.
 func New(rel *relational.DB, ts *tsstore.Store) *Engine {
 	return &Engine{rel: rel, ts: ts, cat: ts.Catalog()}
+}
+
+// SetQueryWorkers caps the parallel degree virtual-table scans may use.
+// The planner picks each scan's degree from its blob-bytes cost estimate,
+// never exceeding n; n <= 1 disables parallel scans.
+func (e *Engine) SetQueryWorkers(n int) { e.queryWorkers = n }
+
+// parallelCostUnit is the estimated blob-bytes of work that justifies one
+// additional scan worker: fanning out cheaper scans costs more in
+// goroutine and channel overhead than the decode work it spreads.
+const parallelCostUnit = 64 << 10
+
+// parallelDegree converts a scan's blob-bytes cost estimate into a worker
+// count in [1, queryWorkers].
+func (e *Engine) parallelDegree(estCost float64) int {
+	if e.queryWorkers <= 1 || estCost < 2*parallelCostUnit {
+		return 1
+	}
+	deg := int(estCost / parallelCostUnit)
+	if deg > e.queryWorkers {
+		deg = e.queryWorkers
+	}
+	return deg
 }
 
 // Rel exposes the relational database (for loaders and tests).

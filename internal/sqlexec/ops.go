@@ -126,6 +126,9 @@ type virtualScan struct {
 	sources    []int64
 	t1, t2     int64
 	tagRanges  []tsstore.TagRange
+	// workers is the parallel degree the planner chose from the blob-bytes
+	// cost estimate; <= 1 scans serially.
+	workers int
 
 	iter       tsstore.Iterator
 	routerDone bool
@@ -182,12 +185,13 @@ func (s *virtualScan) open() error {
 		s.routerDone = true
 	}
 	var err error
+	opts := tsstore.ScanOptions{Workers: s.workers}
 	if s.historical {
-		s.iter, err = s.store.HistoricalScan(s.source, s.t1, s.t2, s.wantTags, s.tagRanges...)
+		s.iter, err = s.store.HistoricalScanOpts(s.source, s.t1, s.t2, s.wantTags, opts, s.tagRanges...)
 	} else if len(s.sources) > 0 {
-		s.iter, err = s.store.MultiHistoricalScan(s.sources, s.t1, s.t2, s.wantTags, s.tagRanges...)
+		s.iter, err = s.store.MultiHistoricalScanOpts(s.sources, s.t1, s.t2, s.wantTags, opts, s.tagRanges...)
 	} else {
-		s.iter, err = s.store.SliceScan(s.schema.ID, s.t1, s.t2, s.wantTags, s.tagRanges...)
+		s.iter, err = s.store.SliceScanOpts(s.schema.ID, s.t1, s.t2, s.wantTags, opts, s.tagRanges...)
 	}
 	return err
 }
@@ -226,13 +230,17 @@ func (s *virtualScan) Next() (Row, bool, error) {
 }
 
 func (s *virtualScan) Describe(indent string) string {
+	par := ""
+	if s.workers > 1 {
+		par = fmt.Sprintf(", parallel=%d", s.workers)
+	}
 	if s.historical {
-		return fmt.Sprintf("%sVirtualHistoricalScan(%s, id=%d, ts=[%d,%d))\n", indent, s.schema.Name, s.source, s.t1, s.t2)
+		return fmt.Sprintf("%sVirtualHistoricalScan(%s, id=%d, ts=[%d,%d)%s)\n", indent, s.schema.Name, s.source, s.t1, s.t2, par)
 	}
 	if len(s.sources) > 0 {
-		return fmt.Sprintf("%sVirtualMultiScan(%s, %d ids, ts=[%d,%d))\n", indent, s.schema.Name, len(s.sources), s.t1, s.t2)
+		return fmt.Sprintf("%sVirtualMultiScan(%s, %d ids, ts=[%d,%d)%s)\n", indent, s.schema.Name, len(s.sources), s.t1, s.t2, par)
 	}
-	return fmt.Sprintf("%sVirtualSliceScan(%s, ts=[%d,%d))\n", indent, s.schema.Name, s.t1, s.t2)
+	return fmt.Sprintf("%sVirtualSliceScan(%s, ts=[%d,%d)%s)\n", indent, s.schema.Name, s.t1, s.t2, par)
 }
 
 // --- filter ---

@@ -305,6 +305,7 @@ func (pc *planContext) analyzeVirtual(acc *tableAccess) {
 				continue
 			}
 			ids := make([]int64, 0, len(x.List))
+			seen := make(map[int64]bool, len(x.List))
 			for _, item := range x.List {
 				lit := literalValue(item)
 				if lit == nil {
@@ -312,7 +313,12 @@ func (pc *planContext) analyzeVirtual(acc *tableAccess) {
 					break
 				}
 				if id, okID := asTimeMs(*lit); okID {
-					ids = append(ids, id)
+					// IN is a membership test: a duplicate literal must not
+					// scan (and return) its source twice.
+					if !seen[id] {
+						seen[id] = true
+						ids = append(ids, id)
+					}
 				} else {
 					ids = nil
 					break

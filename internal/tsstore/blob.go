@@ -100,19 +100,20 @@ func zonesOverlap(zones []zoneMap, ranges []TagRange) bool {
 	return true
 }
 
-// BlobOverlaps reports whether a blob could contain rows satisfying every
-// tag range, by peeking only at the header's zone maps — no column
-// decode. It returns true (cannot skip) for blobs without zone maps or
-// with unparseable headers.
-func BlobOverlaps(b []byte, ranges []TagRange) bool {
-	if len(ranges) == 0 || len(b) < 1 || b[0]&flagZoneMaps == 0 {
-		return true
+// blobZoneMaps parses the header zone maps of a blob without decoding its
+// columns. It returns (nil, false) when the blob carries no zone maps or
+// its header is unparseable — callers must then treat every tag range as
+// potentially overlapping. The blob cache stores the result so hits keep
+// exactly the skip behavior of the raw-blob path.
+func blobZoneMaps(b []byte) ([]zoneMap, bool) {
+	if len(b) < 1 || b[0]&flagZoneMaps == 0 {
+		return nil, false
 	}
 	format := b[0] & formatMask
 	rest := b[1:]
 	ntagsU, n := binary.Uvarint(rest)
 	if n <= 0 || ntagsU > 1<<16 {
-		return true
+		return nil, false
 	}
 	rest = rest[n:]
 	// Skip the structure-specific fields that precede the zone maps.
@@ -121,24 +122,39 @@ func BlobOverlaps(b []byte, ranges []TagRange) bool {
 		if _, n := binary.Uvarint(rest); n > 0 { // count
 			rest = rest[n:]
 		} else {
-			return true
+			return nil, false
 		}
 		if _, n := binary.Varint(rest); n > 0 { // interval
 			rest = rest[n:]
 		} else {
-			return true
+			return nil, false
 		}
 	case blobIRTS, blobMG:
 		if _, n := binary.Uvarint(rest); n > 0 { // count / memberCount
 			rest = rest[n:]
 		} else {
-			return true
+			return nil, false
 		}
 	default:
-		return true
+		return nil, false
 	}
 	zones, _, err := readZoneMaps(rest, int(ntagsU))
 	if err != nil {
+		return nil, false
+	}
+	return zones, true
+}
+
+// BlobOverlaps reports whether a blob could contain rows satisfying every
+// tag range, by peeking only at the header's zone maps — no column
+// decode. It returns true (cannot skip) for blobs without zone maps or
+// with unparseable headers.
+func BlobOverlaps(b []byte, ranges []TagRange) bool {
+	if len(ranges) == 0 {
+		return true
+	}
+	zones, ok := blobZoneMaps(b)
+	if !ok {
 		return true
 	}
 	return zonesOverlap(zones, ranges)

@@ -1,0 +1,252 @@
+package tsstore
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"odh/internal/model"
+)
+
+// fillSource writes n regular points and flushes, returning the written
+// ground truth.
+func fillSource(t *testing.T, f *fixture, ds *model.DataSource, n int) []model.Point {
+	t.Helper()
+	var truth []model.Point
+	for i := 0; i < n; i++ {
+		p := model.Point{Source: ds.ID, TS: int64(i+1) * ds.IntervalMs, Values: []float64{float64(i % 7), float64(i)}}
+		truth = append(truth, p.Clone())
+		if err := f.store.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return truth
+}
+
+func scanAll(t *testing.T, s *Store, source int64, opts ScanOptions, ranges ...TagRange) []model.Point {
+	t.Helper()
+	it, err := s.HistoricalScanOpts(source, math.MinInt64, math.MaxInt64, nil, opts, ranges...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return collect(t, it)
+}
+
+// TestBlobCacheHitsAndEquivalence pins the cache's basic contract: the
+// second scan hits, saves bytes, and returns exactly the first scan's
+// rows.
+func TestBlobCacheHitsAndEquivalence(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16, BlobCacheBytes: 1 << 20}, 0)
+	s := f.schema(t, "cache", 2)
+	ds := f.source(t, s.ID, true, 10)
+	truth := fillSource(t, f, ds, 200)
+
+	cold := scanAll(t, f.store, ds.ID, ScanOptions{})
+	st := f.store.BlobCacheStats()
+	if st.Hits != 0 || st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("after cold scan: %+v", st)
+	}
+	warm := scanAll(t, f.store, ds.ID, ScanOptions{})
+	st = f.store.BlobCacheStats()
+	if st.Hits == 0 || st.BytesSaved == 0 {
+		t.Fatalf("warm scan did not hit: %+v", st)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("warm scan rows differ from cold scan")
+	}
+	if !reflect.DeepEqual(cold, truth) {
+		t.Fatalf("scan rows differ from written points: got %d want %d", len(cold), len(truth))
+	}
+	// NoCache bypasses entirely and still returns the same rows.
+	raw := scanAll(t, f.store, ds.ID, ScanOptions{NoCache: true})
+	if !reflect.DeepEqual(cold, raw) {
+		t.Fatal("NoCache scan rows differ")
+	}
+}
+
+// TestBlobCacheInvalidation covers the write-side invalidation hooks:
+// flush-merge (MG), reorganization, retention, and coalescing must all
+// drop stale decodes so cached scans equal uncached ones.
+func TestBlobCacheInvalidation(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 8, MaxOpenMGRows: 2, BlobCacheBytes: 1 << 20}, 4)
+	s := f.schema(t, "inv", 2)
+	// MG group of 4 low-frequency sources.
+	var mgs []*model.DataSource
+	for i := 0; i < 4; i++ {
+		mgs = append(mgs, f.source(t, s.ID, true, 10_000))
+	}
+	rts := f.source(t, s.ID, true, 10)
+
+	write := func(ds *model.DataSource, ts int64, v float64) {
+		t.Helper()
+		if err := f.store.Write(model.Point{Source: ds.ID, TS: ts, Values: []float64{v, -v}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for w := 1; w <= 6; w++ {
+		for _, ds := range mgs {
+			write(ds, int64(w)*10_000+int64(ds.GroupSlot), float64(w))
+		}
+	}
+	for i := 0; i < 100; i++ {
+		write(rts, int64(i+1)*10, float64(i))
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for _, ds := range append(append([]*model.DataSource{}, mgs...), rts) {
+			cached := scanAll(t, f.store, ds.ID, ScanOptions{})
+			raw := scanAll(t, f.store, ds.ID, ScanOptions{NoCache: true})
+			if !reflect.DeepEqual(cached, raw) {
+				t.Fatalf("%s: source %d cached scan diverged (%d vs %d rows)", stage, ds.ID, len(cached), len(raw))
+			}
+		}
+	}
+	check("warmup")
+
+	// Late MG arrival merges into an already-flushed record in place.
+	write(mgs[0], 3*10_000+999, 42)
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	check("mg merge")
+
+	// Reorganize moves the MG stripe into per-source batches.
+	if _, err := f.store.Reorganize(s.ID, 5*10_000); err != nil {
+		t.Fatal(err)
+	}
+	check("reorganize")
+
+	// Coalesce rewrites fragmented batches.
+	if _, err := f.store.Coalesce(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	check("coalesce")
+
+	// Retention drops aged batches.
+	if _, err := f.store.DropBefore(s.ID, 400); err != nil {
+		t.Fatal(err)
+	}
+	check("retention")
+
+	if st := f.store.BlobCacheStats(); st.Invalidations == 0 {
+		t.Fatal("maintenance passes performed no invalidations")
+	}
+}
+
+// TestBlobCacheEviction pins the byte budget: a cache far smaller than
+// the working set must evict and never exceed its budget.
+func TestBlobCacheEviction(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16, BlobCacheBytes: 4096}, 0)
+	s := f.schema(t, "evict", 4)
+	ds := f.source(t, s.ID, true, 10)
+	for i := 0; i < 500; i++ {
+		p := model.Point{Source: ds.ID, TS: int64(i+1) * 10, Values: []float64{float64(i), 1, 2, 3}}
+		if err := f.store.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	scanAll(t, f.store, ds.ID, ScanOptions{})
+	st := f.store.BlobCacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions with a 4 KiB budget: %+v", st)
+	}
+	if st.SizeBytes > 4096 {
+		t.Fatalf("cache exceeded its budget: %d > 4096", st.SizeBytes)
+	}
+}
+
+// TestBlobCacheStaleInsertDropped drives the version-slot protocol
+// directly: an insert whose version was snapshotted before an
+// invalidation must be dropped.
+func TestBlobCacheStaleInsertDropped(t *testing.T) {
+	c := newBlobCache(1 << 20)
+	bk := blobKey{tree: cacheTreeRTS, source: 7, ts: 100}
+	batch := &DecodedBatch{Timestamps: []int64{100}, Rows: [][]float64{{1}}}
+
+	ver := c.snapshot(bk)
+	c.invalidateKey(bk) // writer overwrote the blob between read and insert
+	c.put(bk, "*", ver, batch, nil, false, 64)
+	if _, ok := c.get(bk, "*"); ok {
+		t.Fatal("stale insert was served")
+	}
+	// A fresh snapshot inserts fine.
+	ver = c.snapshot(bk)
+	c.put(bk, "*", ver, batch, nil, false, 64)
+	if _, ok := c.get(bk, "*"); !ok {
+		t.Fatal("fresh insert missing")
+	}
+	// Invalidation removes the live entry too.
+	c.invalidateKey(bk)
+	if _, ok := c.get(bk, "*"); ok {
+		t.Fatal("entry survived invalidation")
+	}
+}
+
+// TestTagsSig pins the cache variant canonicalization.
+func TestTagsSig(t *testing.T) {
+	if tagsSig(nil) != "*" {
+		t.Fatalf("nil = %q", tagsSig(nil))
+	}
+	if tagsSig([]int{}) == "*" {
+		t.Fatal("empty selection must differ from full decode")
+	}
+	if tagsSig([]int{2, 0, 1}) != tagsSig([]int{0, 1, 2, 2}) {
+		t.Fatal("order/duplicates must not change the signature")
+	}
+	if tagsSig([]int{0, 1}) == tagsSig([]int{0, 2}) {
+		t.Fatal("different selections must differ")
+	}
+}
+
+// TestBlobCacheWantTagsVariants verifies a partial decode cached under
+// one selection is not served to a different selection.
+func TestBlobCacheWantTagsVariants(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16, BlobCacheBytes: 1 << 20}, 0)
+	s := f.schema(t, "variants", 3)
+	ds := f.source(t, s.ID, true, 10)
+	for i := 0; i < 64; i++ {
+		p := model.Point{Source: ds.ID, TS: int64(i+1) * 10, Values: []float64{float64(i), float64(-i), float64(i % 3)}}
+		if err := f.store.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	scan := func(wantTags []int) []model.Point {
+		t.Helper()
+		it, err := f.store.HistoricalScan(ds.ID, math.MinInt64, math.MaxInt64, wantTags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return collect(t, it)
+	}
+	full := scan(nil)
+	only0 := scan([]int{0})
+	for i := range only0 {
+		if only0[i].Values[0] != full[i].Values[0] {
+			t.Fatalf("row %d tag0 mismatch", i)
+		}
+		if !model.IsNull(only0[i].Values[1]) {
+			t.Fatalf("row %d: unselected tag not NULL after variant caching", i)
+		}
+	}
+	// Same selections again — now served from cache — must agree.
+	if !reflect.DeepEqual(full, scan(nil)) {
+		t.Fatal("cached full decode diverged")
+	}
+	if !reflect.DeepEqual(only0, scan([]int{0})) {
+		t.Fatal("cached partial decode diverged")
+	}
+}

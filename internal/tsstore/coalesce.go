@@ -95,8 +95,13 @@ func (s *Store) CoalesceSource(source int64) (CoalesceResult, error) {
 	// Batches can overlap after out-of-order ingest; restore global order
 	// with a stable merge (mostly-sorted input).
 	insertionSortPoints(all)
+	treeID := s.treeID(tree)
 	for _, r := range recs {
-		if err := tree.Delete(r.key); err != nil {
+		err := tree.Delete(r.key)
+		if _, ts, derr := keyenc.DecodeSourceTime(r.key); derr == nil {
+			s.invalidateBlob(treeID, source, ts)
+		}
+		if err != nil {
 			return res, err
 		}
 	}

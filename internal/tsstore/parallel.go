@@ -1,0 +1,180 @@
+package tsstore
+
+import (
+	"math"
+
+	"odh/internal/model"
+)
+
+// The parallel scan scheduler fans the independent parts of a scan —
+// disjoint sources, and ts-disjoint sub-ranges of one source's batch
+// walk — across a bounded worker pool. Each worker fully drains its part
+// iterator and delivers one result over a capacity-1 channel, so an
+// abandoned scan (e.g. a LIMIT that stops early) never strands a blocked
+// goroutine. Results are consumed in the original part order and fed to
+// the same mergeIter/concatIter the serial path uses, which keeps the
+// output byte-identical to a serial scan.
+
+// ScanOptions tunes one scan; the zero value is the serial, cached
+// behavior of the plain scan methods.
+type ScanOptions struct {
+	// Workers bounds how many scan parts are drained concurrently.
+	// Values <= 1 keep the scan on the calling goroutine.
+	Workers int
+	// NoCache bypasses the decoded-blob cache for this scan (reads and
+	// inserts); used to cross-check cached results and by verification.
+	NoCache bool
+}
+
+// maxScanWorkers caps the per-scan fan-out regardless of options.
+const maxScanWorkers = 64
+
+func clampWorkers(n int) int {
+	if n > maxScanWorkers {
+		return maxScanWorkers
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// scanCache resolves the cache a scan should use (nil = bypass).
+func (s *Store) scanCache(opts ScanOptions) *blobCache {
+	if opts.NoCache {
+		return nil
+	}
+	return s.cache
+}
+
+// scanRange is one ts-disjoint slice of a scan window.
+type scanRange struct{ t1, t2 int64 }
+
+// splitScanRange partitions [t1, t2) into up to k ts-disjoint sub-ranges
+// that cover exactly the same window. Boundaries are spread over the
+// source's recorded data range so the split lands where batches actually
+// are; a window (or data range) too small to split returns one range.
+// Because the sub-ranges partition by timestamp, concatenating their
+// scans yields exactly the rows of the full-range scan, in the same
+// order: equal-timestamp points always land in the same sub-range.
+func splitScanRange(t1, t2 int64, stats model.SourceStats, k int) []scanRange {
+	if k <= 1 || stats.PointCount == 0 {
+		return []scanRange{{t1, t2}}
+	}
+	lo, hi := stats.FirstTS, stats.LastTS
+	if hi < math.MaxInt64 {
+		hi++ // cover LastTS itself; ranges are half-open
+	}
+	if lo < t1 {
+		lo = t1
+	}
+	if hi > t2 {
+		hi = t2
+	}
+	if hi <= lo {
+		return []scanRange{{t1, t2}}
+	}
+	span := uint64(hi) - uint64(lo)
+	if span < uint64(k)*2 || span > 1<<62 {
+		return []scanRange{{t1, t2}}
+	}
+	step := span / uint64(k)
+	out := make([]scanRange, 0, k)
+	prev := t1
+	for i := 1; i < k; i++ {
+		b := lo + int64(step*uint64(i))
+		out = append(out, scanRange{prev, b})
+		prev = b
+	}
+	return append(out, scanRange{prev, t2})
+}
+
+// partResult is the fully-drained output of one scan part.
+type partResult struct {
+	points       []model.Point
+	err          error
+	blobBytes    int64
+	blobsSkipped int64
+}
+
+// partIter replays one materialized part. The worker's single send is
+// received lazily on first use, so parts later in a concat keep loading
+// in the background while earlier parts stream out.
+type partIter struct {
+	ch  <-chan partResult
+	res *partResult
+	i   int
+}
+
+func (it *partIter) fetch() {
+	if it.res == nil {
+		r := <-it.ch
+		it.res = &r
+	}
+}
+
+// Next yields the points drained before any error, then stops — the same
+// shape a serial iterator has when a scan fails mid-way.
+func (it *partIter) Next() (model.Point, bool) {
+	it.fetch()
+	if it.i >= len(it.res.points) {
+		return model.Point{}, false
+	}
+	p := it.res.points[it.i]
+	it.i++
+	return p, true
+}
+
+func (it *partIter) Err() error {
+	it.fetch()
+	return it.res.err
+}
+
+// BlobBytes reports the part's cost once its result arrived; an
+// un-fetched part contributes nothing yet rather than blocking.
+func (it *partIter) BlobBytes() int64 {
+	if it.res == nil {
+		return 0
+	}
+	return it.res.blobBytes
+}
+
+func (it *partIter) BlobsSkipped() int64 {
+	if it.res == nil {
+		return 0
+	}
+	return it.res.blobsSkipped
+}
+
+// drainParts drains every part on the worker pool and returns one
+// order-preserving partIter per input part.
+func (s *Store) drainParts(parts []Iterator, workers int) []Iterator {
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	sem := make(chan struct{}, workers)
+	out := make([]Iterator, len(parts))
+	for i, p := range parts {
+		ch := make(chan partResult, 1)
+		out[i] = &partIter{ch: ch}
+		go func(p Iterator, ch chan<- partResult) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var res partResult
+			for {
+				pt, ok := p.Next()
+				if !ok {
+					break
+				}
+				res.points = append(res.points, pt)
+			}
+			res.err = p.Err()
+			res.blobBytes = p.BlobBytes()
+			res.blobsSkipped = p.BlobsSkipped()
+			ch <- res
+		}(p, ch)
+	}
+	s.parallelScans.Add(1)
+	s.parallelParts.Add(int64(len(parts)))
+	return out
+}

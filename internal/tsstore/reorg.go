@@ -107,7 +107,11 @@ func (s *Store) ReorganizeGroup(group int64, upTo int64) (ReorgResult, error) {
 
 	// Remove the converted MG records and advance the watermark.
 	for _, k := range keys {
-		if err := s.mg.Delete(k); err != nil {
+		err := s.mg.Delete(k)
+		if _, ts, derr := keyenc.DecodeSourceTime(k); derr == nil {
+			s.invalidateBlob(cacheTreeMG, group, ts)
+		}
+		if err != nil {
 			return res, err
 		}
 	}
@@ -140,7 +144,9 @@ func (s *Store) writeHistoricalBatches(ds *model.DataSource, schema *model.Schem
 		} else {
 			blob = EncodeIRTS(run, ntags, opts)
 		}
-		if err := tree.Put(keyenc.SourceTime(ds.ID, run[0].TS), blob); err != nil {
+		err := tree.Put(keyenc.SourceTime(ds.ID, run[0].TS), blob)
+		s.invalidateBlob(s.treeID(tree), ds.ID, run[0].TS)
+		if err != nil {
 			return err
 		}
 		first, last := run[0].TS, run[len(run)-1].TS

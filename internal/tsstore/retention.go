@@ -1,6 +1,7 @@
 package tsstore
 
 import (
+	"odh/internal/btree"
 	"odh/internal/keyenc"
 	"odh/internal/model"
 )
@@ -74,10 +75,7 @@ func (s *Store) DropBefore(schemaID int64, cutoff int64) (DropResult, error) {
 // dropSourceRange deletes records of one key prefix whose batch data ends
 // before the cutoff: a batch is dropped only when its last timestamp is
 // below the cutoff (checked by decoding the header-level timestamps).
-func (s *Store) dropSourceRange(tree interface {
-	Scan(lo, hi []byte, fn func(k, v []byte) bool) error
-	Delete(key []byte) error
-}, prefix int64, cutoff int64) (int, int64, error) {
+func (s *Store) dropSourceRange(tree *btree.Tree, prefix int64, cutoff int64) (int, int64, error) {
 	lo := keyenc.SourceTime(prefix, -1<<62)
 	hi := keyenc.SourceTime(prefix, cutoff)
 	var keys [][]byte
@@ -105,8 +103,13 @@ func (s *Store) dropSourceRange(tree interface {
 	if err != nil {
 		return 0, 0, err
 	}
+	treeID := s.treeID(tree)
 	for _, k := range keys {
-		if err := tree.Delete(k); err != nil {
+		err := tree.Delete(k)
+		if _, ts, derr := keyenc.DecodeSourceTime(k); derr == nil {
+			s.invalidateBlob(treeID, prefix, ts)
+		}
+		if err != nil {
 			return len(keys), bytes, err
 		}
 	}

@@ -26,10 +26,30 @@ type Iterator interface {
 	BlobsSkipped() int64
 }
 
-// sliceIterAdapter iterates a materialized point slice.
+// pointBlobBytes estimates the ValueBlob bytes one in-memory point stands
+// for: an 8-byte timestamp plus one float64 per tag. Buffered points that
+// a dirty read serves never touch a blob, but they still carry real cost
+// and must feed the blob-bytes accounting (the paper's cost unit), so the
+// estimate cannot be zero.
+func pointBlobBytes(ntags int) int64 { return 8 + 8*int64(ntags) }
+
+// sliceIterAdapter iterates a materialized point slice, accruing the
+// estimated blob bytes of each point it serves.
 type sliceIterAdapter struct {
-	points []model.Point
-	i      int
+	points   []model.Point
+	i        int
+	perPoint int64
+	accrued  int64
+}
+
+// newSliceIter wraps buffered points, sizing the per-point byte estimate
+// from the row width.
+func newSliceIter(points []model.Point) *sliceIterAdapter {
+	it := &sliceIterAdapter{points: points}
+	if len(points) > 0 {
+		it.perPoint = pointBlobBytes(len(points[0].Values))
+	}
+	return it
 }
 
 func (it *sliceIterAdapter) Next() (model.Point, bool) {
@@ -38,14 +58,15 @@ func (it *sliceIterAdapter) Next() (model.Point, bool) {
 	}
 	p := it.points[it.i]
 	it.i++
+	it.accrued += it.perPoint
 	return p, true
 }
 
 func (it *sliceIterAdapter) Err() error          { return nil }
-func (it *sliceIterAdapter) BlobBytes() int64    { return 0 }
+func (it *sliceIterAdapter) BlobBytes() int64    { return it.accrued }
 func (it *sliceIterAdapter) BlobsSkipped() int64 { return 0 }
 
-// emptyIter yields nothing.
+// emptyIter yields nothing; zero blob bytes is its true cost.
 type emptyIter struct{}
 
 func (emptyIter) Next() (model.Point, bool) { return model.Point{}, false }
@@ -187,15 +208,32 @@ type batchIter struct {
 	nextBase  int64 // first timestamp of the batch under the cursor
 	done      bool  // no more batches in range
 	err       error
+	cache     *blobCache // nil = bypass
+	treeID    uint8
+	sig       string // cache variant: canonical wantTags signature
 	// BlobBytesRead accumulates decoded blob sizes; the executor reports
-	// it as the query's I/O cost, matching the paper's cost unit.
+	// it as the query's I/O cost, matching the paper's cost unit. Cache
+	// hits do not add to it — nothing was read — they count in the
+	// cache's BytesSaved instead.
 	BlobBytesRead int64
+}
+
+// treeID maps a batch tree to its cache namespace.
+func (s *Store) treeID(tree *btree.Tree) uint8 {
+	switch tree {
+	case s.rts:
+		return cacheTreeRTS
+	case s.irts:
+		return cacheTreeIRTS
+	default:
+		return cacheTreeMG
+	}
 }
 
 // newBatchIter scans tree for source's batches overlapping [t1, t2).
 // lookback widens the scan start so a batch beginning before t1 but
 // spilling into the window is found.
-func (s *Store) newBatchIter(tree *btree.Tree, source, t1, t2, lookback int64, wantTags []int, tagRanges []TagRange) *batchIter {
+func (s *Store) newBatchIter(tree *btree.Tree, cache *blobCache, source, t1, t2, lookback int64, wantTags []int, tagRanges []TagRange) *batchIter {
 	loTS := t1
 	if lookback > 0 {
 		if loTS > math.MinInt64+lookback+1 {
@@ -212,6 +250,11 @@ func (s *Store) newBatchIter(tree *btree.Tree, source, t1, t2, lookback int64, w
 		wantTags:  wantTags,
 		tagRanges: tagRanges,
 		hi:        keyenc.SourceTime(source, t2),
+		cache:     cache,
+		treeID:    s.treeID(tree),
+	}
+	if cache != nil {
+		it.sig = tagsSig(wantTags)
 	}
 	it.cur = tree.Seek(keyenc.SourceTime(source, loTS))
 	it.peek()
@@ -249,6 +292,26 @@ func (it *batchIter) peek() {
 // (skipped and counted) instead of failing the scan; a broken tree walk
 // still aborts either way, since the cursor cannot advance past it.
 func (it *batchIter) loadOne() {
+	baseTS := it.nextBase
+	bk := blobKey{tree: it.treeID, source: it.source, ts: baseTS}
+	if it.cache != nil {
+		if e, ok := it.cache.get(bk, it.sig); ok {
+			it.cur.Next()
+			it.peek()
+			// The skip decision replays against the zone maps captured at
+			// decode time, so hits behave exactly like the raw-blob path.
+			if !e.overlaps(it.tagRanges) {
+				it.skipped++
+				return
+			}
+			it.enqueue(e.batch)
+			return
+		}
+	}
+	var ver uint64
+	if it.cache != nil {
+		ver = it.cache.snapshot(bk)
+	}
 	blob, err := it.cur.Value()
 	if err != nil {
 		if it.store.lenient() {
@@ -261,7 +324,6 @@ func (it *batchIter) loadOne() {
 		it.done = true
 		return
 	}
-	baseTS := it.nextBase
 	it.cur.Next()
 	it.peek()
 	if !BlobOverlaps(blob, it.tagRanges) {
@@ -279,6 +341,17 @@ func (it *batchIter) loadOne() {
 		return
 	}
 	it.BlobBytesRead += int64(len(blob))
+	if it.cache != nil {
+		zones, hasZones := blobZoneMaps(blob)
+		it.cache.put(bk, it.sig, ver, batch, zones, hasZones, int64(len(blob)))
+	}
+	it.enqueue(batch)
+}
+
+// enqueue appends the batch's in-range rows to the pending queue. Cached
+// batches are shared across readers, so rows are referenced, never
+// mutated.
+func (it *batchIter) enqueue(batch *DecodedBatch) {
 	// Compact the emitted prefix before appending.
 	if it.qi > 0 {
 		it.queue = append(it.queue[:0], it.queue[it.qi:]...)
@@ -338,6 +411,8 @@ type mgIter struct {
 	queue         []model.Point
 	qi            int
 	err           error
+	cache         *blobCache // nil = bypass
+	sig           string
 	BlobBytesRead int64
 }
 
@@ -358,7 +433,7 @@ func (s *Store) groupWindow(group int64) int64 {
 // newMGIter scans group records whose window overlaps [t1, t2); the scan
 // starts one window early because a record's members may carry offsets up
 // to the window size. Emitted points are filtered to the exact range.
-func (s *Store) newMGIter(group int64, t1, t2 int64, onlySource int64, wantTags []int, tagRanges []TagRange) *mgIter {
+func (s *Store) newMGIter(group int64, cache *blobCache, t1, t2 int64, onlySource int64, wantTags []int, tagRanges []TagRange) *mgIter {
 	window := s.groupWindow(group)
 	lo := t1
 	if lo > math.MinInt64+window {
@@ -374,6 +449,10 @@ func (s *Store) newMGIter(group int64, t1, t2 int64, onlySource int64, wantTags 
 		t1:         t1,
 		t2:         t2,
 		hi:         keyenc.SourceTime(group, t2),
+		cache:      cache,
+	}
+	if cache != nil {
+		it.sig = tagsSig(wantTags)
 	}
 	it.cur = s.mg.Seek(keyenc.SourceTime(group, lo))
 	return it
@@ -400,6 +479,22 @@ func (it *mgIter) Next() (model.Point, bool) {
 		if err != nil || grp != it.group {
 			return model.Point{}, false
 		}
+		bk := blobKey{tree: cacheTreeMG, source: it.group, ts: ts}
+		if it.cache != nil {
+			if e, ok := it.cache.get(bk, it.sig); ok {
+				it.cur.Next()
+				if !e.overlaps(it.tagRanges) {
+					it.skipped++
+					continue
+				}
+				it.fillQueue(e.batch)
+				continue
+			}
+		}
+		var ver uint64
+		if it.cache != nil {
+			ver = it.cache.snapshot(bk)
+		}
 		blob, err := it.cur.Value()
 		if err != nil {
 			if it.store.lenient() {
@@ -425,22 +520,32 @@ func (it *mgIter) Next() (model.Point, bool) {
 			return model.Point{}, false
 		}
 		it.BlobBytesRead += int64(len(blob))
-		it.queue = it.queue[:0]
-		it.qi = 0
-		for i, slot := range batch.Slots {
-			if slot >= len(it.members) {
-				continue
-			}
-			src := it.members[slot]
-			if it.onlySource != 0 && src != it.onlySource {
-				continue
-			}
-			pts := batch.Timestamps[i]
-			if pts < it.t1 || pts >= it.t2 {
-				continue
-			}
-			it.queue = append(it.queue, model.Point{Source: src, TS: pts, Values: batch.Rows[i]})
+		if it.cache != nil {
+			zones, hasZones := blobZoneMaps(blob)
+			it.cache.put(bk, it.sig, ver, batch, zones, hasZones, int64(len(blob)))
 		}
+		it.fillQueue(batch)
+	}
+}
+
+// fillQueue replaces the pending queue with the record's in-range member
+// points. Cached batches are shared; rows are referenced, never mutated.
+func (it *mgIter) fillQueue(batch *DecodedBatch) {
+	it.queue = it.queue[:0]
+	it.qi = 0
+	for i, slot := range batch.Slots {
+		if slot >= len(it.members) {
+			continue
+		}
+		src := it.members[slot]
+		if it.onlySource != 0 && src != it.onlySource {
+			continue
+		}
+		pts := batch.Timestamps[i]
+		if pts < it.t1 || pts >= it.t2 {
+			continue
+		}
+		it.queue = append(it.queue, model.Point{Source: src, TS: pts, Values: batch.Rows[i]})
 	}
 }
 
@@ -512,10 +617,23 @@ func (s *Store) snapshotGroupBuffer(group, t1, t2, onlySource int64) []model.Poi
 // batches, still-unreorganized MG records, and the in-memory ingest buffer
 // (dirty read).
 func (s *Store) HistoricalScan(source, t1, t2 int64, wantTags []int, tagRanges ...TagRange) (Iterator, error) {
+	return s.HistoricalScanOpts(source, t1, t2, wantTags, ScanOptions{}, tagRanges...)
+}
+
+// HistoricalScanOpts is HistoricalScan with scan tuning. With Workers > 1
+// the batch walk (and the MG record walk, for group-ingesting sources) is
+// split into ts-disjoint sub-ranges drained on the worker pool; because
+// the sub-ranges partition the window by timestamp and the merge is
+// stable, the output is identical to the serial scan.
+func (s *Store) HistoricalScanOpts(source, t1, t2 int64, wantTags []int, opts ScanOptions, tagRanges ...TagRange) (Iterator, error) {
 	ds, ok := s.cat.Source(source)
 	if !ok {
 		return nil, fmt.Errorf("tsstore: unknown data source %d", source)
 	}
+	cache := s.scanCache(opts)
+	workers := clampWorkers(opts.Workers)
+	stats := s.cat.Stats(source)
+	ranges := splitScanRange(t1, t2, stats, workers)
 	var parts []Iterator
 	if ds.IngestStructure() == model.MG {
 		// Reorganized history lives per-source in RTS/IRTS; the remainder
@@ -523,21 +641,29 @@ func (s *Store) HistoricalScan(source, t1, t2 int64, wantTags []int, tagRanges .
 		// in exactly one structure, so scanning all three over the full
 		// range is exact; the watermark only gates whether the per-source
 		// tree can contain anything.
-		if stats := s.cat.Stats(source); stats.BatchCount > 0 {
+		if stats.BatchCount > 0 {
 			tree := s.treeFor(ds.HistoricalStructure())
-			parts = append(parts, s.newBatchIter(tree, source, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+			for _, r := range ranges {
+				parts = append(parts, s.newBatchIter(tree, cache, source, r.t1, r.t2, stats.MaxSpanMs, wantTags, tagRanges))
+			}
 		}
-		parts = append(parts, s.newMGIter(ds.Group, t1, t2, source, wantTags, tagRanges))
+		for _, r := range ranges {
+			parts = append(parts, s.newMGIter(ds.Group, cache, r.t1, r.t2, source, wantTags, tagRanges))
+		}
 		if buf := s.snapshotGroupBuffer(ds.Group, t1, t2, source); len(buf) > 0 {
-			parts = append(parts, &sliceIterAdapter{points: buf})
+			parts = append(parts, newSliceIter(buf))
 		}
 	} else {
-		stats := s.cat.Stats(source)
 		tree := s.treeFor(ds.IngestStructure())
-		parts = append(parts, s.newBatchIter(tree, source, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
-		if buf := s.snapshotSourceBuffer(source, t1, t2); len(buf) > 0 {
-			parts = append(parts, &sliceIterAdapter{points: buf})
+		for _, r := range ranges {
+			parts = append(parts, s.newBatchIter(tree, cache, source, r.t1, r.t2, stats.MaxSpanMs, wantTags, tagRanges))
 		}
+		if buf := s.snapshotSourceBuffer(source, t1, t2); len(buf) > 0 {
+			parts = append(parts, newSliceIter(buf))
+		}
+	}
+	if workers > 1 && len(parts) > 1 {
+		parts = s.drainParts(parts, workers)
 	}
 	if len(parts) == 0 {
 		return emptyIter{}, nil
@@ -554,6 +680,16 @@ func (s *Store) HistoricalScan(source, t1, t2 int64, wantTags []int, tagRanges .
 // time-keyed records; RTS/IRTS sources are visited per source. Output is
 // grouped per source/group, not globally time-sorted.
 func (s *Store) SliceScan(schemaID int64, t1, t2 int64, wantTags []int, tagRanges ...TagRange) (Iterator, error) {
+	return s.SliceScanOpts(schemaID, t1, t2, wantTags, ScanOptions{}, tagRanges...)
+}
+
+// SliceScanOpts is SliceScan with scan tuning. With Workers > 1 the
+// per-source and per-group parts are drained concurrently on the worker
+// pool and concatenated in their original order, so the output matches
+// the serial scan exactly.
+func (s *Store) SliceScanOpts(schemaID int64, t1, t2 int64, wantTags []int, opts ScanOptions, tagRanges ...TagRange) (Iterator, error) {
+	cache := s.scanCache(opts)
+	workers := clampWorkers(opts.Workers)
 	var parts []Iterator
 	// MG groups first: each group covers groupSize sources per record.
 	for _, g := range s.cat.GroupsBySchema(schemaID) {
@@ -568,11 +704,11 @@ func (s *Store) SliceScan(schemaID int64, t1, t2 int64, wantTags []int, tagRange
 			if stats.BatchCount == 0 {
 				continue
 			}
-			parts = append(parts, s.newBatchIter(s.treeFor(ds.HistoricalStructure()), src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+			parts = append(parts, s.newBatchIter(s.treeFor(ds.HistoricalStructure()), cache, src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
 		}
-		parts = append(parts, s.newMGIter(g, t1, t2, 0, wantTags, tagRanges))
+		parts = append(parts, s.newMGIter(g, cache, t1, t2, 0, wantTags, tagRanges))
 		if buf := s.snapshotGroupBuffer(g, t1, t2, 0); len(buf) > 0 {
-			parts = append(parts, &sliceIterAdapter{points: buf})
+			parts = append(parts, newSliceIter(buf))
 		}
 	}
 	// RTS/IRTS sources: per-source seeks.
@@ -585,10 +721,13 @@ func (s *Store) SliceScan(schemaID int64, t1, t2 int64, wantTags []int, tagRange
 		if stats.PointCount > 0 && (stats.LastTS < t1 || stats.FirstTS >= t2) && s.bufferEmpty(src) {
 			continue // partition elimination: source has no data in range
 		}
-		parts = append(parts, s.newBatchIter(s.treeFor(ds.IngestStructure()), src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+		parts = append(parts, s.newBatchIter(s.treeFor(ds.IngestStructure()), cache, src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
 		if buf := s.snapshotSourceBuffer(src, t1, t2); len(buf) > 0 {
-			parts = append(parts, &sliceIterAdapter{points: buf})
+			parts = append(parts, newSliceIter(buf))
 		}
+	}
+	if workers > 1 && len(parts) > 1 {
+		parts = s.drainParts(parts, workers)
 	}
 	if len(parts) == 0 {
 		return emptyIter{}, nil
@@ -599,14 +738,26 @@ func (s *Store) SliceScan(schemaID int64, t1, t2 int64, wantTags []int, tagRange
 // MultiHistoricalScan concatenates historical scans for an explicit list
 // of sources (the id IN (...) pushdown). Output is grouped per source.
 func (s *Store) MultiHistoricalScan(sources []int64, t1, t2 int64, wantTags []int, tagRanges ...TagRange) (Iterator, error) {
+	return s.MultiHistoricalScanOpts(sources, t1, t2, wantTags, ScanOptions{}, tagRanges...)
+}
+
+// MultiHistoricalScanOpts is MultiHistoricalScan with scan tuning. With
+// Workers > 1 each source's (serial) historical scan becomes one part on
+// the worker pool; parts are concatenated in list order.
+func (s *Store) MultiHistoricalScanOpts(sources []int64, t1, t2 int64, wantTags []int, opts ScanOptions, tagRanges ...TagRange) (Iterator, error) {
+	workers := clampWorkers(opts.Workers)
 	parts := make([]Iterator, 0, len(sources))
 	for _, src := range sources {
-		it, err := s.HistoricalScan(src, t1, t2, wantTags, tagRanges...)
+		// Each part stays serial inside; the fan-out is across sources.
+		it, err := s.HistoricalScanOpts(src, t1, t2, wantTags, ScanOptions{NoCache: opts.NoCache}, tagRanges...)
 		if err != nil {
 			// Unknown ids in the IN list simply contribute no rows.
 			continue
 		}
 		parts = append(parts, it)
+	}
+	if workers > 1 && len(parts) > 1 {
+		parts = s.drainParts(parts, workers)
 	}
 	if len(parts) == 0 {
 		return emptyIter{}, nil

@@ -44,6 +44,9 @@ type Config struct {
 	// Shards overrides the ingest-lock shard count (rounded to a power of
 	// two). Zero sizes it from GOMAXPROCS; 1 gives a single global lock.
 	Shards int
+	// BlobCacheBytes budgets the decoded-ValueBlob cache (decoded bytes
+	// held). Zero disables caching: every scan decodes from the pagestore.
+	BlobCacheBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +68,10 @@ type Stats struct {
 	// CorruptBlobsSkipped counts batch records that lenient scans could
 	// not read or decode and therefore quarantined.
 	CorruptBlobsSkipped int64
+	// ParallelScans counts scans that fanned parts onto the worker pool;
+	// ParallelParts counts the parts they dispatched.
+	ParallelScans int64
+	ParallelParts int64
 }
 
 // Stats.add accumulates other into st (shard aggregation).
@@ -110,6 +117,14 @@ type Store struct {
 	// corruptBlobs is kept outside the shards: scans quarantine records
 	// without knowing (or locking) a shard.
 	corruptBlobs atomic.Int64
+
+	// cache holds decoded ValueBlobs for the read path; nil when
+	// Config.BlobCacheBytes is zero.
+	cache *blobCache
+
+	// parallelScans/parallelParts count worker-pool dispatches.
+	parallelScans atomic.Int64
+	parallelParts atomic.Int64
 }
 
 // shardCount picks the ingest shard count: a power of two sized from
@@ -207,7 +222,30 @@ func Open(store *pagestore.Store, cat *catalog.Catalog, cfg Config) (*Store, err
 	if s.watermarks, err = btree.Open(store, "ts.wm"); err != nil {
 		return nil, err
 	}
+	if s.cfg.BlobCacheBytes > 0 {
+		s.cache = newBlobCache(s.cfg.BlobCacheBytes)
+	}
 	return s, nil
+}
+
+// invalidateBlob drops any cached decode of the blob record at
+// (tree, source-or-group, baseTS). It must be called for every Put or
+// Delete on a batch tree — flush, MG row merge, reorganization,
+// retention, and coalescing — and is called even when the tree operation
+// failed, since a failed operation may still have dirtied pages.
+func (s *Store) invalidateBlob(tree uint8, source, ts int64) {
+	if s.cache != nil {
+		s.cache.invalidateKey(blobKey{tree: tree, source: source, ts: ts})
+	}
+}
+
+// BlobCacheStats snapshots the decoded-blob cache counters; all zeros
+// when the cache is disabled.
+func (s *Store) BlobCacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.stats()
 }
 
 // Catalog returns the metadata catalog the store writes through.
@@ -225,6 +263,8 @@ func (s *Store) Stats() Stats {
 		sh.mu.RUnlock()
 	}
 	st.CorruptBlobsSkipped += s.corruptBlobs.Load()
+	st.ParallelScans = s.parallelScans.Load()
+	st.ParallelParts = s.parallelParts.Load()
 	return st
 }
 
@@ -539,7 +579,9 @@ func (s *Store) flushSourceLocked(sh *shard, buf *sourceBuffer) error {
 		tree = s.irts
 	}
 	key := keyenc.SourceTime(buf.ds.ID, pts[0].TS)
-	if err := tree.Put(key, blob); err != nil {
+	err := tree.Put(key, blob)
+	s.invalidateBlob(s.treeID(tree), buf.ds.ID, pts[0].TS)
+	if err != nil {
 		return err
 	}
 	first, last := pts[0].TS, pts[len(pts)-1].TS
@@ -615,7 +657,11 @@ func (s *Store) flushMGRowLocked(sh *shard, gb *groupBuffer, ts int64) error {
 		}
 	}
 	blob := EncodeMG(row.present, row.values, offsets, len(gb.schema.Tags), s.encodeOptsFor(gb.schema))
-	if err := s.mg.Put(key, blob); err != nil {
+	err := s.mg.Put(key, blob)
+	// An MG row merge overwrites the record in place during ordinary
+	// ingest, not just on maintenance — any cached decode is now stale.
+	s.invalidateBlob(cacheTreeMG, gb.group, ts)
+	if err != nil {
 		return err
 	}
 	newRecord := int64(1)

@@ -112,6 +112,15 @@ type Options struct {
 	// PoolPartitions overrides the buffer pool's latch partition count
 	// (default: sized from GOMAXPROCS and the pool size).
 	PoolPartitions int
+	// QueryWorkers caps the parallel degree of virtual-table scans. The
+	// optimizer picks each scan's degree from its blob-bytes cost
+	// estimate, up to this cap. Zero (or 1) keeps queries serial.
+	QueryWorkers int
+	// BlobCacheBytes budgets the decoded-ValueBlob cache shared by all
+	// scans (approximate decoded bytes held). Repeated queries over the
+	// same history then skip the pagestore read and the column decode —
+	// the paper's dominant row-assembly overhead. Zero disables caching.
+	BlobCacheBytes int64
 }
 
 // Historian is an operational data historian instance.
@@ -195,6 +204,7 @@ func Open(dir string, opts Options) (*Historian, error) {
 		LenientScan:        opts.Recovery == RecoverLenient,
 		Log:                wal,
 		Shards:             opts.IngestShards,
+		BlobCacheBytes:     opts.BlobCacheBytes,
 	})
 	if err != nil {
 		page.Close()
@@ -209,13 +219,15 @@ func Open(dir string, opts Options) (*Historian, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	engine := sqlexec.New(rel, ts)
+	engine.SetQueryWorkers(opts.QueryWorkers)
 	h := &Historian{
 		dir:     dir,
 		page:    page,
 		cat:     cat,
 		ts:      ts,
 		rel:     rel,
-		engine:  sqlexec.New(rel, ts),
+		engine:  engine,
 		wal:     wal,
 		workers: workers,
 	}
@@ -374,6 +386,19 @@ type HistorianStats struct {
 	WALGroupCommits int64
 	// CorruptBlobsSkipped counts blobs quarantined by lenient scans.
 	CorruptBlobsSkipped int64
+	// BlobCacheHits / BlobCacheMisses / BlobCacheBytesSaved count the
+	// decoded-ValueBlob cache: BytesSaved is the encoded blob bytes hits
+	// avoided re-reading and re-decoding. All zero when the cache is off.
+	BlobCacheHits          int64
+	BlobCacheMisses        int64
+	BlobCacheBytesSaved    int64
+	BlobCacheEvictions     int64
+	BlobCacheInvalidations int64
+	BlobCacheSizeBytes     int64
+	// ParallelScans / ParallelParts count scans dispatched to the query
+	// worker pool and the parts they fanned out.
+	ParallelScans int64
+	ParallelParts int64
 }
 
 // TotalStats returns historian-wide counters.
@@ -392,7 +417,16 @@ func (h *Historian) TotalStats() HistorianStats {
 		PoolEvictions:       ps.Evictions,
 		PoolHitRate:         ps.HitRate(),
 		CorruptBlobsSkipped: ts.CorruptBlobsSkipped,
+		ParallelScans:       ts.ParallelScans,
+		ParallelParts:       ts.ParallelParts,
 	}
+	cs := h.ts.BlobCacheStats()
+	st.BlobCacheHits = cs.Hits
+	st.BlobCacheMisses = cs.Misses
+	st.BlobCacheBytesSaved = cs.BytesSaved
+	st.BlobCacheEvictions = cs.Evictions
+	st.BlobCacheInvalidations = cs.Invalidations
+	st.BlobCacheSizeBytes = cs.SizeBytes
 	if h.wal != nil {
 		ws := h.wal.Stats()
 		st.WALRecords = ws.Records
