@@ -19,6 +19,13 @@ type Cursor struct {
 	cells []cursorCell
 	pos   int
 	err   error
+	// onLoadLeaf, when set, runs immediately before each leaf snapshot is
+	// taken (including the initial seek's). The tsstore blob cache uses it
+	// to record invalidation versions no later than the moment the value
+	// bytes are captured; anything observed through Key/Value afterwards
+	// is at least as old as what the hook saw. It is called without the
+	// tree lock held.
+	onLoadLeaf func()
 }
 
 type cursorCell struct {
@@ -29,7 +36,14 @@ type cursorCell struct {
 
 // Seek positions the cursor at the first entry with key >= target.
 func (t *Tree) Seek(target []byte) *Cursor {
-	c := &Cursor{t: t}
+	return t.SeekWithLoadHook(target, nil)
+}
+
+// SeekWithLoadHook is Seek with a callback fired before every leaf
+// snapshot the cursor takes, the initial one included. See
+// Cursor.onLoadLeaf.
+func (t *Tree) SeekWithLoadHook(target []byte, onLoadLeaf func()) *Cursor {
+	c := &Cursor{t: t, onLoadLeaf: onLoadLeaf}
 	t.mu.RLock()
 	leafID, err := t.findLeaf(target)
 	t.mu.RUnlock()
@@ -59,6 +73,12 @@ func (t *Tree) First() *Cursor {
 
 // loadLeaf snapshots the cells of leaf pid.
 func (c *Cursor) loadLeaf(pid pagestore.PageID) error {
+	if c.onLoadLeaf != nil {
+		// Fire before taking the tree lock: the hook must run no later
+		// than the cell copy, and must not nest under t.mu (it may take
+		// its own locks).
+		c.onLoadLeaf()
+	}
 	c.t.mu.RLock()
 	defer c.t.mu.RUnlock()
 	fr, err := c.t.store.Get(pid)

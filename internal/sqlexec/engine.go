@@ -3,6 +3,7 @@ package sqlexec
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"odh/internal/catalog"
 	"odh/internal/relational"
@@ -19,8 +20,9 @@ type Engine struct {
 	ts  *tsstore.Store
 	cat *catalog.Catalog
 	// queryWorkers caps the parallel degree of virtual-table scans;
-	// <= 1 keeps every scan serial.
-	queryWorkers int
+	// <= 1 keeps every scan serial. Atomic: SetQueryWorkers may be
+	// called while other goroutines are planning queries.
+	queryWorkers atomic.Int64
 }
 
 // New builds an engine over the two stores.
@@ -30,8 +32,9 @@ func New(rel *relational.DB, ts *tsstore.Store) *Engine {
 
 // SetQueryWorkers caps the parallel degree virtual-table scans may use.
 // The planner picks each scan's degree from its blob-bytes cost estimate,
-// never exceeding n; n <= 1 disables parallel scans.
-func (e *Engine) SetQueryWorkers(n int) { e.queryWorkers = n }
+// never exceeding n; n <= 1 disables parallel scans. Safe to call on a
+// live engine; queries planned afterwards use the new cap.
+func (e *Engine) SetQueryWorkers(n int) { e.queryWorkers.Store(int64(n)) }
 
 // parallelCostUnit is the estimated blob-bytes of work that justifies one
 // additional scan worker: fanning out cheaper scans costs more in
@@ -41,12 +44,13 @@ const parallelCostUnit = 64 << 10
 // parallelDegree converts a scan's blob-bytes cost estimate into a worker
 // count in [1, queryWorkers].
 func (e *Engine) parallelDegree(estCost float64) int {
-	if e.queryWorkers <= 1 || estCost < 2*parallelCostUnit {
+	limit := int(e.queryWorkers.Load())
+	if limit <= 1 || estCost < 2*parallelCostUnit {
 		return 1
 	}
 	deg := int(estCost / parallelCostUnit)
-	if deg > e.queryWorkers {
-		deg = e.queryWorkers
+	if deg > limit {
+		deg = limit
 	}
 	return deg
 }

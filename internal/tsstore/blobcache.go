@@ -34,7 +34,7 @@ type blobKey struct {
 }
 
 // cacheVerSlots is the size of the key-hashed version array used to close
-// the read/insert race (see blobCache.snapshot).
+// the read/insert race (see blobCache.snapshotAll).
 const cacheVerSlots = 256
 
 func (k blobKey) slot() int {
@@ -82,7 +82,7 @@ type cacheEntry struct {
 type CacheStats struct {
 	Hits          int64
 	Misses        int64
-	BytesSaved    int64 // encoded blob bytes not re-read thanks to hits
+	BytesSaved    int64 // encoded bytes of hits actually served (zone-skipped hits excluded)
 	Evictions     int64
 	Invalidations int64
 	SizeBytes     int64 // current decoded bytes held
@@ -98,10 +98,15 @@ type blobCache struct {
 	curBytes int64
 	lru      *list.List // front = most recently used; values are *cacheEntry
 	entries  map[blobKey]map[string]*cacheEntry
-	// vers closes the stale-insert race: a reader snapshots its key's slot
-	// version before fetching the raw blob; put drops the insert when an
-	// invalidation bumped the slot in between, so a decode of the old blob
-	// can never be cached over the new one.
+	// vers closes the stale-insert race: a reader snapshots the version
+	// array (snapshotAll) at the moment its btree cursor copies a leaf —
+	// i.e. no later than the raw blob bytes are captured — and put drops
+	// the insert when an invalidation bumped the key's slot after that
+	// snapshot, so a decode of the old blob can never be cached over the
+	// new one. Snapshotting any later (e.g. just before decoding) reopens
+	// the race: a writer could overwrite the key and invalidate between
+	// the leaf copy and the snapshot, and the stale decode would pass the
+	// version check.
 	vers [cacheVerSlots]uint64
 
 	hits, misses, bytesSaved, evictions, invalidations int64
@@ -116,6 +121,9 @@ func newBlobCache(maxBytes int64) *blobCache {
 }
 
 // get returns the cached decode of (bk, sig), promoting it in the LRU.
+// Bytes saved are not credited here: a hit may still be zone-skipped by
+// the caller, in which case the raw path would not have read the blob
+// either — the caller credits served hits via noteSaved.
 func (c *blobCache) get(bk blobKey, sig string) (*cacheEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -130,17 +138,26 @@ func (c *blobCache) get(bk blobKey, sig string) (*cacheEntry, bool) {
 		return nil, false
 	}
 	c.hits++
-	c.bytesSaved += e.blobLen
 	c.lru.MoveToFront(e.elem)
 	return e, true
 }
 
-// snapshot returns the version of bk's slot; pass it to put after reading
-// and decoding the raw blob.
-func (c *blobCache) snapshot(bk blobKey) uint64 {
+// noteSaved credits the encoded bytes a served hit avoided re-reading.
+// Called after the hit survived the zone-map skip check.
+func (c *blobCache) noteSaved(n int64) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.vers[bk.slot()]
+	c.bytesSaved += n
+	c.mu.Unlock()
+}
+
+// snapshotAll copies the full version array into dst. Scan iterators call
+// this from the cursor's leaf-load hook, so every key's version is pinned
+// at (or before) the moment that key's value bytes were copied out of the
+// tree; the per-key version passed to put comes from this snapshot.
+func (c *blobCache) snapshotAll(dst *[cacheVerSlots]uint64) {
+	c.mu.Lock()
+	*dst = c.vers
+	c.mu.Unlock()
 }
 
 // put caches a decoded blob unless the key was invalidated since ver was

@@ -173,15 +173,16 @@ func TestBlobCacheStaleInsertDropped(t *testing.T) {
 	bk := blobKey{tree: cacheTreeRTS, source: 7, ts: 100}
 	batch := &DecodedBatch{Timestamps: []int64{100}, Rows: [][]float64{{1}}}
 
-	ver := c.snapshot(bk)
-	c.invalidateKey(bk) // writer overwrote the blob between read and insert
-	c.put(bk, "*", ver, batch, nil, false, 64)
+	var vers [cacheVerSlots]uint64
+	c.snapshotAll(&vers) // leaf-load-time snapshot
+	c.invalidateKey(bk)  // writer overwrote the blob between copy and insert
+	c.put(bk, "*", vers[bk.slot()], batch, nil, false, 64)
 	if _, ok := c.get(bk, "*"); ok {
 		t.Fatal("stale insert was served")
 	}
 	// A fresh snapshot inserts fine.
-	ver = c.snapshot(bk)
-	c.put(bk, "*", ver, batch, nil, false, 64)
+	c.snapshotAll(&vers)
+	c.put(bk, "*", vers[bk.slot()], batch, nil, false, 64)
 	if _, ok := c.get(bk, "*"); !ok {
 		t.Fatal("fresh insert missing")
 	}
@@ -189,6 +190,100 @@ func TestBlobCacheStaleInsertDropped(t *testing.T) {
 	c.invalidateKey(bk)
 	if _, ok := c.get(bk, "*"); ok {
 		t.Fatal("entry survived invalidation")
+	}
+}
+
+// TestBlobCacheLeafCopySnapshotRace replays the stale-cache race the
+// leaf-load hook closes: a cursor copies its leaf, a writer then
+// overwrites a record on that leaf (an in-place MG row merge during
+// ordinary ingest) and invalidates the key, and only then does the
+// reader decode its — now stale — leaf copy and offer it to the cache.
+// The insert must be dropped: the reader itself may serve the old bytes
+// (dirty-read isolation), but later cached scans must see the new ones.
+func TestBlobCacheLeafCopySnapshotRace(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 8, MaxOpenMGRows: 8, BlobCacheBytes: 1 << 20}, 4)
+	s := f.schema(t, "leafrace", 2)
+	var mgs []*model.DataSource
+	for i := 0; i < 4; i++ {
+		mgs = append(mgs, f.source(t, s.ID, true, 10_000))
+	}
+	// Three complete windows; each flushes an MG record on completion.
+	for w := 1; w <= 3; w++ {
+		for _, ds := range mgs {
+			p := model.Point{Source: ds.ID, TS: int64(w)*10_000 + int64(ds.GroupSlot), Values: []float64{float64(w), -float64(w)}}
+			if err := f.store.Write(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	group := mgs[0].Group
+
+	// The reader's cursor copies the leaf (and snapshots cache versions)
+	// at Seek, i.e. now — before the overwrite below.
+	stale := f.store.newMGIter(group, f.store.cache, math.MinInt64, math.MaxInt64, 0, nil, nil)
+
+	// Overwrite window 2's record in place: a duplicate-timestamp arrival
+	// for member 0 replaces the stored value and invalidates the key.
+	p := model.Point{Source: mgs[0].ID, TS: 2*10_000 + int64(mgs[0].GroupSlot), Values: []float64{99, -99}}
+	if err := f.store.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drain the stale reader: it decodes old bytes from its leaf copy and
+	// offers them to the cache; the version check must reject the insert.
+	for {
+		if _, ok := stale.Next(); !ok {
+			break
+		}
+	}
+	if err := stale.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ds := range mgs {
+		cached := scanAll(t, f.store, ds.ID, ScanOptions{})
+		raw := scanAll(t, f.store, ds.ID, ScanOptions{NoCache: true})
+		if !reflect.DeepEqual(cached, raw) {
+			t.Fatalf("source %d: stale decode was cached (%v vs %v)", ds.ID, cached, raw)
+		}
+	}
+}
+
+// TestBlobCacheBytesSavedExcludesZoneSkips pins the BytesSaved
+// accounting: a hit whose entry is zone-skipped saved nothing (the raw
+// path would not have read the blob either) and must not be credited.
+func TestBlobCacheBytesSavedExcludesZoneSkips(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16, BlobCacheBytes: 1 << 20}, 0)
+	s := f.schema(t, "saved", 2)
+	ds := f.source(t, s.ID, true, 10)
+	fillSource(t, f, ds, 200) // tag 0 values in [0, 6]
+
+	scanAll(t, f.store, ds.ID, ScanOptions{}) // warm: all misses
+	base := f.store.BlobCacheStats()
+
+	// Every hit is excluded by the pushed tag range, so nothing is saved.
+	out := scanAll(t, f.store, ds.ID, ScanOptions{}, TagRange{Tag: 0, Lo: 1000, Hi: 2000})
+	st := f.store.BlobCacheStats()
+	if len(out) != 0 {
+		t.Fatalf("range [1000,2000] matched %d rows", len(out))
+	}
+	if st.Hits == base.Hits {
+		t.Fatal("filtered scan did not hit the cache")
+	}
+	if st.BytesSaved != base.BytesSaved {
+		t.Fatalf("zone-skipped hits credited BytesSaved: %d -> %d", base.BytesSaved, st.BytesSaved)
+	}
+
+	// Served hits are credited.
+	scanAll(t, f.store, ds.ID, ScanOptions{})
+	if st = f.store.BlobCacheStats(); st.BytesSaved <= base.BytesSaved {
+		t.Fatalf("served hits not credited: %d -> %d", base.BytesSaved, st.BytesSaved)
 	}
 }
 
@@ -243,10 +338,11 @@ func TestBlobCacheWantTagsVariants(t *testing.T) {
 		}
 	}
 	// Same selections again — now served from cache — must agree.
-	if !reflect.DeepEqual(full, scan(nil)) {
+	// (NULL-aware comparison: partial decodes carry NaN cells.)
+	if !pointsEqual(full, scan(nil)) {
 		t.Fatal("cached full decode diverged")
 	}
-	if !reflect.DeepEqual(only0, scan([]int{0})) {
+	if !pointsEqual(only0, scan([]int{0})) {
 		t.Fatal("cached partial decode diverged")
 	}
 }

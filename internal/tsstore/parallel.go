@@ -8,12 +8,18 @@ import (
 
 // The parallel scan scheduler fans the independent parts of a scan —
 // disjoint sources, and ts-disjoint sub-ranges of one source's batch
-// walk — across a bounded worker pool. Each worker fully drains its part
-// iterator and delivers one result over a capacity-1 channel, so an
-// abandoned scan (e.g. a LIMIT that stops early) never strands a blocked
-// goroutine. Results are consumed in the original part order and fed to
-// the same mergeIter/concatIter the serial path uses, which keeps the
-// output byte-identical to a serial scan.
+// walk — across a bounded worker pool. Each worker drains its part
+// iterator up to a per-part byte budget and delivers one result over a
+// capacity-1 channel, so an abandoned scan (e.g. a LIMIT that stops
+// early) never strands a blocked goroutine and never holds more than
+// parts × maxPartBufferBytes of decoded points. A part larger than the
+// budget is handed back still live: the consumer replays the buffered
+// prefix, then continues the same iterator serially on its own
+// goroutine — the fan-out covers the first maxPartBufferBytes of every
+// part, the oversized tails stream like a serial scan. Results are
+// consumed in the original part order and fed to the same
+// mergeIter/concatIter the serial path uses, which keeps the output
+// byte-identical to a serial scan.
 
 // ScanOptions tunes one scan; the zero value is the serial, cached
 // behavior of the plain scan methods.
@@ -89,17 +95,30 @@ func splitScanRange(t1, t2 int64, stats model.SourceStats, k int) []scanRange {
 	return append(out, scanRange{prev, t2})
 }
 
-// partResult is the fully-drained output of one scan part.
+// maxPartBufferBytes bounds the decoded point bytes one worker may
+// materialize ahead of the consumer. The planner sizes parts near
+// parallelCostUnit (64 KiB of blob bytes), so ordinary parts fit whole;
+// the bound only bites when skewed stats mis-split a window, keeping a
+// scan's worst-case buffered memory at parts × this budget instead of
+// the full decoded result.
+const maxPartBufferBytes = 4 << 20
+
+// partResult is the drained output of one scan part. When the part
+// out-sized the buffer budget, rest is the same iterator, still live and
+// positioned after the buffered prefix; the channel handoff orders the
+// worker's Next calls before the consumer's.
 type partResult struct {
 	points       []model.Point
+	rest         Iterator
 	err          error
 	blobBytes    int64
 	blobsSkipped int64
 }
 
-// partIter replays one materialized part. The worker's single send is
-// received lazily on first use, so parts later in a concat keep loading
-// in the background while earlier parts stream out.
+// partIter replays one materialized part, then continues any unbuffered
+// tail inline. The worker's single send is received lazily on first use,
+// so parts later in a concat keep loading in the background while
+// earlier parts stream out.
 type partIter struct {
 	ch  <-chan partResult
 	res *partResult
@@ -117,24 +136,34 @@ func (it *partIter) fetch() {
 // shape a serial iterator has when a scan fails mid-way.
 func (it *partIter) Next() (model.Point, bool) {
 	it.fetch()
-	if it.i >= len(it.res.points) {
-		return model.Point{}, false
+	if it.i < len(it.res.points) {
+		p := it.res.points[it.i]
+		it.i++
+		return p, true
 	}
-	p := it.res.points[it.i]
-	it.i++
-	return p, true
+	if it.res.rest != nil {
+		return it.res.rest.Next()
+	}
+	return model.Point{}, false
 }
 
 func (it *partIter) Err() error {
 	it.fetch()
+	if it.res.rest != nil {
+		return it.res.rest.Err()
+	}
 	return it.res.err
 }
 
 // BlobBytes reports the part's cost once its result arrived; an
-// un-fetched part contributes nothing yet rather than blocking.
+// un-fetched part contributes nothing yet rather than blocking. A
+// handed-back iterator keeps accumulating, prefix included.
 func (it *partIter) BlobBytes() int64 {
 	if it.res == nil {
 		return 0
+	}
+	if it.res.rest != nil {
+		return it.res.rest.BlobBytes()
 	}
 	return it.res.blobBytes
 }
@@ -143,12 +172,21 @@ func (it *partIter) BlobsSkipped() int64 {
 	if it.res == nil {
 		return 0
 	}
+	if it.res.rest != nil {
+		return it.res.rest.BlobsSkipped()
+	}
 	return it.res.blobsSkipped
 }
 
 // drainParts drains every part on the worker pool and returns one
 // order-preserving partIter per input part.
 func (s *Store) drainParts(parts []Iterator, workers int) []Iterator {
+	return s.drainPartsBounded(parts, workers, maxPartBufferBytes)
+}
+
+// drainPartsBounded is drainParts with an explicit per-part buffer
+// budget (separated for tests).
+func (s *Store) drainPartsBounded(parts []Iterator, workers int, budget int64) []Iterator {
 	if workers > len(parts) {
 		workers = len(parts)
 	}
@@ -161,16 +199,24 @@ func (s *Store) drainParts(parts []Iterator, workers int) []Iterator {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			var res partResult
-			for {
+			var buffered int64
+			for buffered < budget {
 				pt, ok := p.Next()
 				if !ok {
 					break
 				}
 				res.points = append(res.points, pt)
+				buffered += pointBlobBytes(len(pt.Values))
 			}
-			res.err = p.Err()
-			res.blobBytes = p.BlobBytes()
-			res.blobsSkipped = p.BlobsSkipped()
+			if buffered >= budget {
+				// Budget hit: hand the live iterator back; the consumer
+				// continues it serially after replaying the prefix.
+				res.rest = p
+			} else {
+				res.err = p.Err()
+				res.blobBytes = p.BlobBytes()
+				res.blobsSkipped = p.BlobsSkipped()
+			}
 			ch <- res
 		}(p, ch)
 	}

@@ -43,6 +43,45 @@ func TestParallelScanAbandonedEarly(t *testing.T) {
 	}
 }
 
+// TestDrainPartsBoundedHandoff pins the scheduler's memory bound: a part
+// whose decoded size exceeds the per-part budget is buffered only up to
+// the budget and handed back live, and the consumer's serial continuation
+// reproduces the full part — points, error state, and byte accounting.
+func TestDrainPartsBoundedHandoff(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16}, 0)
+	mkPoints := func(n int, src int64) []model.Point {
+		pts := make([]model.Point, n)
+		for i := range pts {
+			pts[i] = model.Point{Source: src, TS: int64(i + 1), Values: []float64{float64(i), 1}}
+		}
+		return pts
+	}
+	big, small := mkPoints(1000, 1), mkPoints(5, 2)
+	wantBytes := newSliceIter(big).perPoint * int64(len(big))
+
+	// Budget covers ~10 points of the big part: it must be handed back.
+	parts := f.store.drainPartsBounded([]Iterator{newSliceIter(big), newSliceIter(small)}, 2, 10*pointBlobBytes(2))
+	gotBig := collect(t, parts[0])
+	gotSmall := collect(t, parts[1])
+	if !pointsEqual(gotBig, big) || !pointsEqual(gotSmall, small) {
+		t.Fatalf("bounded drain lost rows: %d/%d and %d/%d", len(gotBig), len(big), len(gotSmall), len(small))
+	}
+	pi := parts[0].(*partIter)
+	if pi.res.rest == nil {
+		t.Fatal("oversized part was fully materialized instead of handed back")
+	}
+	if got := int64(len(pi.res.points)) * pointBlobBytes(2); got > 11*pointBlobBytes(2) {
+		t.Fatalf("worker buffered %d bytes past its budget", got)
+	}
+	if parts[1].(*partIter).res.rest != nil {
+		t.Fatal("small part should have been fully materialized")
+	}
+	// Accounting spans prefix + tail once drained.
+	if got := parts[0].BlobBytes(); got != wantBytes {
+		t.Fatalf("handed-back part BlobBytes = %d, want %d", got, wantBytes)
+	}
+}
+
 // TestConcurrentParallelQueries runs parallel fanned-out readers against
 // live ingest, background flushes, and retention with the decode cache
 // enabled. Under -race this covers the cache's concurrent get/put/

@@ -12,7 +12,10 @@ import (
 )
 
 // Iterator yields operational points. Implementations are not safe for
-// concurrent use; create one per query.
+// concurrent use; create one per query. The caller owns every Point it
+// receives: buffered points are cloned out of the ingest buffers, and
+// rows backed by the shared decoded-blob cache are copied on emission,
+// so mutating Point.Values never corrupts concurrent or future scans.
 type Iterator interface {
 	// Next returns the next point; ok is false when exhausted.
 	Next() (p model.Point, ok bool)
@@ -211,6 +214,11 @@ type batchIter struct {
 	cache     *blobCache // nil = bypass
 	treeID    uint8
 	sig       string // cache variant: canonical wantTags signature
+	// vers is the cache version array snapshotted by the cursor's
+	// leaf-load hook — pinned no later than the moment the current cell's
+	// bytes were copied out of the tree, which is what makes the put-time
+	// version check sound (see blobCache.vers).
+	vers [cacheVerSlots]uint64
 	// BlobBytesRead accumulates decoded blob sizes; the executor reports
 	// it as the query's I/O cost, matching the paper's cost unit. Cache
 	// hits do not add to it — nothing was read — they count in the
@@ -253,10 +261,13 @@ func (s *Store) newBatchIter(tree *btree.Tree, cache *blobCache, source, t1, t2,
 		cache:     cache,
 		treeID:    s.treeID(tree),
 	}
+	seekKey := keyenc.SourceTime(source, loTS)
 	if cache != nil {
 		it.sig = tagsSig(wantTags)
+		it.cur = tree.SeekWithLoadHook(seekKey, func() { cache.snapshotAll(&it.vers) })
+	} else {
+		it.cur = tree.Seek(seekKey)
 	}
-	it.cur = tree.Seek(keyenc.SourceTime(source, loTS))
 	it.peek()
 	return it
 }
@@ -304,13 +315,17 @@ func (it *batchIter) loadOne() {
 				it.skipped++
 				return
 			}
+			it.cache.noteSaved(e.blobLen)
 			it.enqueue(e.batch)
 			return
 		}
 	}
+	// The version guarding the cache insert was snapshotted when the
+	// cursor copied this cell's leaf (the load hook), so it predates the
+	// bytes Value() returns; read it before Next() can reload it.
 	var ver uint64
 	if it.cache != nil {
-		ver = it.cache.snapshot(bk)
+		ver = it.vers[bk.slot()]
 	}
 	blob, err := it.cur.Value()
 	if err != nil {
@@ -348,19 +363,25 @@ func (it *batchIter) loadOne() {
 	it.enqueue(batch)
 }
 
-// enqueue appends the batch's in-range rows to the pending queue. Cached
-// batches are shared across readers, so rows are referenced, never
-// mutated.
+// enqueue appends the batch's in-range rows to the pending queue. When a
+// cache is attached the batch is (or may become) shared across readers,
+// so row values are copied on emission — callers own the Points an
+// Iterator yields and may mutate them.
 func (it *batchIter) enqueue(batch *DecodedBatch) {
 	// Compact the emitted prefix before appending.
 	if it.qi > 0 {
 		it.queue = append(it.queue[:0], it.queue[it.qi:]...)
 		it.qi = 0
 	}
+	shared := it.cache != nil
 	before := len(it.queue)
 	for i, ts := range batch.Timestamps {
 		if ts >= it.t1 && ts < it.t2 {
-			it.queue = append(it.queue, model.Point{Source: it.source, TS: ts, Values: batch.Rows[i]})
+			vals := batch.Rows[i]
+			if shared {
+				vals = append([]float64(nil), vals...)
+			}
+			it.queue = append(it.queue, model.Point{Source: it.source, TS: ts, Values: vals})
 		}
 	}
 	// Batches rarely overlap; only re-sort when they do.
@@ -413,6 +434,7 @@ type mgIter struct {
 	err           error
 	cache         *blobCache // nil = bypass
 	sig           string
+	vers          [cacheVerSlots]uint64 // see batchIter.vers
 	BlobBytesRead int64
 }
 
@@ -451,10 +473,13 @@ func (s *Store) newMGIter(group int64, cache *blobCache, t1, t2 int64, onlySourc
 		hi:         keyenc.SourceTime(group, t2),
 		cache:      cache,
 	}
+	seekKey := keyenc.SourceTime(group, lo)
 	if cache != nil {
 		it.sig = tagsSig(wantTags)
+		it.cur = s.mg.SeekWithLoadHook(seekKey, func() { cache.snapshotAll(&it.vers) })
+	} else {
+		it.cur = s.mg.Seek(seekKey)
 	}
-	it.cur = s.mg.Seek(keyenc.SourceTime(group, lo))
 	return it
 }
 
@@ -487,13 +512,15 @@ func (it *mgIter) Next() (model.Point, bool) {
 					it.skipped++
 					continue
 				}
+				it.cache.noteSaved(e.blobLen)
 				it.fillQueue(e.batch)
 				continue
 			}
 		}
+		// Read before Next() can reload the snapshot; see batchIter.
 		var ver uint64
 		if it.cache != nil {
-			ver = it.cache.snapshot(bk)
+			ver = it.vers[bk.slot()]
 		}
 		blob, err := it.cur.Value()
 		if err != nil {
@@ -529,10 +556,12 @@ func (it *mgIter) Next() (model.Point, bool) {
 }
 
 // fillQueue replaces the pending queue with the record's in-range member
-// points. Cached batches are shared; rows are referenced, never mutated.
+// points. When a cache is attached the batch is (or may become) shared,
+// so row values are copied on emission — callers own emitted Points.
 func (it *mgIter) fillQueue(batch *DecodedBatch) {
 	it.queue = it.queue[:0]
 	it.qi = 0
+	shared := it.cache != nil
 	for i, slot := range batch.Slots {
 		if slot >= len(it.members) {
 			continue
@@ -545,7 +574,11 @@ func (it *mgIter) fillQueue(batch *DecodedBatch) {
 		if pts < it.t1 || pts >= it.t2 {
 			continue
 		}
-		it.queue = append(it.queue, model.Point{Source: src, TS: pts, Values: batch.Rows[i]})
+		vals := batch.Rows[i]
+		if shared {
+			vals = append([]float64(nil), vals...)
+		}
+		it.queue = append(it.queue, model.Point{Source: src, TS: pts, Values: vals})
 	}
 }
 

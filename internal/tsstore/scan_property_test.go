@@ -213,7 +213,23 @@ func pointsEqual(a, b []model.Point) bool {
 		return false
 	}
 	for i := range a {
-		if a[i].Source != b[i].Source || a[i].TS != b[i].TS || !reflect.DeepEqual(a[i].Values, b[i].Values) {
+		if a[i].Source != b[i].Source || a[i].TS != b[i].TS || !valuesEqual(a[i].Values, b[i].Values) {
+			return false
+		}
+	}
+	return true
+}
+
+// valuesEqual compares rows cell-wise with NULL (NaN) equal to NULL —
+// unlike reflect.DeepEqual, which only accepts NaN cells when both rows
+// alias the same backing array (scans copy rows out of shared cache
+// batches, so aliasing never happens).
+func valuesEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] && !(model.IsNull(a[i]) && model.IsNull(b[i])) {
 			return false
 		}
 	}

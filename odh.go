@@ -387,8 +387,10 @@ type HistorianStats struct {
 	// CorruptBlobsSkipped counts blobs quarantined by lenient scans.
 	CorruptBlobsSkipped int64
 	// BlobCacheHits / BlobCacheMisses / BlobCacheBytesSaved count the
-	// decoded-ValueBlob cache: BytesSaved is the encoded blob bytes hits
-	// avoided re-reading and re-decoding. All zero when the cache is off.
+	// decoded-ValueBlob cache: BytesSaved is the encoded blob bytes that
+	// served hits avoided re-reading and re-decoding (hits whose entry
+	// was zone-skipped saved nothing and are not credited). All zero
+	// when the cache is off.
 	BlobCacheHits          int64
 	BlobCacheMisses        int64
 	BlobCacheBytesSaved    int64
