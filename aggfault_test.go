@@ -1,0 +1,233 @@
+package odh
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"odh/internal/fault"
+	"odh/internal/pagestore"
+)
+
+// Summary/maintenance coherence under fault injection: when a
+// Reorganize or Coalesce pass dies partway through (injected write
+// failures), the blobs it did rewrite carry new summaries and the cache
+// entries it touched are invalidated — so aggregate pushdown over the
+// surviving state must keep agreeing with a row-decode of that same
+// state. The reference here is deliberately the same live handle: we
+// fold a raw scan by hand and compare it to the summary-folded SQL
+// aggregate, which is exactly the staleness the summaries could exhibit.
+
+// foldScan computes COUNT(*), COUNT(a), SUM(a), MIN(b), MAX(b) and the
+// per-id COUNT(*)/SUM(a) from a raw row scan of D.
+type foldRef struct {
+	rows, nonNullA   int64
+	sumA, minB, maxB float64
+	perID            map[int64][2]float64 // id -> {count, sumA}
+}
+
+func foldScan(t *testing.T, h *Historian) foldRef {
+	t.Helper()
+	res, err := h.Query(`SELECT id, a, b FROM D`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := foldRef{minB: math.Inf(1), maxB: math.Inf(-1), perID: map[int64][2]float64{}}
+	for _, r := range rows {
+		ref.rows++
+		id := r[0].AsInt()
+		e := ref.perID[id]
+		e[0]++
+		if !r[1].IsNull() {
+			ref.nonNullA++
+			ref.sumA += r[1].AsFloat()
+			e[1] += r[1].AsFloat()
+		}
+		if !r[2].IsNull() {
+			ref.minB = math.Min(ref.minB, r[2].AsFloat())
+			ref.maxB = math.Max(ref.maxB, r[2].AsFloat())
+		}
+		ref.perID[id] = e
+	}
+	return ref
+}
+
+// checkAggCoherence compares the pushdown aggregates against the manual
+// fold of the scan path on the same handle. Tag values are multiples of
+// 0.25, so per-blob subtotal merging is bit-identical to row-order sums.
+func checkAggCoherence(t *testing.T, h *Historian, where string) {
+	t.Helper()
+	ref := foldScan(t, h)
+	raw, _ := diffFetch(t, h, `SELECT COUNT(*), COUNT(a), SUM(a), MIN(b), MAX(b) FROM D`)
+	want := strings.Join([]string{
+		strconv.FormatInt(ref.rows, 10),
+		strconv.FormatInt(ref.nonNullA, 10),
+		floatCell(ref.sumA, ref.nonNullA == 0),
+		floatCell(ref.minB, ref.rows == 0 || math.IsInf(ref.minB, 1)),
+		floatCell(ref.maxB, ref.rows == 0 || math.IsInf(ref.maxB, -1)),
+	}, "|")
+	if len(raw) != 1 || raw[0] != want {
+		t.Fatalf("%s: grand total diverged from row fold:\n got %v\nwant %s", where, raw, want)
+	}
+
+	byID, _ := diffFetch(t, h, `SELECT id, COUNT(*), SUM(a) FROM D GROUP BY id`)
+	got := map[string]bool{}
+	for _, r := range byID {
+		got[r] = true
+	}
+	if len(byID) != len(ref.perID) {
+		t.Fatalf("%s: GROUP BY id produced %d groups, scan saw %d", where, len(byID), len(ref.perID))
+	}
+	for id, e := range ref.perID {
+		line := strconv.FormatInt(id, 10) + "|" + strconv.FormatInt(int64(e[0]), 10) + "|" + floatCell(e[1], false)
+		if !got[line] {
+			t.Fatalf("%s: GROUP BY id missing %q in %v", where, line, byID)
+		}
+	}
+}
+
+func floatCell(v float64, null bool) string {
+	if null {
+		return "NULL"
+	}
+	return relationalFloatString(v)
+}
+
+// relationalFloatString mirrors relational.Value{Kind: KindFloat}.String().
+func relationalFloatString(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeFaultWorkload(t *testing.T, h *Historian, n int) {
+	t.Helper()
+	schema, err := h.CreateSchema(SchemaType{
+		Name: "env", IDName: "id", TSName: "ts",
+		Tags: []TagDef{{Name: "a"}, {Name: "b"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CreateVirtualTable("D", "env"); err != nil {
+		t.Fatal(err)
+	}
+	var srcs []*DataSource
+	for i := 0; i < 6; i++ {
+		interval := int64(10)
+		if i >= 3 {
+			interval = 5000 // MG sources: reorganize has records to convert
+		}
+		ds, err := h.RegisterSource(DataSource{SchemaID: schema.ID, Regular: true, IntervalMs: interval})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, ds)
+	}
+	rng := rand.New(rand.NewSource(7))
+	w := h.Writer()
+	for i := 0; i < n; i++ {
+		for _, ds := range srcs {
+			a := float64(rng.Intn(4000)) / 4
+			if rng.Intn(6) == 0 {
+				a = NullValue
+			}
+			b := float64(rng.Intn(1000))
+			if err := w.WritePoint(ds.ID, int64(i+1)*ds.IntervalMs, a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Frequent flushes leave undersized batches behind so Coalesce
+		// has rewriting to do.
+		if i%5 == 4 {
+			if err := h.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaintenanceFaultSummaryCoherence(t *testing.T) {
+	ff := fault.Wrap(pagestore.NewMemFile())
+	h, err := Open("", Options{
+		BatchSize: 16, GroupSize: 3, PoolPages: 16,
+		BlobCacheBytes: 1 << 20, Backing: ff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	writeFaultWorkload(t, h, 120)
+
+	// Warm the summary path before any maintenance.
+	checkAggCoherence(t, h, "pre-maintenance")
+	if st := h.TotalStats(); st.SummaryHits == 0 {
+		t.Fatalf("workload never folded a summary: %+v", st)
+	}
+
+	// Kill a reorganize partway through its tree writes. The countdown
+	// may expire inside Reorganize or on the follow-up Flush; either way
+	// an error must surface, and the surviving state must stay coherent.
+	ff.FailWritesAfter(3)
+	reorgErr := h.Reorganize("env", 400_000)
+	flushErr := h.Flush()
+	ff.FailWritesAfter(fault.Unlimited)
+	if reorgErr == nil && flushErr == nil {
+		t.Fatal("injected write failure never surfaced from reorganize")
+	}
+	checkAggCoherence(t, h, "after failed reorganize")
+
+	// Same for coalesce.
+	ff.FailWritesAfter(2)
+	_, _, coalErr := h.Coalesce("env")
+	flushErr = h.Flush()
+	ff.FailWritesAfter(fault.Unlimited)
+	if coalErr == nil && flushErr == nil {
+		t.Fatal("injected write failure never surfaced from coalesce")
+	}
+	checkAggCoherence(t, h, "after failed coalesce")
+
+	// Concurrent readers over the post-failure state: the blob cache
+	// serves summaries and decoded columns to all of them; run under
+	// -race in CI.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				if _, err := h.Query(`SELECT COUNT(*), SUM(a), MAX(b) FROM D`); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// With the faults disarmed, maintenance completes and the rebuilt
+	// records' summaries must agree with their columns — VerifyIntegrity
+	// cross-checks every persisted summary against a full decode.
+	if err := h.Reorganize("env", 400_000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.Coalesce("env"); err != nil {
+		t.Fatal(err)
+	}
+	checkAggCoherence(t, h, "after recovered maintenance")
+	rep, err := h.VerifyIntegrity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("integrity check failed after recovered maintenance:\n%s", rep)
+	}
+}

@@ -457,7 +457,10 @@ func benchQueryFixture(b *testing.B, opts Options) (*Historian, int64, int64) {
 // converge; the fan-out pays off with cores.
 func BenchmarkParallelScan(b *testing.B) {
 	run := func(b *testing.B, workers int) {
-		h, src, maxTS := benchQueryFixture(b, Options{QueryWorkers: workers})
+		// DisableAggPushdown: the aggregate shape would otherwise fold
+		// from summaries and never exercise the fanned-out decode path
+		// this benchmark exists to measure.
+		h, src, maxTS := benchQueryFixture(b, Options{QueryWorkers: workers, DisableAggPushdown: true})
 		q := `SELECT COUNT(*), SUM(t1), MAX(t0) FROM V WHERE id = ` + strconv.FormatInt(src, 10) +
 			` AND ts >= 0 AND ts < ` + strconv.FormatInt(maxTS, 10)
 		b.ResetTimer()
@@ -487,7 +490,9 @@ func BenchmarkParallelScan(b *testing.B) {
 // row-assembly overhead).
 func BenchmarkBlobCache(b *testing.B) {
 	run := func(b *testing.B, cacheBytes int64) {
-		h, src, maxTS := benchQueryFixture(b, Options{BlobCacheBytes: cacheBytes})
+		// DisableAggPushdown for the same reason as BenchmarkParallelScan:
+		// keep the cached decode path under measurement.
+		h, src, maxTS := benchQueryFixture(b, Options{BlobCacheBytes: cacheBytes, DisableAggPushdown: true})
 		q := `SELECT COUNT(*), SUM(t1), MAX(t0) FROM V WHERE id = ` + strconv.FormatInt(src, 10) +
 			` AND ts >= 0 AND ts < ` + strconv.FormatInt(maxTS, 10)
 		// Warm outside the timed region so the cached runs measure hits.
@@ -520,6 +525,81 @@ func BenchmarkBlobCache(b *testing.B) {
 	}
 	b.Run("off", func(b *testing.B) { run(b, 0) })
 	b.Run("on-64MiB", func(b *testing.B) { run(b, 64<<20) })
+}
+
+// aggBenchQueries are the pushdown-eligible shapes both aggregate
+// benchmarks run: a grand total and a TIME_BUCKET roll-up over a window
+// that clips the first and last batch, so roughly 1% of the blobs are
+// boundary decodes and the rest fold from header summaries.
+func aggBenchQueries(src, maxTS int64) []string {
+	lo, hi := int64(15), maxTS-5
+	w := func(q string) string {
+		return q + ` FROM V WHERE id = ` + strconv.FormatInt(src, 10) +
+			` AND ts >= ` + strconv.FormatInt(lo, 10) +
+			` AND ts < ` + strconv.FormatInt(hi, 10)
+	}
+	return []string{
+		w(`SELECT COUNT(*), SUM(t1), AVG(t2), MIN(t0), MAX(t0)`),
+		w(`SELECT TIME_BUCKET(100000, ts), COUNT(*), MAX(t1)`) + ` GROUP BY TIME_BUCKET(100000, ts)`,
+	}
+}
+
+// BenchmarkAggPushdown measures the summary path: COUNT/SUM/AVG/MIN/MAX
+// and a TIME_BUCKET roll-up folded from per-blob header summaries, with
+// only the two window-clipped boundary blobs decoded. decodedB/op is the
+// blob payload actually decoded per iteration; foldedB/op is what the
+// fallback would have decoded; reduction-x is their ratio (the headline —
+// the issue targets >= 5x).
+func BenchmarkAggPushdown(b *testing.B) {
+	h, src, maxTS := benchQueryFixture(b, Options{})
+	queries := aggBenchQueries(src, maxTS)
+	var decoded int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			res, err := h.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.FetchAll(); err != nil {
+				b.Fatal(err)
+			}
+			decoded += res.BlobBytes()
+		}
+	}
+	b.StopTimer()
+	st := h.TotalStats()
+	n := max64(int64(b.N), 1)
+	b.ReportMetric(float64(decoded)/float64(n), "decodedB/op")
+	b.ReportMetric(float64(st.BytesNotDecoded+decoded)/float64(n), "foldedB/op")
+	if decoded > 0 {
+		b.ReportMetric(float64(st.BytesNotDecoded+decoded)/float64(decoded), "reduction-x")
+	}
+	b.ReportMetric(float64(st.SummaryHits)/float64(n), "folds/op")
+}
+
+// BenchmarkAggDecodeFallback runs the identical queries with the
+// pushdown disabled: every blob in the window is read and decoded. The
+// wall-clock gap against BenchmarkAggPushdown is the tentpole win.
+func BenchmarkAggDecodeFallback(b *testing.B) {
+	h, src, maxTS := benchQueryFixture(b, Options{DisableAggPushdown: true})
+	queries := aggBenchQueries(src, maxTS)
+	var decoded int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			res, err := h.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := res.FetchAll(); err != nil {
+				b.Fatal(err)
+			}
+			decoded += res.BlobBytes()
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(decoded)/float64(max64(int64(b.N), 1)), "decodedB/op")
 }
 
 func max64(a, b int64) int64 {

@@ -123,6 +123,10 @@ func dotCommand(h *odh.Historian, line string) bool {
 					total.ParallelScans, total.ParallelParts,
 					float64(total.ParallelParts)/float64(total.ParallelScans))
 			}
+			if total.SummaryHits > 0 {
+				fmt.Printf("aggPushdown: summaryHits=%d bytesNotDecoded=%d\n",
+					total.SummaryHits, total.BytesNotDecoded)
+			}
 			for i, ps := range h.PoolPartitionStats() {
 				fmt.Printf("  partition %d: hits=%d misses=%d evictions=%d hitRate=%.1f%%\n",
 					i, ps.Hits, ps.Misses, ps.Evictions, 100*ps.HitRate())

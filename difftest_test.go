@@ -237,6 +237,24 @@ func TestDifferentialODHvsRelational(t *testing.T) {
 			// parallel configurations actually fan it out.
 			return fmt.Sprintf(`SELECT COUNT(*), SUM(a), MIN(b), MAX(b) FROM %%s WHERE ts >= 0 AND ts < %d`, maxTS+1)
 		},
+		func() string { // TIME_BUCKET roll-up (bucket-aligned summary folds)
+			t1 := rng.Int63n(maxTS + 1)
+			t2 := t1 + rng.Int63n(maxTS)
+			w := []int64{50, 500, 5000, 50_000}[rng.Intn(4)]
+			return fmt.Sprintf(`SELECT TIME_BUCKET(%d, ts), COUNT(*), SUM(a), MAX(b) FROM %%s WHERE ts >= %d AND ts < %d GROUP BY TIME_BUCKET(%d, ts)`, w, t1, t2, w)
+		},
+		func() string { // aggregate gated by a tag predicate: a blob folds
+			// only when its summary proves the predicate for every row
+			t1 := rng.Int63n(maxTS + 1)
+			t2 := t1 + rng.Int63n(maxTS)
+			lo := rng.Intn(6)
+			return fmt.Sprintf(`SELECT COUNT(*), COUNT(a), AVG(b) FROM %%s WHERE ts >= %d AND ts < %d AND a >= %d`, t1, t2, lo)
+		},
+		func() string { // per-source bucketed aggregate (historical pushdown)
+			src := sources[rng.Intn(len(sources))]
+			w := []int64{100, 1000, 20_000}[rng.Intn(3)]
+			return fmt.Sprintf(`SELECT TIME_BUCKET(%d, ts), COUNT(*), MIN(a) FROM %%s WHERE id = %d GROUP BY TIME_BUCKET(%d, ts)`, w, src.id, w)
+		},
 	}
 
 	compare := func(round int, tmpl string) {
@@ -368,6 +386,9 @@ func TestDifferentialODHvsRelational(t *testing.T) {
 	}
 	if st := hs[2].TotalStats(); st.ParallelScans == 0 {
 		t.Fatalf("parallel config never fanned out a scan: %+v", st)
+	}
+	if st := hs[0].TotalStats(); st.SummaryHits == 0 || st.BytesNotDecoded == 0 {
+		t.Fatalf("aggregate templates never folded a summary: %+v", st)
 	}
 }
 

@@ -349,22 +349,35 @@ func (e *Engine) buildSelect(stmt *sqlparse.SelectStmt) (Operator, *planContext,
 	pc.collectWantTags()
 	pc.analyzeAccess()
 
-	root, err := pc.buildJoinTree()
-	if err != nil {
-		return nil, nil, err
+	// Aggregation over a single virtual table may fold from ValueBlob
+	// header summaries instead of decoding columns; the rewrite replaces
+	// the scan + filter + aggregate subtree when it is exactly equivalent.
+	aggregated := hasAggregates(stmt.Items) || len(stmt.GroupBy) > 0
+	var root Operator
+	var err error
+	pushed := false
+	if aggregated {
+		root, pushed = pc.tryAggPushdown()
 	}
-	// Residual multi-table predicates.
-	root, err = pc.applyFilter(root, pc.residual)
-	if err != nil {
-		return nil, nil, err
+	if !pushed {
+		root, err = pc.buildJoinTree()
+		if err != nil {
+			return nil, nil, err
+		}
+		// Residual multi-table predicates.
+		root, err = pc.applyFilter(root, pc.residual)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 
 	// Aggregation or plain projection.
-	aggregated := hasAggregates(stmt.Items) || len(stmt.GroupBy) > 0
 	if aggregated {
-		root, err = pc.buildAggregate(root)
-		if err != nil {
-			return nil, nil, err
+		if !pushed {
+			root, err = pc.buildAggregate(root)
+			if err != nil {
+				return nil, nil, err
+			}
 		}
 		if stmt.Having != nil {
 			// HAVING (and ORDER BY below) may name aggregate expressions;

@@ -23,6 +23,9 @@ type Engine struct {
 	// <= 1 keeps every scan serial. Atomic: SetQueryWorkers may be
 	// called while other goroutines are planning queries.
 	queryWorkers atomic.Int64
+	// aggPushdownOff disables the summary-aggregate rewrite (zero value =
+	// enabled). Atomic for the same live-reconfiguration reason.
+	aggPushdownOff atomic.Bool
 }
 
 // New builds an engine over the two stores.
@@ -35,6 +38,12 @@ func New(rel *relational.DB, ts *tsstore.Store) *Engine {
 // never exceeding n; n <= 1 disables parallel scans. Safe to call on a
 // live engine; queries planned afterwards use the new cap.
 func (e *Engine) SetQueryWorkers(n int) { e.queryWorkers.Store(int64(n)) }
+
+// SetAggPushdown enables or disables rewriting aggregates over a virtual
+// table into ValueBlob summary folds (enabled by default). Disabling it
+// forces the decode-and-group plan — the escape hatch for comparing the
+// two paths and for the benchmark's fallback arm.
+func (e *Engine) SetAggPushdown(on bool) { e.aggPushdownOff.Store(!on) }
 
 // parallelCostUnit is the estimated blob-bytes of work that justifies one
 // additional scan worker: fanning out cheaper scans costs more in

@@ -1,0 +1,784 @@
+package tsstore
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"odh/internal/btree"
+	"odh/internal/keyenc"
+	"odh/internal/model"
+)
+
+// The aggregate scan answers COUNT/SUM/AVG/MIN/MAX (optionally grouped by
+// source id and/or time bucket) from ValueBlob header summaries instead of
+// decoded rows. Each batch record is classified against the query window
+// and predicates:
+//
+//   - excluded: the summary (or zone maps) proves no row can contribute —
+//     the blob is skipped without decoding;
+//   - fully covered: every row provably lies inside the window, inside one
+//     time bucket (when bucketing), and satisfies every predicate — the
+//     header summary is folded into the group, zero decode;
+//   - boundary: anything unprovable — the blob is decoded (through the
+//     decoded-blob cache when enabled) and its rows folded one by one.
+//
+// Summaries are written from the same round-tripped values a decode
+// returns, so a fold is bit-identical to decoding and aggregating, except
+// that SUM folds add per-blob subtotals rather than individual values
+// (floating-point addition is not associative; exact for integral data).
+// Legacy pre-summary blobs always take the boundary path, but the decode
+// lazily computes their summary and caches it, so repeated aggregate scans
+// over old data fold from the cache.
+
+// TagPred is one pushed-down predicate bound on a tag, kept exact
+// (strictness preserved) so full coverage can be proven from a summary.
+// Rows where the tag is NULL never match. Use ±Inf for open sides.
+type TagPred struct {
+	Tag                int
+	Lo, Hi             float64
+	LoStrict, HiStrict bool // true = exclusive bound
+}
+
+// AggSpec describes one aggregate scan.
+type AggSpec struct {
+	// T1, T2 bound the window: rows with T1 <= ts < T2 contribute.
+	T1, T2 int64
+	// NTags is the schema's tag count (sizes per-group arrays).
+	NTags int
+	// WantTags selects the tags to aggregate (nil = all). Must include
+	// every tag named by Preds, like a scan's wantTags must cover the
+	// residual filter.
+	WantTags []int
+	// Preds are conjunctive tag predicates applied to every row.
+	Preds []TagPred
+	// BucketMs, when positive, groups rows by bucketFloor(ts, BucketMs)
+	// (the executor's TIME_BUCKET grid).
+	BucketMs int64
+	// ByID groups rows by source id.
+	ByID bool
+	// Opts carries the scan tuning (parallel workers, cache bypass).
+	Opts ScanOptions
+}
+
+// AggGroup is one output group. Slices are indexed by tag; tags outside
+// WantTags hold zeros/sentinels. Min > Max means no non-NULL value was
+// seen (SQL MIN/MAX of nothing is NULL).
+type AggGroup struct {
+	ID      int64 // source id when AggSpec.ByID, else 0
+	Bucket  int64 // bucket base when AggSpec.BucketMs > 0, else 0
+	Rows    int64 // rows matching window + predicates (COUNT(*))
+	NonNull []int64
+	Sum     []float64
+	Min     []float64
+	Max     []float64
+}
+
+// AggResult is the outcome of one aggregate scan. Groups appear in
+// first-contribution order (deterministic for a given store state and
+// spec, parallel or serial).
+type AggResult struct {
+	Groups []AggGroup
+	// SummaryHits counts records answered from a header summary alone
+	// (folded or excluded); BytesNotDecoded totals their encoded bytes —
+	// the decode work the pushdown avoided.
+	SummaryHits     int64
+	BytesNotDecoded int64
+	// BlobBytesRead totals bytes actually decoded (boundary blobs) plus
+	// the estimated bytes of buffered points, matching scan accounting.
+	BlobBytesRead int64
+	// BlobsSkipped counts zone-map exclusions (same meaning as scans).
+	BlobsSkipped int64
+}
+
+// bucketFloor floor-aligns ts to the bucket grid. It must match the
+// executor's TIME_BUCKET evaluation exactly (sqlexec/eval.go): a summary
+// fold replaces that evaluation for whole blobs.
+func bucketFloor(ts, width int64) int64 {
+	if width <= 0 {
+		return ts
+	}
+	b := ts % width
+	if b < 0 {
+		b += width
+	}
+	return ts - b
+}
+
+// matchPreds applies the conjunctive predicates to one row's tag values.
+func matchPreds(vals []float64, preds []TagPred) bool {
+	for _, p := range preds {
+		if p.Tag < 0 || p.Tag >= len(vals) {
+			return false
+		}
+		v := vals[p.Tag]
+		if model.IsNull(v) {
+			return false
+		}
+		if p.LoStrict {
+			if !(v > p.Lo) {
+				return false
+			}
+		} else if !(v >= p.Lo) {
+			return false
+		}
+		if p.HiStrict {
+			if !(v < p.Hi) {
+				return false
+			}
+		} else if !(v <= p.Hi) {
+			return false
+		}
+	}
+	return true
+}
+
+// aggSpecEx is an AggSpec with derived scan state precomputed once.
+type aggSpecEx struct {
+	spec  *AggSpec
+	cache *blobCache
+	sig   string
+	tags  []int      // tags to fold (sorted, deduped, in [0, NTags))
+	zones []TagRange // inclusive hull of Preds for zone-map skipping
+	ntags int
+}
+
+func (s *Store) prepAggSpec(spec *AggSpec) *aggSpecEx {
+	sp := &aggSpecEx{spec: spec, ntags: spec.NTags}
+	sp.cache = s.scanCache(spec.Opts)
+	sp.sig = tagsSig(spec.WantTags)
+	if spec.WantTags == nil {
+		sp.tags = make([]int, spec.NTags)
+		for t := range sp.tags {
+			sp.tags[t] = t
+		}
+	} else {
+		seen := make(map[int]bool, len(spec.WantTags))
+		for _, t := range spec.WantTags {
+			if t >= 0 && t < spec.NTags && !seen[t] {
+				seen[t] = true
+				sp.tags = append(sp.tags, t)
+			}
+		}
+	}
+	for _, p := range spec.Preds {
+		// Exclusive bounds loosen to inclusive: safe for skipping, never
+		// used to prove coverage (classifySummary keeps the strictness).
+		sp.zones = append(sp.zones, TagRange{Tag: p.Tag, Lo: p.Lo, Hi: p.Hi})
+	}
+	return sp
+}
+
+// summaryClass is the fold decision for one record.
+type summaryClass int
+
+const (
+	classBoundary summaryClass = iota // must decode
+	classExcluded                     // contributes nothing, skip decode
+	classCovered                      // fold whole summary, skip decode
+)
+
+// classifySummary decides how a record folds within one part range
+// [t1, t2). foldable gates full-coverage folding (false for MG records
+// whose rows need per-member attribution or filtering).
+func classifySummary(sum *blobSummary, t1, t2 int64, sp *aggSpecEx, foldable bool) summaryClass {
+	if sum.rows == 0 || sum.lastTS < t1 || sum.firstTS >= t2 {
+		return classExcluded
+	}
+	if !foldable || sum.firstTS < t1 || sum.lastTS >= t2 {
+		return classBoundary
+	}
+	if w := sp.spec.BucketMs; w > 0 && bucketFloor(sum.firstTS, w) != bucketFloor(sum.lastTS, w) {
+		return classBoundary
+	}
+	for _, tag := range sp.tags {
+		if tag >= len(sum.nonNull) {
+			return classBoundary
+		}
+	}
+	// Predicates hold for every row only when the tag is never NULL and
+	// the blob's min/max sit strictly inside the (exact) bounds.
+	for _, p := range sp.spec.Preds {
+		if p.Tag < 0 || p.Tag >= len(sum.nonNull) {
+			return classBoundary
+		}
+		if sum.nonNull[p.Tag] != sum.rows {
+			return classBoundary
+		}
+		mn, mx := sum.min[p.Tag], sum.max[p.Tag]
+		if mn > mx {
+			return classBoundary
+		}
+		if p.LoStrict {
+			if !(mn > p.Lo) {
+				return classBoundary
+			}
+		} else if !(mn >= p.Lo) {
+			return classBoundary
+		}
+		if p.HiStrict {
+			if !(mx < p.Hi) {
+				return classBoundary
+			}
+		} else if !(mx <= p.Hi) {
+			return classBoundary
+		}
+	}
+	return classCovered
+}
+
+// aggKey identifies one output group.
+type aggKey struct{ id, bucket int64 }
+
+// aggPartial is one part's accumulation state; parts never share one.
+type aggPartial struct {
+	groups map[aggKey]*AggGroup
+	order  []aggKey
+
+	summaryHits     int64
+	bytesNotDecoded int64
+	blobBytesRead   int64
+	blobsSkipped    int64
+}
+
+func newAggPartial() *aggPartial {
+	return &aggPartial{groups: make(map[aggKey]*AggGroup)}
+}
+
+func (pt *aggPartial) keyFor(src, ts int64, sp *aggSpecEx) aggKey {
+	var k aggKey
+	if sp.spec.ByID {
+		k.id = src
+	}
+	if sp.spec.BucketMs > 0 {
+		k.bucket = bucketFloor(ts, sp.spec.BucketMs)
+	}
+	return k
+}
+
+func (pt *aggPartial) group(k aggKey, sp *aggSpecEx) *AggGroup {
+	if g, ok := pt.groups[k]; ok {
+		return g
+	}
+	g := &AggGroup{
+		ID: k.id, Bucket: k.bucket,
+		NonNull: make([]int64, sp.ntags),
+		Sum:     make([]float64, sp.ntags),
+		Min:     make([]float64, sp.ntags),
+		Max:     make([]float64, sp.ntags),
+	}
+	for i := range g.Min {
+		g.Min[i] = math.Inf(1)
+		g.Max[i] = math.Inf(-1)
+	}
+	pt.groups[k] = g
+	pt.order = append(pt.order, k)
+	return g
+}
+
+// foldSummary folds a fully-covered record's summary into its group.
+func (pt *aggPartial) foldSummary(src int64, sum *blobSummary, sp *aggSpecEx) {
+	// classifySummary proved every row shares one bucket, so the first
+	// timestamp names it.
+	g := pt.group(pt.keyFor(src, sum.firstTS, sp), sp)
+	g.Rows += sum.rows
+	for _, tag := range sp.tags {
+		if tag >= len(sum.nonNull) {
+			continue
+		}
+		g.NonNull[tag] += sum.nonNull[tag]
+		g.Sum[tag] += sum.sum[tag]
+		if sum.nonNull[tag] > 0 {
+			if sum.min[tag] < g.Min[tag] {
+				g.Min[tag] = sum.min[tag]
+			}
+			if sum.max[tag] > g.Max[tag] {
+				g.Max[tag] = sum.max[tag]
+			}
+		}
+	}
+}
+
+// foldRow folds one decoded (or buffered) row.
+func (pt *aggPartial) foldRow(src, ts int64, vals []float64, sp *aggSpecEx) {
+	if !matchPreds(vals, sp.spec.Preds) {
+		return
+	}
+	g := pt.group(pt.keyFor(src, ts, sp), sp)
+	g.Rows++
+	for _, tag := range sp.tags {
+		if tag >= len(vals) {
+			continue
+		}
+		v := vals[tag]
+		if model.IsNull(v) {
+			continue
+		}
+		g.NonNull[tag]++
+		g.Sum[tag] += v
+		if v < g.Min[tag] {
+			g.Min[tag] = v
+		}
+		if v > g.Max[tag] {
+			g.Max[tag] = v
+		}
+	}
+}
+
+// foldBatchRows folds a decoded RTS/IRTS batch, filtering to the part
+// range (a boundary blob's rows may spill outside it).
+func (pt *aggPartial) foldBatchRows(src int64, batch *DecodedBatch, r scanRange, sp *aggSpecEx) {
+	for i, ts := range batch.Timestamps {
+		if ts >= r.t1 && ts < r.t2 {
+			pt.foldRow(src, ts, batch.Rows[i], sp)
+		}
+	}
+}
+
+// foldMGRows folds a decoded MG record with per-member attribution,
+// mirroring mgIter.fillQueue's slot/source/window filters.
+func (pt *aggPartial) foldMGRows(batch *DecodedBatch, members []int64, onlySource int64, r scanRange, sp *aggSpecEx) {
+	for i, slot := range batch.Slots {
+		if slot >= len(members) {
+			continue
+		}
+		src := members[slot]
+		if onlySource != 0 && src != onlySource {
+			continue
+		}
+		ts := batch.Timestamps[i]
+		if ts < r.t1 || ts >= r.t2 {
+			continue
+		}
+		pt.foldRow(src, ts, batch.Rows[i], sp)
+	}
+}
+
+// aggPart is one independently runnable slice of an aggregate scan.
+type aggPart func(*aggPartial) error
+
+// aggBufferPart folds a dirty-read buffer snapshot (already range
+// filtered). Buffered points carry the same estimated cost as in scans.
+func aggBufferPart(points []model.Point, sp *aggSpecEx) aggPart {
+	return func(pt *aggPartial) error {
+		for _, p := range points {
+			pt.blobBytesRead += pointBlobBytes(len(p.Values))
+			pt.foldRow(p.Source, p.TS, p.Values, sp)
+		}
+		return nil
+	}
+}
+
+// aggBatchPart walks one source's RTS/IRTS records over a part range,
+// classifying each against its summary. The cache protocol (version
+// snapshot at leaf load, version check at insert) is identical to
+// batchIter's; see blobCache.vers.
+func (s *Store) aggBatchPart(tree *btree.Tree, source int64, r scanRange, lookback int64, sp *aggSpecEx) aggPart {
+	return func(pt *aggPartial) error {
+		cache := sp.cache
+		loTS := r.t1
+		if lookback > 0 {
+			if loTS > math.MinInt64+lookback+1 {
+				loTS = r.t1 - lookback - 1
+			} else {
+				loTS = math.MinInt64
+			}
+		}
+		hi := keyenc.SourceTime(source, r.t2)
+		treeID := s.treeID(tree)
+		var vers [cacheVerSlots]uint64
+		var cur *btree.Cursor
+		seekKey := keyenc.SourceTime(source, loTS)
+		if cache != nil {
+			cur = tree.SeekWithLoadHook(seekKey, func() { cache.snapshotAll(&vers) })
+		} else {
+			cur = tree.Seek(seekKey)
+		}
+		for cur.Valid() {
+			key := cur.Key()
+			if keyCompare(key, hi) >= 0 {
+				return nil
+			}
+			src, baseTS, err := keyenc.DecodeSourceTime(key)
+			if err != nil {
+				return err
+			}
+			if src != source {
+				return nil
+			}
+			bk := blobKey{tree: treeID, source: source, ts: baseTS}
+			if cache != nil {
+				if e, ok := cache.get(bk, sp.sig); ok {
+					cur.Next()
+					if !e.overlaps(sp.zones) {
+						pt.blobsSkipped++
+						continue
+					}
+					if e.summary != nil {
+						switch classifySummary(e.summary, r.t1, r.t2, sp, true) {
+						case classExcluded:
+							continue
+						case classCovered:
+							pt.summaryHits++
+							pt.bytesNotDecoded += e.blobLen
+							pt.foldSummary(source, e.summary, sp)
+							continue
+						}
+					}
+					cache.noteSaved(e.blobLen)
+					pt.foldBatchRows(source, e.batch, r, sp)
+					continue
+				}
+			}
+			// Read the insert-guard version before Next() can reload the
+			// snapshot; see batchIter.loadOne.
+			var ver uint64
+			if cache != nil {
+				ver = vers[bk.slot()]
+			}
+			blob, err := cur.Value()
+			if err != nil {
+				if s.lenient() {
+					s.noteCorruptBlob()
+					cur.Next()
+					continue
+				}
+				return err
+			}
+			cur.Next()
+			if !BlobOverlaps(blob, sp.zones) {
+				pt.blobsSkipped++
+				continue
+			}
+			sum, haveSum := parseBlobSummary(blob, baseTS)
+			if haveSum {
+				switch classifySummary(sum, r.t1, r.t2, sp, true) {
+				case classExcluded:
+					pt.summaryHits++
+					pt.bytesNotDecoded += int64(len(blob))
+					continue
+				case classCovered:
+					pt.summaryHits++
+					pt.bytesNotDecoded += int64(len(blob))
+					pt.foldSummary(source, sum, sp)
+					continue
+				}
+			}
+			batch, err := DecodeBlob(blob, baseTS, sp.spec.WantTags)
+			if err != nil {
+				if s.lenient() {
+					s.noteCorruptBlob()
+					continue
+				}
+				return err
+			}
+			pt.blobBytesRead += int64(len(blob))
+			if cache != nil {
+				es := sum
+				if !haveSum {
+					// Legacy blob: the decode pays for a summary future
+					// aggregate scans fold from the cache (lazy upgrade).
+					es = summaryFromBatch(batch, sp.ntags)
+				}
+				zones, hasZones := blobZoneMaps(blob)
+				cache.put(bk, sp.sig, ver, batch, zones, hasZones, int64(len(blob)), es)
+			}
+			pt.foldBatchRows(source, batch, r, sp)
+		}
+		return cur.Err()
+	}
+}
+
+// aggMGPart walks one group's MG records over a part range. A record may
+// fold from its summary only when rows need no per-member attribution:
+// no source filter, no GROUP BY id, and every stored slot maps to a known
+// member (mgIter drops unknown slots, so a fold must too).
+func (s *Store) aggMGPart(group int64, r scanRange, onlySource int64, sp *aggSpecEx) aggPart {
+	return func(pt *aggPartial) error {
+		cache := sp.cache
+		members := s.cat.GroupMembers(group)
+		window := s.groupWindow(group)
+		lo := r.t1
+		if lo > math.MinInt64+window {
+			lo = r.t1 - window
+		}
+		hi := keyenc.SourceTime(group, r.t2)
+		var vers [cacheVerSlots]uint64
+		var cur *btree.Cursor
+		seekKey := keyenc.SourceTime(group, lo)
+		if cache != nil {
+			cur = s.mg.SeekWithLoadHook(seekKey, func() { cache.snapshotAll(&vers) })
+		} else {
+			cur = s.mg.Seek(seekKey)
+		}
+		mgFoldable := onlySource == 0 && !sp.spec.ByID
+		for cur.Valid() {
+			key := cur.Key()
+			if keyCompare(key, hi) >= 0 {
+				return nil
+			}
+			grp, ts, err := keyenc.DecodeSourceTime(key)
+			if err != nil || grp != group {
+				return nil
+			}
+			bk := blobKey{tree: cacheTreeMG, source: group, ts: ts}
+			if cache != nil {
+				if e, ok := cache.get(bk, sp.sig); ok {
+					cur.Next()
+					if !e.overlaps(sp.zones) {
+						pt.blobsSkipped++
+						continue
+					}
+					if e.summary != nil {
+						foldable := mgFoldable && e.summary.members <= len(members)
+						switch classifySummary(e.summary, r.t1, r.t2, sp, foldable) {
+						case classExcluded:
+							continue
+						case classCovered:
+							pt.summaryHits++
+							pt.bytesNotDecoded += e.blobLen
+							pt.foldSummary(0, e.summary, sp)
+							continue
+						}
+					}
+					cache.noteSaved(e.blobLen)
+					pt.foldMGRows(e.batch, members, onlySource, r, sp)
+					continue
+				}
+			}
+			var ver uint64
+			if cache != nil {
+				ver = vers[bk.slot()]
+			}
+			blob, err := cur.Value()
+			if err != nil {
+				if s.lenient() {
+					s.noteCorruptBlob()
+					cur.Next()
+					continue
+				}
+				return err
+			}
+			cur.Next()
+			if !BlobOverlaps(blob, sp.zones) {
+				pt.blobsSkipped++
+				continue
+			}
+			sum, haveSum := parseBlobSummary(blob, ts)
+			if haveSum {
+				foldable := mgFoldable && sum.members <= len(members)
+				switch classifySummary(sum, r.t1, r.t2, sp, foldable) {
+				case classExcluded:
+					pt.summaryHits++
+					pt.bytesNotDecoded += int64(len(blob))
+					continue
+				case classCovered:
+					pt.summaryHits++
+					pt.bytesNotDecoded += int64(len(blob))
+					pt.foldSummary(0, sum, sp)
+					continue
+				}
+			}
+			batch, err := DecodeBlob(blob, ts, sp.spec.WantTags)
+			if err != nil {
+				if s.lenient() {
+					s.noteCorruptBlob()
+					continue
+				}
+				return err
+			}
+			pt.blobBytesRead += int64(len(blob))
+			if cache != nil {
+				es := sum
+				if !haveSum {
+					es = summaryFromBatch(batch, sp.ntags)
+				}
+				zones, hasZones := blobZoneMaps(blob)
+				cache.put(bk, sp.sig, ver, batch, zones, hasZones, int64(len(blob)), es)
+			}
+			pt.foldMGRows(batch, members, onlySource, r, sp)
+		}
+		return cur.Err()
+	}
+}
+
+// historicalAggParts decomposes one source's aggregate exactly like
+// HistoricalScanOpts decomposes its scan: batch parts per ts-disjoint
+// range, MG record parts for group-ingesting sources, and the dirty-read
+// buffer snapshot.
+func (s *Store) historicalAggParts(source int64, sp *aggSpecEx, workers int) ([]aggPart, error) {
+	ds, ok := s.cat.Source(source)
+	if !ok {
+		return nil, fmt.Errorf("tsstore: unknown data source %d", source)
+	}
+	spec := sp.spec
+	stats := s.cat.Stats(source)
+	ranges := splitScanRange(spec.T1, spec.T2, stats, workers)
+	var parts []aggPart
+	if ds.IngestStructure() == model.MG {
+		if stats.BatchCount > 0 {
+			tree := s.treeFor(ds.HistoricalStructure())
+			for _, r := range ranges {
+				parts = append(parts, s.aggBatchPart(tree, source, r, stats.MaxSpanMs, sp))
+			}
+		}
+		for _, r := range ranges {
+			parts = append(parts, s.aggMGPart(ds.Group, r, source, sp))
+		}
+		if buf := s.snapshotGroupBuffer(ds.Group, spec.T1, spec.T2, source); len(buf) > 0 {
+			parts = append(parts, aggBufferPart(buf, sp))
+		}
+	} else {
+		tree := s.treeFor(ds.IngestStructure())
+		for _, r := range ranges {
+			parts = append(parts, s.aggBatchPart(tree, source, r, stats.MaxSpanMs, sp))
+		}
+		if buf := s.snapshotSourceBuffer(source, spec.T1, spec.T2); len(buf) > 0 {
+			parts = append(parts, aggBufferPart(buf, sp))
+		}
+	}
+	return parts, nil
+}
+
+// runAggParts executes the parts (on the worker pool when allowed) and
+// merges their partials in part order, which keeps group emission order
+// identical between serial and parallel runs.
+func (s *Store) runAggParts(parts []aggPart, sp *aggSpecEx, workers int) (*AggResult, error) {
+	partials := make([]*aggPartial, len(parts))
+	for i := range partials {
+		partials[i] = newAggPartial()
+	}
+	if workers > 1 && len(parts) > 1 {
+		if workers > len(parts) {
+			workers = len(parts)
+		}
+		sem := make(chan struct{}, workers)
+		errs := make([]error, len(parts))
+		var wg sync.WaitGroup
+		for i, p := range parts {
+			wg.Add(1)
+			go func(i int, p aggPart) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				errs[i] = p(partials[i])
+			}(i, p)
+		}
+		wg.Wait()
+		s.parallelScans.Add(1)
+		s.parallelParts.Add(int64(len(parts)))
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i, p := range parts {
+			if err := p(partials[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := &AggResult{}
+	idx := make(map[aggKey]int)
+	for _, pt := range partials {
+		res.SummaryHits += pt.summaryHits
+		res.BytesNotDecoded += pt.bytesNotDecoded
+		res.BlobBytesRead += pt.blobBytesRead
+		res.BlobsSkipped += pt.blobsSkipped
+		for _, k := range pt.order {
+			g := pt.groups[k]
+			j, ok := idx[k]
+			if !ok {
+				idx[k] = len(res.Groups)
+				res.Groups = append(res.Groups, *g)
+				continue
+			}
+			dst := &res.Groups[j]
+			dst.Rows += g.Rows
+			for t := range dst.NonNull {
+				dst.NonNull[t] += g.NonNull[t]
+				dst.Sum[t] += g.Sum[t]
+				if g.Min[t] < dst.Min[t] {
+					dst.Min[t] = g.Min[t]
+				}
+				if g.Max[t] > dst.Max[t] {
+					dst.Max[t] = g.Max[t]
+				}
+			}
+		}
+	}
+	s.summaryHits.Add(res.SummaryHits)
+	s.bytesNotDecoded.Add(res.BytesNotDecoded)
+	return res, nil
+}
+
+// AggregateHistorical computes the aggregates of one source over
+// [spec.T1, spec.T2), the pushdown twin of HistoricalScanOpts.
+func (s *Store) AggregateHistorical(source int64, spec AggSpec) (*AggResult, error) {
+	sp := s.prepAggSpec(&spec)
+	workers := clampWorkers(spec.Opts.Workers)
+	parts, err := s.historicalAggParts(source, sp, workers)
+	if err != nil {
+		return nil, err
+	}
+	return s.runAggParts(parts, sp, workers)
+}
+
+// AggregateMulti aggregates an explicit source list (the id IN (...)
+// pushdown). Each source stays serial inside; the fan-out is across
+// sources, like MultiHistoricalScanOpts. Unknown ids contribute nothing.
+func (s *Store) AggregateMulti(sources []int64, spec AggSpec) (*AggResult, error) {
+	sp := s.prepAggSpec(&spec)
+	workers := clampWorkers(spec.Opts.Workers)
+	var parts []aggPart
+	for _, src := range sources {
+		p, err := s.historicalAggParts(src, sp, 1)
+		if err != nil {
+			continue
+		}
+		parts = append(parts, p...)
+	}
+	return s.runAggParts(parts, sp, workers)
+}
+
+// AggregateSlice aggregates every source of a schema over the window, the
+// pushdown twin of SliceScanOpts (including its partition elimination).
+func (s *Store) AggregateSlice(schemaID int64, spec AggSpec) (*AggResult, error) {
+	sp := s.prepAggSpec(&spec)
+	workers := clampWorkers(spec.Opts.Workers)
+	full := scanRange{spec.T1, spec.T2}
+	var parts []aggPart
+	for _, g := range s.cat.GroupsBySchema(schemaID) {
+		for _, src := range s.cat.GroupMembers(g) {
+			ds, ok := s.cat.Source(src)
+			if !ok {
+				continue
+			}
+			stats := s.cat.Stats(src)
+			if stats.BatchCount == 0 {
+				continue
+			}
+			parts = append(parts, s.aggBatchPart(s.treeFor(ds.HistoricalStructure()), src, full, stats.MaxSpanMs, sp))
+		}
+		parts = append(parts, s.aggMGPart(g, full, 0, sp))
+		if buf := s.snapshotGroupBuffer(g, spec.T1, spec.T2, 0); len(buf) > 0 {
+			parts = append(parts, aggBufferPart(buf, sp))
+		}
+	}
+	for _, src := range s.cat.SourcesBySchema(schemaID) {
+		ds, ok := s.cat.Source(src)
+		if !ok || ds.IngestStructure() == model.MG {
+			continue
+		}
+		stats := s.cat.Stats(src)
+		if stats.PointCount > 0 && (stats.LastTS < spec.T1 || stats.FirstTS >= spec.T2) && s.bufferEmpty(src) {
+			continue // partition elimination: no data in range
+		}
+		parts = append(parts, s.aggBatchPart(s.treeFor(ds.IngestStructure()), src, full, stats.MaxSpanMs, sp))
+		if buf := s.snapshotSourceBuffer(src, spec.T1, spec.T2); len(buf) > 0 {
+			parts = append(parts, aggBufferPart(buf, sp))
+		}
+	}
+	return s.runAggParts(parts, sp, workers)
+}

@@ -1,0 +1,424 @@
+package tsstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"odh/internal/model"
+)
+
+// refFold aggregates scan output with the plain decode-and-group
+// semantics the executor uses — the reference the summary fold must match
+// bit for bit. Values in these tests are multiples of 1/4 with bounded
+// magnitude, so float sums are exact and independent of association
+// order (a blob fold adds per-blob subtotals, not individual values).
+func refFold(points []model.Point, spec AggSpec) map[aggKey]*AggGroup {
+	ntags := spec.NTags
+	tags := spec.WantTags
+	if tags == nil {
+		tags = make([]int, ntags)
+		for i := range tags {
+			tags[i] = i
+		}
+	}
+	out := make(map[aggKey]*AggGroup)
+	for _, p := range points {
+		if p.TS < spec.T1 || p.TS >= spec.T2 {
+			continue
+		}
+		if !matchPreds(p.Values, spec.Preds) {
+			continue
+		}
+		var k aggKey
+		if spec.ByID {
+			k.id = p.Source
+		}
+		if spec.BucketMs > 0 {
+			k.bucket = bucketFloor(p.TS, spec.BucketMs)
+		}
+		g, ok := out[k]
+		if !ok {
+			g = &AggGroup{ID: k.id, Bucket: k.bucket,
+				NonNull: make([]int64, ntags), Sum: make([]float64, ntags),
+				Min: make([]float64, ntags), Max: make([]float64, ntags)}
+			for i := range g.Min {
+				g.Min[i] = math.Inf(1)
+				g.Max[i] = math.Inf(-1)
+			}
+			out[k] = g
+		}
+		g.Rows++
+		for _, tag := range tags {
+			if tag < 0 || tag >= len(p.Values) {
+				continue
+			}
+			v := p.Values[tag]
+			if model.IsNull(v) {
+				continue
+			}
+			g.NonNull[tag]++
+			g.Sum[tag] += v
+			if v < g.Min[tag] {
+				g.Min[tag] = v
+			}
+			if v > g.Max[tag] {
+				g.Max[tag] = v
+			}
+		}
+	}
+	return out
+}
+
+// compareAgg checks got against the reference bit for bit.
+func compareAgg(t *testing.T, label string, got *AggResult, want map[aggKey]*AggGroup, spec AggSpec) {
+	t.Helper()
+	if len(got.Groups) != len(want) {
+		t.Fatalf("%s: got %d groups, want %d", label, len(got.Groups), len(want))
+	}
+	for _, g := range got.Groups {
+		w, ok := want[aggKey{g.ID, g.Bucket}]
+		if !ok {
+			t.Fatalf("%s: unexpected group id=%d bucket=%d", label, g.ID, g.Bucket)
+		}
+		if g.Rows != w.Rows {
+			t.Fatalf("%s: group id=%d bucket=%d rows=%d want %d", label, g.ID, g.Bucket, g.Rows, w.Rows)
+		}
+		for tag := range w.NonNull {
+			if g.NonNull[tag] != w.NonNull[tag] {
+				t.Fatalf("%s: group id=%d bucket=%d tag %d nonNull=%d want %d",
+					label, g.ID, g.Bucket, tag, g.NonNull[tag], w.NonNull[tag])
+			}
+			if math.Float64bits(g.Sum[tag]) != math.Float64bits(w.Sum[tag]) {
+				t.Fatalf("%s: group id=%d bucket=%d tag %d sum=%v want %v (bits differ)",
+					label, g.ID, g.Bucket, tag, g.Sum[tag], w.Sum[tag])
+			}
+			if math.Float64bits(g.Min[tag]) != math.Float64bits(w.Min[tag]) ||
+				math.Float64bits(g.Max[tag]) != math.Float64bits(w.Max[tag]) {
+				t.Fatalf("%s: group id=%d bucket=%d tag %d min/max=%v/%v want %v/%v",
+					label, g.ID, g.Bucket, tag, g.Min[tag], g.Max[tag], w.Min[tag], w.Max[tag])
+			}
+		}
+	}
+}
+
+// sameAggResult asserts two results are identical including group order
+// (serial and parallel, cached and uncached runs must agree exactly).
+func sameAggResult(t *testing.T, label string, a, b *AggResult) {
+	t.Helper()
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatalf("%s: group count %d vs %d", label, len(a.Groups), len(b.Groups))
+	}
+	for i := range a.Groups {
+		ga, gb := a.Groups[i], b.Groups[i]
+		if ga.ID != gb.ID || ga.Bucket != gb.Bucket || ga.Rows != gb.Rows {
+			t.Fatalf("%s: group %d header differs: %+v vs %+v", label, i, ga, gb)
+		}
+		for tag := range ga.NonNull {
+			if ga.NonNull[tag] != gb.NonNull[tag] ||
+				math.Float64bits(ga.Sum[tag]) != math.Float64bits(gb.Sum[tag]) ||
+				math.Float64bits(ga.Min[tag]) != math.Float64bits(gb.Min[tag]) ||
+				math.Float64bits(ga.Max[tag]) != math.Float64bits(gb.Max[tag]) {
+				t.Fatalf("%s: group %d tag %d differs", label, i, tag)
+			}
+		}
+	}
+}
+
+// TestAggregatePropertyVsDecodeReference drives randomized stores (NaN
+// and NULL values, NULL gaps, duplicate timestamps, empty tag columns)
+// through flushes and reorganizations and asserts summary-folded
+// aggregates match the decode-and-group reference bit for bit, across
+// {serial, parallel} x {cache off, cache on} and for the legacy blob
+// format (lazy summary upgrade).
+func TestAggregatePropertyVsDecodeReference(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(string(rune('a'+seed)), func(t *testing.T) {
+			runAggTrial(t, seed, false)
+		})
+		t.Run(string(rune('a'+seed))+"-legacy", func(t *testing.T) {
+			runAggTrial(t, seed, true)
+		})
+	}
+}
+
+func runAggTrial(t *testing.T, seed int64, legacy bool) {
+	rng := rand.New(rand.NewSource(seed))
+	f := newFixture(t, Config{
+		BatchSize:        4 + rng.Intn(12),
+		MaxOpenMGRows:    1 + rng.Intn(4),
+		BlobCacheBytes:   1 << 20,
+		LegacyBlobFormat: legacy,
+	}, 2+rng.Intn(3))
+	ntags := 1 + rng.Intn(3)
+	schema := f.schema(t, "agg", ntags)
+	emptyTag := -1
+	if ntags > 1 && rng.Intn(2) == 0 {
+		emptyTag = rng.Intn(ntags) // this tag stays all-NULL
+	}
+
+	type srcState struct {
+		ds     *model.DataSource
+		nextTS int64
+	}
+	var sources []*srcState
+	var ids []int64
+	for i := 0; i < 5; i++ {
+		var ds *model.DataSource
+		switch i % 3 {
+		case 0:
+			ds = f.source(t, schema.ID, true, 10) // RTS
+		case 1:
+			ds = f.source(t, schema.ID, false, 25) // IRTS
+		default:
+			ds = f.source(t, schema.ID, true, 5000) // MG
+		}
+		sources = append(sources, &srcState{ds: ds, nextTS: 1_000_000})
+		ids = append(ids, ds.ID)
+	}
+
+	var maxTS int64 = 1_000_000
+	for op := 0; op < 500; op++ {
+		switch rng.Intn(25) {
+		case 0:
+			if err := f.store.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		case 1:
+			cut := 1_000_000 + rng.Int63n(maxTS-1_000_000+1)
+			if _, err := f.store.Reorganize(schema.ID, cut); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		st := sources[rng.Intn(len(sources))]
+		vals := make([]float64, ntags)
+		for j := range vals {
+			if j == emptyTag || rng.Intn(5) == 0 {
+				vals[j] = model.NullValue // NULL gap (stored as NaN)
+			} else {
+				vals[j] = math.Round(rng.Float64()*1000) / 4 // exact in float64
+			}
+		}
+		ts := st.nextTS
+		if st.ds.IngestStructure() == model.IRTS && rng.Intn(10) == 0 {
+			// Duplicate timestamp: two points share one instant.
+			ts -= st.ds.IntervalMs
+			if ts < 1_000_000 {
+				ts = 1_000_000
+			}
+		}
+		if err := f.store.Write(model.Point{Source: st.ds.ID, TS: ts, Values: vals}); err != nil {
+			t.Fatal(err)
+		}
+		if ts > maxTS {
+			maxTS = ts
+		}
+		if st.ds.Regular && st.ds.IngestStructure() == model.RTS {
+			st.nextTS += st.ds.IntervalMs
+		} else {
+			st.nextTS += st.ds.IntervalMs/2 + rng.Int63n(st.ds.IntervalMs)
+		}
+	}
+
+	cfgs := []ScanOptions{
+		{Workers: 1},
+		{Workers: 1, NoCache: true},
+		{Workers: 8},
+		{Workers: 8, NoCache: true},
+	}
+	buckets := []int64{0, 7, 100, 1000, 60_000}
+	for trial := 0; trial < 8; trial++ {
+		t1 := int64(1_000_000) + rng.Int63n(maxTS-999_999)
+		t2 := t1 + rng.Int63n(maxTS-t1+2)
+		if trial == 0 {
+			t1, t2 = math.MinInt64/2, math.MaxInt64/2
+		}
+		spec := AggSpec{T1: t1, T2: t2, NTags: ntags,
+			BucketMs: buckets[rng.Intn(len(buckets))],
+			ByID:     rng.Intn(2) == 0,
+		}
+		if rng.Intn(2) == 0 {
+			tag := rng.Intn(ntags)
+			lo := math.Round(rng.Float64()*500) / 4
+			hi := lo + math.Round(rng.Float64()*500)/4
+			spec.Preds = []TagPred{{Tag: tag, Lo: lo, Hi: hi,
+				LoStrict: rng.Intn(2) == 0, HiStrict: rng.Intn(2) == 0}}
+		}
+		if rng.Intn(3) == 0 {
+			// Narrow decode set; must still cover predicate tags.
+			want := map[int]bool{rng.Intn(ntags): true}
+			for _, p := range spec.Preds {
+				want[p.Tag] = true
+			}
+			for tag := range want {
+				spec.WantTags = append(spec.WantTags, tag)
+			}
+		}
+
+		// Historical per source, multi over all ids, slice over the schema.
+		for _, st := range sources {
+			it, err := f.store.HistoricalScan(st.ds.ID, spec.T1, spec.T2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := refFold(collect(t, it), spec)
+			var first *AggResult
+			for ci, opts := range cfgs {
+				s := spec
+				s.Opts = opts
+				got, err := f.store.AggregateHistorical(st.ds.ID, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareAgg(t, "historical", got, want, s)
+				if ci == 0 {
+					first = got
+				} else {
+					sameAggResult(t, "historical-configs", first, got)
+				}
+			}
+		}
+		{
+			var all []model.Point
+			for _, st := range sources {
+				it, err := f.store.HistoricalScan(st.ds.ID, spec.T1, spec.T2, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				all = append(all, collect(t, it)...)
+			}
+			want := refFold(all, spec)
+			for _, opts := range cfgs {
+				s := spec
+				s.Opts = opts
+				got, err := f.store.AggregateMulti(ids, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareAgg(t, "multi", got, want, s)
+			}
+		}
+		{
+			it, err := f.store.SliceScan(schema.ID, spec.T1, spec.T2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := refFold(collect(t, it), spec)
+			for _, opts := range cfgs {
+				s := spec
+				s.Opts = opts
+				got, err := f.store.AggregateSlice(schema.ID, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compareAgg(t, "slice", got, want, s)
+			}
+		}
+	}
+}
+
+// TestAggregateFoldsWithoutDecoding checks the whole point of the
+// summary path: a wide-window aggregate over flushed summary-format blobs
+// answers from headers, decoding (nearly) nothing.
+func TestAggregateFoldsWithoutDecoding(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 32}, 0)
+	schema := f.schema(t, "m", 2)
+	ds := f.source(t, schema.ID, true, 10)
+	for i := 0; i < 32*64; i++ {
+		p := model.Point{Source: ds.ID, TS: int64(1000 + i*10), Values: []float64{float64(i % 97), float64(i % 13)}}
+		if err := f.store.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.store.AggregateHistorical(ds.ID, AggSpec{
+		T1: math.MinInt64 / 2, T2: math.MaxInt64 / 2, NTags: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || res.Groups[0].Rows != 32*64 {
+		t.Fatalf("unexpected result: %+v", res.Groups)
+	}
+	if res.SummaryHits != 64 {
+		t.Fatalf("SummaryHits = %d, want 64", res.SummaryHits)
+	}
+	if res.BlobBytesRead != 0 {
+		t.Fatalf("BlobBytesRead = %d, want 0 (all folds)", res.BlobBytesRead)
+	}
+	if res.BytesNotDecoded == 0 {
+		t.Fatalf("BytesNotDecoded = 0, want > 0")
+	}
+	st := f.store.Stats()
+	if st.SummaryHits != 64 || st.BytesNotDecoded != res.BytesNotDecoded {
+		t.Fatalf("store stats not plumbed: %+v", st)
+	}
+
+	// A window clipping the first and last point decodes only the two
+	// edge blobs; the 62 interior blobs still fold from summaries.
+	lastTS := int64(1000 + (32*64-1)*10)
+	res, err = f.store.AggregateHistorical(ds.ID, AggSpec{T1: 1000 + 5, T2: lastTS, NTags: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SummaryHits != 62 {
+		t.Fatalf("boundary SummaryHits = %d, want 62", res.SummaryHits)
+	}
+	if res.BlobBytesRead == 0 {
+		t.Fatalf("boundary blobs were not decoded")
+	}
+}
+
+// TestLegacyBlobLazySummaryUpgrade verifies pre-summary blobs aggregate
+// correctly (decode path) and that the decode caches a computed summary
+// so the next aggregate folds without decoding.
+func TestLegacyBlobLazySummaryUpgrade(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16, LegacyBlobFormat: true, BlobCacheBytes: 1 << 20}, 0)
+	schema := f.schema(t, "old", 1)
+	ds := f.source(t, schema.ID, true, 10)
+	for i := 0; i < 16*8; i++ {
+		p := model.Point{Source: ds.ID, TS: int64(1000 + i*10), Values: []float64{float64(i)}}
+		if err := f.store.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	spec := AggSpec{T1: math.MinInt64 / 2, T2: math.MaxInt64 / 2, NTags: 1}
+	first, err := f.store.AggregateHistorical(ds.ID, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.SummaryHits != 0 || first.BlobBytesRead == 0 {
+		t.Fatalf("legacy blobs must decode on first aggregate: %+v", first)
+	}
+	second, err := f.store.AggregateHistorical(ds.ID, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.SummaryHits != 8 {
+		t.Fatalf("second aggregate SummaryHits = %d, want 8 (cached lazy summaries)", second.SummaryHits)
+	}
+	if second.BlobBytesRead != 0 {
+		t.Fatalf("second aggregate decoded %d bytes, want 0", second.BlobBytesRead)
+	}
+	sameAggResult(t, "legacy-upgrade", first, second)
+}
+
+// TestBucketFloorMatchesTimeBucket pins the fold's bucket arithmetic to
+// the executor's TIME_BUCKET semantics, negatives included.
+func TestBucketFloorMatchesTimeBucket(t *testing.T) {
+	for _, tc := range []struct{ ts, w, want int64 }{
+		{0, 10, 0}, {9, 10, 0}, {10, 10, 10}, {-1, 10, -10}, {-10, 10, -10}, {-11, 10, -20},
+		{1_000_007, 1000, 1_000_000},
+	} {
+		if got := bucketFloor(tc.ts, tc.w); got != tc.want {
+			t.Fatalf("bucketFloor(%d, %d) = %d, want %d", tc.ts, tc.w, got, tc.want)
+		}
+	}
+}

@@ -30,7 +30,8 @@ const (
 
 	flagRowOriented = 0x80
 	flagZoneMaps    = 0x40
-	formatMask      = 0x3F
+	flagSummaries   = 0x20
+	formatMask      = 0x1F
 )
 
 // TagRange is a pushed-down predicate bound on one tag: rows outside
@@ -49,24 +50,45 @@ type zoneMap struct {
 	min, max float64
 }
 
-// appendZoneMaps writes per-tag min/max for the rows.
-func appendZoneMaps(dst []byte, rows [][]float64, ntags int) []byte {
-	for tag := 0; tag < ntags; tag++ {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		for _, row := range rows {
-			v := row[tag]
-			if model.IsNull(v) {
-				continue
-			}
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
-		}
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(lo))
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(hi))
+// tagStat accumulates one tag's statistics over the values a decode of
+// the blob will return. For lossy compression policies the stored column
+// deviates from the originals, so stats are computed from round-tripped
+// values — folding a summary must be bit-identical to decoding and
+// aggregating the rows.
+type tagStat struct {
+	nonNull  int64
+	sum      float64
+	min, max float64
+}
+
+func newTagStats(ntags int) []tagStat {
+	stats := make([]tagStat, ntags)
+	for i := range stats {
+		stats[i].min = math.Inf(1)
+		stats[i].max = math.Inf(-1)
+	}
+	return stats
+}
+
+// note folds one present value into the stat in row order (sum order must
+// match the order a decode-then-aggregate pass would use).
+func (s *tagStat) note(v float64) {
+	s.nonNull++
+	s.sum += v
+	if v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// appendZoneMapsFromStats writes per-tag min/max. Empty columns keep the
+// sentinel (min > max) that zonesOverlap treats as never matching.
+func appendZoneMapsFromStats(dst []byte, stats []tagStat) []byte {
+	for i := range stats {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(stats[i].min))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(stats[i].max))
 	}
 	return dst
 }
@@ -173,6 +195,7 @@ type encodeOpts struct {
 	layout   blobLayout
 	policies []compress.Policy // per tag; nil means lossless for all
 	disable  bool              // raw storage (compression ablation)
+	legacy   bool              // write the pre-summary format (compat tests)
 }
 
 func (o encodeOpts) policy(tag int) compress.Policy {
@@ -193,10 +216,13 @@ func bitmapLen(bits int) int { return (bits + 7) / 8 }
 func setBit(bm []byte, i int)      { bm[i/8] |= 1 << (i % 8) }
 func getBit(bm []byte, i int) bool { return bm[i/8]&(1<<(i%8)) != 0 }
 
-// appendColumns encodes the tag values of rows (each row has ntags values,
+// encodeColumns encodes the tag values of rows (each row has ntags values,
 // NaN = NULL) with a presence bitmap and either tag-oriented columns or a
-// single row-major column.
-func appendColumns(dst []byte, rows [][]float64, ntags int, opts encodeOpts) []byte {
+// single row-major column. It also returns per-tag statistics over the
+// values a later decode will yield: for a lossy policy the freshly encoded
+// column is round-tripped so the stats (and the zone maps and summary
+// built from them) agree bit-for-bit with the decode path.
+func encodeColumns(rows [][]float64, ntags int, opts encodeOpts) ([]byte, []tagStat) {
 	count := len(rows)
 	bm := make([]byte, bitmapLen(count*ntags))
 	// Tag-major bit order so per-tag decode only needs its own stripe.
@@ -207,9 +233,12 @@ func appendColumns(dst []byte, rows [][]float64, ntags int, opts encodeOpts) []b
 			}
 		}
 	}
-	dst = append(dst, bm...)
+	stats := newTagStats(ntags)
+	dst := append([]byte(nil), bm...)
 	if opts.layout == layoutRowOriented {
 		// One interleaved column of all present values in row-major order.
+		// The interleaved column is always lossless (or raw), so the
+		// original values are exactly what decodes back.
 		var vals []float64
 		for row := 0; row < count; row++ {
 			for tag := 0; tag < ntags; tag++ {
@@ -220,7 +249,15 @@ func appendColumns(dst []byte, rows [][]float64, ntags int, opts encodeOpts) []b
 		}
 		col := compress.EncodeColumn(nil, vals, compress.Policy{Disable: opts.disable})
 		dst = binary.AppendUvarint(dst, uint64(len(col)))
-		return append(dst, col...)
+		dst = append(dst, col...)
+		for tag := 0; tag < ntags; tag++ {
+			for row := 0; row < count; row++ {
+				if !model.IsNull(rows[row][tag]) {
+					stats[tag].note(rows[row][tag])
+				}
+			}
+		}
+		return dst, stats
 	}
 	for tag := 0; tag < ntags; tag++ {
 		var vals []float64
@@ -229,14 +266,260 @@ func appendColumns(dst []byte, rows [][]float64, ntags int, opts encodeOpts) []b
 				vals = append(vals, rows[row][tag])
 			}
 		}
-		col := compress.EncodeColumn(nil, vals, opts.policy(tag))
+		pol := opts.policy(tag)
+		col := compress.EncodeColumn(nil, vals, pol)
+		eff := vals
+		if !pol.Lossless() && !pol.Disable {
+			if dec, err := compress.DecodeColumn(col); err == nil && len(dec) == len(vals) {
+				eff = dec
+			}
+		}
+		for _, v := range eff {
+			stats[tag].note(v)
+		}
 		dst = binary.AppendUvarint(dst, uint64(len(col)))
 		dst = append(dst, col...)
+	}
+	return dst, stats
+}
+
+// --- summary block ---
+
+// The summary block sits between the zone maps and the structure extras
+// when flagSummaries is set: uvarint row count, varint(firstTS-baseTS),
+// varint(lastTS-firstTS), then per tag a uvarint non-NULL count and the
+// float64 sum (little-endian bits). Together with the zone-map min/max it
+// answers COUNT/SUM/AVG/MIN/MAX over the whole blob without touching the
+// columns.
+
+// appendSummaryBlock writes the summary for rows/stats computed by
+// encodeColumns. baseTS is the record-key timestamp the reader will pass
+// to parseBlobSummary; first/last bound the rows' decoded timestamps.
+func appendSummaryBlock(dst []byte, stats []tagStat, rows, baseTS, firstTS, lastTS int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(rows))
+	dst = binary.AppendVarint(dst, firstTS-baseTS)
+	dst = binary.AppendVarint(dst, lastTS-firstTS)
+	for i := range stats {
+		dst = binary.AppendUvarint(dst, uint64(stats[i].nonNull))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(stats[i].sum))
 	}
 	return dst
 }
 
-// decodeColumns reconstructs rows from the layout written by appendColumns.
+// skipSummaryBlock advances past a summary block (used by DecodeBlob,
+// which reconstructs everything the summary holds anyway).
+func skipSummaryBlock(b []byte, ntags int) ([]byte, error) {
+	for i := 0; i < 3; i++ {
+		_, n := binary.Varint(b) // same wire length as Uvarint for field 0
+		if n <= 0 {
+			return nil, ErrCorruptBlob
+		}
+		b = b[n:]
+	}
+	for tag := 0; tag < ntags; tag++ {
+		_, n := binary.Uvarint(b)
+		if n <= 0 || len(b) < n+8 {
+			return nil, ErrCorruptBlob
+		}
+		b = b[n+8:]
+	}
+	return b, nil
+}
+
+// blobSummary is the decoded summary of one ValueBlob: everything needed
+// to fold the blob into COUNT/SUM/AVG/MIN/MAX aggregates without decoding
+// its columns. min/max come from the zone maps (computed from the same
+// round-tripped values as the sums), so every field is bit-identical to
+// what a decode-and-aggregate pass over the blob would produce.
+type blobSummary struct {
+	rows     int64
+	firstTS  int64 // earliest decoded timestamp
+	lastTS   int64 // latest decoded timestamp
+	members  int   // MG header member count; 0 for RTS/IRTS
+	nonNull  []int64
+	sum      []float64
+	min, max []float64 // empty-column sentinel: min > max
+}
+
+// parseBlobSummary peeks a blob's header summary without decoding columns.
+// It returns (nil, false) for legacy blobs (no flagSummaries) or damaged
+// headers — callers then fall back to decoding.
+func parseBlobSummary(b []byte, baseTS int64) (*blobSummary, bool) {
+	if len(b) < 1 || b[0]&flagSummaries == 0 || b[0]&flagZoneMaps == 0 {
+		return nil, false
+	}
+	format := b[0] & formatMask
+	rest := b[1:]
+	ntagsU, n := binary.Uvarint(rest)
+	if n <= 0 || ntagsU > 1<<16 {
+		return nil, false
+	}
+	ntags := int(ntagsU)
+	rest = rest[n:]
+	members := 0
+	switch format {
+	case blobRTS:
+		if _, n := binary.Uvarint(rest); n > 0 { // count
+			rest = rest[n:]
+		} else {
+			return nil, false
+		}
+		if _, n := binary.Varint(rest); n > 0 { // interval
+			rest = rest[n:]
+		} else {
+			return nil, false
+		}
+	case blobIRTS:
+		if _, n := binary.Uvarint(rest); n > 0 { // count
+			rest = rest[n:]
+		} else {
+			return nil, false
+		}
+	case blobMG:
+		m, n := binary.Uvarint(rest)
+		if n <= 0 || m > 1<<20 {
+			return nil, false
+		}
+		members = int(m)
+		rest = rest[n:]
+	default:
+		return nil, false
+	}
+	zones, rest, err := readZoneMaps(rest, ntags)
+	if err != nil {
+		return nil, false
+	}
+	rowsU, n := binary.Uvarint(rest)
+	if n <= 0 || rowsU > 1<<24 {
+		return nil, false
+	}
+	rest = rest[n:]
+	firstDelta, n := binary.Varint(rest)
+	if n <= 0 {
+		return nil, false
+	}
+	rest = rest[n:]
+	span, n := binary.Varint(rest)
+	if n <= 0 {
+		return nil, false
+	}
+	rest = rest[n:]
+	s := &blobSummary{
+		rows:    int64(rowsU),
+		firstTS: baseTS + firstDelta,
+		members: members,
+		nonNull: make([]int64, ntags),
+		sum:     make([]float64, ntags),
+		min:     make([]float64, ntags),
+		max:     make([]float64, ntags),
+	}
+	s.lastTS = s.firstTS + span
+	for tag := 0; tag < ntags; tag++ {
+		nn, n := binary.Uvarint(rest)
+		if n <= 0 || len(rest) < n+8 {
+			return nil, false
+		}
+		s.nonNull[tag] = int64(nn)
+		s.sum[tag] = math.Float64frombits(binary.LittleEndian.Uint64(rest[n:]))
+		rest = rest[n+8:]
+		s.min[tag] = zones[tag].min
+		s.max[tag] = zones[tag].max
+	}
+	return s, true
+}
+
+// summaryFromBatch rebuilds a summary from an already-decoded batch — the
+// lazy upgrade path for legacy (pre-summary) blobs: the first decode pays
+// full cost, the result is cached alongside the batch, and later aggregate
+// scans fold it without decoding again. Only the tags that were actually
+// decoded carry valid stats, which is safe because cache entries are keyed
+// by the decode's tag signature.
+func summaryFromBatch(batch *DecodedBatch, ntags int) *blobSummary {
+	s := &blobSummary{
+		rows:    int64(len(batch.Timestamps)),
+		nonNull: make([]int64, ntags),
+		sum:     make([]float64, ntags),
+		min:     make([]float64, ntags),
+		max:     make([]float64, ntags),
+	}
+	for tag := 0; tag < ntags; tag++ {
+		s.min[tag] = math.Inf(1)
+		s.max[tag] = math.Inf(-1)
+	}
+	for i, ts := range batch.Timestamps {
+		if i == 0 || ts < s.firstTS {
+			s.firstTS = ts
+		}
+		if i == 0 || ts > s.lastTS {
+			s.lastTS = ts
+		}
+	}
+	for _, row := range batch.Rows {
+		for tag := 0; tag < ntags && tag < len(row); tag++ {
+			v := row[tag]
+			if model.IsNull(v) {
+				continue
+			}
+			s.nonNull[tag]++
+			s.sum[tag] += v
+			if v < s.min[tag] {
+				s.min[tag] = v
+			}
+			if v > s.max[tag] {
+				s.max[tag] = v
+			}
+		}
+	}
+	if batch.Structure == model.MG {
+		for _, slot := range batch.Slots {
+			if slot >= s.members {
+				s.members = slot + 1
+			}
+		}
+	}
+	return s
+}
+
+// cacheSummary resolves the summary a cache insert should carry: the
+// header block for summary-format blobs, else one computed from the
+// decoded batch (valid only for the tags that decode materialized, which
+// matches the cache entry's tag signature).
+func cacheSummary(blob []byte, baseTS int64, batch *DecodedBatch) *blobSummary {
+	if sum, ok := parseBlobSummary(blob, baseTS); ok {
+		return sum
+	}
+	ntags := 0
+	if len(batch.Rows) > 0 {
+		ntags = len(batch.Rows[0])
+	}
+	return summaryFromBatch(batch, ntags)
+}
+
+// summaryMatches reports whether a parsed header summary agrees with a
+// full decode of the same blob (the fsck cross-check). Float fields
+// compare by bit pattern: summaries must be exact, not approximately
+// right, or aggregate pushdown would silently change query results.
+func summaryMatches(s *blobSummary, batch *DecodedBatch) bool {
+	ntags := len(s.nonNull)
+	ref := summaryFromBatch(batch, ntags)
+	if s.rows != ref.rows {
+		return false
+	}
+	if s.rows > 0 && (s.firstTS != ref.firstTS || s.lastTS != ref.lastTS) {
+		return false
+	}
+	for tag := 0; tag < ntags; tag++ {
+		if s.nonNull[tag] != ref.nonNull[tag] ||
+			math.Float64bits(s.sum[tag]) != math.Float64bits(ref.sum[tag]) ||
+			math.Float64bits(s.min[tag]) != math.Float64bits(ref.min[tag]) ||
+			math.Float64bits(s.max[tag]) != math.Float64bits(ref.max[tag]) {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeColumns reconstructs rows from the layout written by encodeColumns.
 // wantTags selects which tag indexes to decode (nil = all); unselected tags
 // come back NULL. Row-oriented blobs always decode every tag (that is the
 // cost the tag-oriented layout avoids).
@@ -329,6 +612,9 @@ func EncodeRTS(points []model.Point, ntags int, intervalMs int64, opts encodeOpt
 		format |= flagRowOriented
 	}
 	format |= flagZoneMaps
+	if !opts.legacy {
+		format |= flagSummaries
+	}
 	dst = append(dst, format)
 	dst = binary.AppendUvarint(dst, uint64(ntags))
 	dst = binary.AppendUvarint(dst, uint64(len(points)))
@@ -337,8 +623,19 @@ func EncodeRTS(points []model.Point, ntags int, intervalMs int64, opts encodeOpt
 	for i, p := range points {
 		rows[i] = p.Values
 	}
-	dst = appendZoneMaps(dst, rows, ntags)
-	return appendColumns(dst, rows, ntags, opts)
+	cols, stats := encodeColumns(rows, ntags, opts)
+	dst = appendZoneMapsFromStats(dst, stats)
+	if !opts.legacy {
+		// RTS decode reconstructs timestamps from the record key and the
+		// interval; summarize the same arithmetic, not the input points.
+		var base, last int64
+		if len(points) > 0 {
+			base = points[0].TS
+			last = base + int64(len(points)-1)*intervalMs
+		}
+		dst = appendSummaryBlock(dst, stats, int64(len(points)), base, base, last)
+	}
+	return append(dst, cols...)
 }
 
 // EncodeIRTS packs irregular points into an IRTS ValueBlob; timestamps are
@@ -350,6 +647,9 @@ func EncodeIRTS(points []model.Point, ntags int, opts encodeOpts) []byte {
 		format |= flagRowOriented
 	}
 	format |= flagZoneMaps
+	if !opts.legacy {
+		format |= flagSummaries
+	}
 	dst = append(dst, format)
 	dst = binary.AppendUvarint(dst, uint64(ntags))
 	dst = binary.AppendUvarint(dst, uint64(len(points)))
@@ -357,13 +657,30 @@ func EncodeIRTS(points []model.Point, ntags int, opts encodeOpts) []byte {
 	for i, p := range points {
 		rows[i] = p.Values
 	}
-	dst = appendZoneMaps(dst, rows, ntags)
+	cols, stats := encodeColumns(rows, ntags, opts)
+	dst = appendZoneMapsFromStats(dst, stats)
+	if !opts.legacy {
+		// IRTS timestamps ride inline and need not be sorted; bound them.
+		var base, first, last int64
+		if len(points) > 0 {
+			base, first, last = points[0].TS, points[0].TS, points[0].TS
+			for _, p := range points[1:] {
+				if p.TS < first {
+					first = p.TS
+				}
+				if p.TS > last {
+					last = p.TS
+				}
+			}
+		}
+		dst = appendSummaryBlock(dst, stats, int64(len(points)), base, first, last)
+	}
 	ts := make([]int64, len(points))
 	for i, p := range points {
 		ts[i] = p.TS
 	}
 	dst = compress.AppendDeltaOfDeltas(dst, ts)
-	return appendColumns(dst, rows, ntags, opts)
+	return append(dst, cols...)
 }
 
 // EncodeMG packs one time window's values from an MG group into an MG
@@ -380,6 +697,9 @@ func EncodeMG(present []bool, rows [][]float64, tsOffsets []int64, ntags int, op
 		format |= flagRowOriented
 	}
 	format |= flagZoneMaps
+	if !opts.legacy {
+		format |= flagSummaries
+	}
 	dst = append(dst, format)
 	dst = binary.AppendUvarint(dst, uint64(ntags))
 	dst = binary.AppendUvarint(dst, uint64(memberCount))
@@ -397,11 +717,27 @@ func EncodeMG(present []bool, rows [][]float64, tsOffsets []int64, ntags int, op
 			}
 		}
 	}
-	dst = appendZoneMaps(dst, reported, ntags)
+	cols, stats := encodeColumns(reported, ntags, opts)
+	dst = appendZoneMapsFromStats(dst, stats)
+	if !opts.legacy {
+		// MG timestamps are offsets from the record's window base, which is
+		// the key timestamp the reader passes as baseTS — summarize offsets
+		// against base 0 so the parse reconstructs absolute bounds.
+		var first, last int64
+		for i, off := range offsets {
+			if i == 0 || off < first {
+				first = off
+			}
+			if i == 0 || off > last {
+				last = off
+			}
+		}
+		dst = appendSummaryBlock(dst, stats, int64(len(reported)), 0, first, last)
+	}
 	dst = append(dst, memberBM...)
 	dst = binary.AppendUvarint(dst, uint64(len(reported)))
 	dst = compress.AppendDeltas(dst, offsets)
-	return appendColumns(dst, reported, ntags, opts)
+	return append(dst, cols...)
 }
 
 // DecodedBatch is the result of decoding any ValueBlob.
@@ -429,6 +765,7 @@ func DecodeBlob(b []byte, baseTS int64, wantTags []int) (*DecodedBatch, error) {
 	format := b[0] & formatMask
 	rowOriented := b[0]&flagRowOriented != 0
 	hasZones := b[0]&flagZoneMaps != 0
+	hasSummary := b[0]&flagSummaries != 0
 	b = b[1:]
 	ntagsU, n := binary.Uvarint(b)
 	if n <= 0 || ntagsU > 1<<16 {
@@ -455,6 +792,12 @@ func DecodeBlob(b []byte, baseTS int64, wantTags []int) (*DecodedBatch, error) {
 				return nil, err
 			}
 		}
+		if hasSummary {
+			var err error
+			if b, err = skipSummaryBlock(b, ntags); err != nil {
+				return nil, err
+			}
+		}
 		rows, err := decodeColumns(b, count, ntags, rowOriented, wantTags)
 		if err != nil {
 			return nil, err
@@ -477,6 +820,12 @@ func DecodeBlob(b []byte, baseTS int64, wantTags []int) (*DecodedBatch, error) {
 				return nil, err
 			}
 		}
+		if hasSummary {
+			var err error
+			if b, err = skipSummaryBlock(b, ntags); err != nil {
+				return nil, err
+			}
+		}
 		ts, rest, err := compress.DeltaOfDeltas(b)
 		if err != nil || len(ts) != count {
 			return nil, ErrCorruptBlob
@@ -496,6 +845,12 @@ func DecodeBlob(b []byte, baseTS int64, wantTags []int) (*DecodedBatch, error) {
 		if hasZones {
 			var err error
 			if _, b, err = readZoneMaps(b, ntags); err != nil {
+				return nil, err
+			}
+		}
+		if hasSummary {
+			var err error
+			if b, err = skipSummaryBlock(b, ntags); err != nil {
 				return nil, err
 			}
 		}

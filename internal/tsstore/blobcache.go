@@ -73,9 +73,14 @@ type cacheEntry struct {
 	batch    *DecodedBatch
 	zones    []zoneMap // parsed header zone maps; nil when the blob had none
 	hasZones bool
-	blobLen  int64 // encoded size: the bytes a hit saves
-	size     int64 // decoded memory footprint charged against the budget
-	elem     *list.Element
+	// summary lets aggregate scans fold the record without touching the
+	// batch: parsed from the header for summary-format blobs, computed
+	// from the decoded batch for legacy blobs (the lazy upgrade path).
+	// Like the batch, it is only valid for the tags sig selects.
+	summary *blobSummary
+	blobLen int64 // encoded size: the bytes a hit saves
+	size    int64 // decoded memory footprint charged against the budget
+	elem    *list.Element
 }
 
 // CacheStats is a point-in-time snapshot of blob cache counters.
@@ -162,7 +167,7 @@ func (c *blobCache) snapshotAll(dst *[cacheVerSlots]uint64) {
 
 // put caches a decoded blob unless the key was invalidated since ver was
 // snapshotted. The batch becomes shared and must not be mutated.
-func (c *blobCache) put(bk blobKey, sig string, ver uint64, batch *DecodedBatch, zones []zoneMap, hasZones bool, blobLen int64) {
+func (c *blobCache) put(bk blobKey, sig string, ver uint64, batch *DecodedBatch, zones []zoneMap, hasZones bool, blobLen int64, summary *blobSummary) {
 	size := decodedSize(batch, zones)
 	if size > c.maxBytes {
 		return // larger than the whole budget: not cacheable
@@ -180,7 +185,7 @@ func (c *blobCache) put(bk blobKey, sig string, ver uint64, batch *DecodedBatch,
 	if old, ok := variants[sig]; ok {
 		c.removeLocked(old)
 	}
-	e := &cacheEntry{bk: bk, sig: sig, batch: batch, zones: zones, hasZones: hasZones, blobLen: blobLen, size: size}
+	e := &cacheEntry{bk: bk, sig: sig, batch: batch, zones: zones, hasZones: hasZones, summary: summary, blobLen: blobLen, size: size}
 	e.elem = c.lru.PushFront(e)
 	variants[sig] = e
 	c.curBytes += size

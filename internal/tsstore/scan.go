@@ -358,7 +358,7 @@ func (it *batchIter) loadOne() {
 	it.BlobBytesRead += int64(len(blob))
 	if it.cache != nil {
 		zones, hasZones := blobZoneMaps(blob)
-		it.cache.put(bk, it.sig, ver, batch, zones, hasZones, int64(len(blob)))
+		it.cache.put(bk, it.sig, ver, batch, zones, hasZones, int64(len(blob)), cacheSummary(blob, baseTS, batch))
 	}
 	it.enqueue(batch)
 }
@@ -549,7 +549,7 @@ func (it *mgIter) Next() (model.Point, bool) {
 		it.BlobBytesRead += int64(len(blob))
 		if it.cache != nil {
 			zones, hasZones := blobZoneMaps(blob)
-			it.cache.put(bk, it.sig, ver, batch, zones, hasZones, int64(len(blob)))
+			it.cache.put(bk, it.sig, ver, batch, zones, hasZones, int64(len(blob)), cacheSummary(blob, ts, batch))
 		}
 		it.fillQueue(batch)
 	}

@@ -47,6 +47,10 @@ type Config struct {
 	// BlobCacheBytes budgets the decoded-ValueBlob cache (decoded bytes
 	// held). Zero disables caching: every scan decodes from the pagestore.
 	BlobCacheBytes int64
+	// LegacyBlobFormat writes blobs in the pre-summary format (no header
+	// aggregate block). Test hook for the backward-compatibility suite;
+	// readers handle both formats regardless.
+	LegacyBlobFormat bool
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +76,11 @@ type Stats struct {
 	// ParallelParts counts the parts they dispatched.
 	ParallelScans int64
 	ParallelParts int64
+	// SummaryHits counts blob records an aggregate scan folded from their
+	// header summary without decoding columns; BytesNotDecoded totals the
+	// encoded blob bytes those folds avoided reading.
+	SummaryHits     int64
+	BytesNotDecoded int64
 }
 
 // Stats.add accumulates other into st (shard aggregation).
@@ -125,6 +134,11 @@ type Store struct {
 	// parallelScans/parallelParts count worker-pool dispatches.
 	parallelScans atomic.Int64
 	parallelParts atomic.Int64
+
+	// summaryHits/bytesNotDecoded count aggregate-pushdown folds that
+	// skipped a blob decode and the encoded bytes they avoided.
+	summaryHits     atomic.Int64
+	bytesNotDecoded atomic.Int64
 }
 
 // shardCount picks the ingest shard count: a power of two sized from
@@ -265,12 +279,14 @@ func (s *Store) Stats() Stats {
 	st.CorruptBlobsSkipped += s.corruptBlobs.Load()
 	st.ParallelScans = s.parallelScans.Load()
 	st.ParallelParts = s.parallelParts.Load()
+	st.SummaryHits = s.summaryHits.Load()
+	st.BytesNotDecoded = s.bytesNotDecoded.Load()
 	return st
 }
 
 // encodeOptsFor builds the blob codec options for a schema.
 func (s *Store) encodeOptsFor(schema *model.SchemaType) encodeOpts {
-	opts := encodeOpts{disable: s.cfg.DisableCompression}
+	opts := encodeOpts{disable: s.cfg.DisableCompression, legacy: s.cfg.LegacyBlobFormat}
 	if s.cfg.RowOrientedBlobs {
 		opts.layout = layoutRowOriented
 	}
@@ -795,8 +811,17 @@ func (s *Store) VerifyBlobs() (checked int, corrupt []BlobRef, err error) {
 			case kerr != nil || verr != nil:
 				corrupt = append(corrupt, BlobRef{Tree: tr.name, Source: src, TS: ts})
 			default:
-				if _, derr := DecodeBlob(blob, ts, nil); derr != nil {
+				batch, derr := DecodeBlob(blob, ts, nil)
+				switch {
+				case derr != nil:
 					corrupt = append(corrupt, BlobRef{Tree: tr.name, Source: src, TS: ts})
+				default:
+					// A summary that disagrees with its own columns would
+					// make pushdown answers drift from decode answers —
+					// flag it even though the row data itself is readable.
+					if sum, ok := parseBlobSummary(blob, ts); ok && !summaryMatches(sum, batch) {
+						corrupt = append(corrupt, BlobRef{Tree: tr.name, Source: src, TS: ts})
+					}
 				}
 			}
 			cur.Next()

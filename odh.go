@@ -121,6 +121,14 @@ type Options struct {
 	// same history then skip the pagestore read and the column decode —
 	// the paper's dominant row-assembly overhead. Zero disables caching.
 	BlobCacheBytes int64
+	// DisableAggPushdown turns off rewriting COUNT/SUM/AVG/MIN/MAX (and
+	// TIME_BUCKET/id group-bys) over virtual tables into ValueBlob header
+	// summary folds, forcing the decode-and-group plan (ablation and
+	// drift debugging; the rewrite is on by default).
+	DisableAggPushdown bool
+	// legacyBlobFormat writes pre-summary (v1) blobs; a test hook for the
+	// backward-compatibility suite, deliberately unexported.
+	legacyBlobFormat bool
 }
 
 // Historian is an operational data historian instance.
@@ -205,6 +213,7 @@ func Open(dir string, opts Options) (*Historian, error) {
 		Log:                wal,
 		Shards:             opts.IngestShards,
 		BlobCacheBytes:     opts.BlobCacheBytes,
+		LegacyBlobFormat:   opts.legacyBlobFormat,
 	})
 	if err != nil {
 		page.Close()
@@ -221,6 +230,7 @@ func Open(dir string, opts Options) (*Historian, error) {
 	}
 	engine := sqlexec.New(rel, ts)
 	engine.SetQueryWorkers(opts.QueryWorkers)
+	engine.SetAggPushdown(!opts.DisableAggPushdown)
 	h := &Historian{
 		dir:     dir,
 		page:    page,
@@ -401,6 +411,11 @@ type HistorianStats struct {
 	// worker pool and the parts they fanned out.
 	ParallelScans int64
 	ParallelParts int64
+	// SummaryHits counts blob records an aggregate answered from their
+	// header summary without decoding columns; BytesNotDecoded totals the
+	// encoded blob bytes those folds avoided touching.
+	SummaryHits     int64
+	BytesNotDecoded int64
 }
 
 // TotalStats returns historian-wide counters.
@@ -421,6 +436,8 @@ func (h *Historian) TotalStats() HistorianStats {
 		CorruptBlobsSkipped: ts.CorruptBlobsSkipped,
 		ParallelScans:       ts.ParallelScans,
 		ParallelParts:       ts.ParallelParts,
+		SummaryHits:         ts.SummaryHits,
+		BytesNotDecoded:     ts.BytesNotDecoded,
 	}
 	cs := h.ts.BlobCacheStats()
 	st.BlobCacheHits = cs.Hits
