@@ -1,9 +1,11 @@
-// Command odh-cli is an interactive SQL shell over a historian directory.
+// Command odh-cli is an interactive SQL shell over a historian directory
+// or a running odh-server.
 //
-//	odh-cli -dir DIR        interactive shell
-//	odh-cli -dir DIR fsck   offline integrity check; exit 1 when damaged
+//	odh-cli -dir DIR          interactive shell over a local directory
+//	odh-cli -connect ADDR     interactive shell over a remote odh-server
+//	odh-cli -dir DIR fsck     offline integrity check; exit 1 when damaged
 //
-// Besides SQL, the shell accepts dot commands:
+// Besides SQL, the local shell accepts dot commands:
 //
 //	.schema          list schema types and virtual tables
 //	.tables          list relational tables
@@ -11,6 +13,10 @@
 //	.flush           flush ingest buffers
 //	.fsck            verify pages, B-trees, and blobs in place
 //	.quit
+//
+// The remote shell maps .stats to the server's STATS command (serving
+// layer counters), .flush to FLUSH, .ping to PING, and sends everything
+// else as SQL.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -28,10 +35,16 @@ import (
 
 func main() {
 	dir := flag.String("dir", "", "historian directory (empty = in-memory scratch)")
+	connect := flag.String("connect", "", "odh-server address; when set, the shell runs remotely over the wire protocol")
 	lenient := flag.Bool("recover", false, "lenient recovery: scans skip corrupt blobs instead of failing")
 	queryWorkers := flag.Int("query-workers", 0, "parallel degree cap for virtual-table scans (0 = serial)")
 	blobCache := flag.Int64("blob-cache", 0, "decoded-ValueBlob cache budget in bytes (0 = off)")
 	flag.Parse()
+
+	if *connect != "" {
+		remoteShell(*connect)
+		return
+	}
 
 	opts := odh.Options{QueryWorkers: *queryWorkers, BlobCacheBytes: *blobCache}
 	if *lenient {
@@ -206,4 +219,95 @@ func runSQL(h *odh.Historian, sql string) {
 		}
 	}
 	fmt.Printf("(%d rows, %v, %d blob bytes read)\n", n, time.Since(start).Round(time.Microsecond), res.BlobBytes())
+}
+
+// remoteShell speaks the wire protocol to a running odh-server.
+func remoteShell(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	reply := func() (string, bool) {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			fmt.Println("connection lost:", err)
+			return "", false
+		}
+		return strings.TrimRight(line, "\n"), true
+	}
+	fmt.Printf("odh-cli connected to %s — enter SQL or .help\n", addr)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for {
+		fmt.Print("odh> ")
+		if !sc.Scan() {
+			fmt.Fprintln(conn, "QUIT")
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == ".quit" || line == ".exit":
+			fmt.Fprintln(conn, "QUIT")
+			if bye, ok := reply(); ok {
+				fmt.Println(bye)
+			}
+			return
+		case line == ".help":
+			fmt.Println("SQL runs on the server. Dot commands: .stats .flush .ping .quit")
+		case line == ".stats":
+			// The server's STATS reply is "<name> <value>" lines then "OK":
+			// the serving-layer counters (connections, ingest, admission
+			// sheds, query timeouts, forced closes).
+			fmt.Fprintln(conn, "STATS")
+			for {
+				l, ok := reply()
+				if !ok {
+					return
+				}
+				if l == "OK" || strings.HasPrefix(l, "ERR") {
+					break
+				}
+				fmt.Println(l)
+			}
+		case line == ".flush":
+			fmt.Fprintln(conn, "FLUSH")
+			if l, ok := reply(); ok {
+				fmt.Println(l)
+			} else {
+				return
+			}
+		case line == ".ping":
+			fmt.Fprintln(conn, "PING")
+			if l, ok := reply(); ok {
+				fmt.Println(l)
+			} else {
+				return
+			}
+		case strings.HasPrefix(line, "."):
+			fmt.Println("unknown command; try .help")
+		default:
+			start := time.Now()
+			fmt.Fprintln(conn, "SQL "+line)
+			for {
+				l, ok := reply()
+				if !ok {
+					return
+				}
+				if strings.HasPrefix(l, "ERR") {
+					fmt.Println(l)
+					break
+				}
+				if strings.HasPrefix(l, "OK") {
+					fmt.Printf("(%s rows, %v)\n", strings.TrimPrefix(l, "OK "), time.Since(start).Round(time.Microsecond))
+					break
+				}
+				fmt.Println(l)
+			}
+		}
+	}
 }

@@ -1,14 +1,19 @@
-// Command odh-server exposes a historian over TCP with the line protocol
+// Command odh-server exposes a historian over TCP with the protocol
 // implemented in internal/server (the paper's Figure 2 data-server
 // endpoint):
 //
+//	HELLO <version>
 //	WRITE <source> <ts-ms> <v1> [v2 ...]
+//	BATCH <payloadLen> + binary frame (after HELLO 2)
 //	SQL <statement>
-//	FLUSH / PING / QUIT
+//	FLUSH / PING / STATS / QUIT
 //
 // Example:
 //
 //	odh-server -dir ./data -init "CREATE TABLE sensor_info (id BIGINT, area VARCHAR(8))"
+//
+// SIGINT or SIGTERM drains the server: accepting stops, in-flight
+// commands finish, and stragglers are cut off after -drain-timeout.
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"odh"
 	"odh/internal/server"
@@ -28,10 +35,17 @@ func main() {
 		dir     = flag.String("dir", "", "historian directory (empty = in-memory)")
 		initSQL = flag.String("init", "", "semicolon-separated SQL statements run at startup")
 		batchSz = flag.Int("batch", 128, "ODH batch size b")
+		workers = flag.Int("query-workers", 0, "parallel degree cap for virtual-table scans (0 = serial)")
+
+		idleTimeout  = flag.Duration("idle-timeout", 0, "disconnect a client idle for this long (0 = never)")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "drop a client that stops reading replies for this long (0 = never)")
+		queryTimeout = flag.Duration("query-timeout", 0, "abort SQL commands running longer than this (0 = unbounded)")
+		drainTimeout = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "force-close connections this long after shutdown begins")
+		maxInflight  = flag.Int64("max-inflight", server.DefaultMaxInflightBytes, "admission budget: BATCH payload bytes queued across all connections")
 	)
 	flag.Parse()
 
-	h, err := odh.Open(*dir, odh.Options{BatchSize: *batchSz})
+	h, err := odh.Open(*dir, odh.Options{BatchSize: *batchSz, QueryWorkers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +61,14 @@ func main() {
 		}
 	}
 
-	srv := server.New(h)
+	srv := server.NewWith(h, server.Options{
+		IdleTimeout:      *idleTimeout,
+		WriteTimeout:     *writeTimeout,
+		QueryTimeout:     *queryTimeout,
+		DrainTimeout:     *drainTimeout,
+		MaxInflightBytes: *maxInflight,
+		OnError:          func(err error) { log.Printf("conn: %v", err) },
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
@@ -55,8 +76,11 @@ func main() {
 	log.Printf("odh-server listening on %s (dir=%q)", bound, *dir)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Println("shutting down")
+	log.Printf("shutting down (drain timeout %v)", *drainTimeout)
 	srv.Close()
+	st := srv.Stats()
+	log.Printf("served %d conns, %d points, %d frames; shed %d; forced %d closes",
+		st.ConnsAccepted, st.PointsIngested, st.FramesIngested, st.BatchesShed, st.ForcedCloses)
 }

@@ -217,3 +217,80 @@ func (f *File) Sync() error {
 
 // Close closes the backing file.
 func (f *File) Close() error { return f.inner.Close() }
+
+// Conn wraps a bidirectional stream (a net.Conn, one end of a net.Pipe)
+// with read-fault injection, extending the crash-simulation vocabulary to
+// the serving layer: a Conn armed with FailReadsAfter models a client
+// whose link died mid-command, and SetTornRead makes the failing read
+// deliver a prefix of the available bytes first — a torn read, the
+// stream analogue of a torn write. Failures are sticky. Writes and Close
+// pass through untouched so the server's final ERR reply still reaches
+// the test.
+type Conn struct {
+	mu        sync.Mutex
+	inner     io.ReadWriteCloser
+	readsLeft int // Unlimited = disarmed
+	tornBytes int // on the failing read, deliver this prefix first
+	reads     int64
+}
+
+// WrapConn returns a Conn over inner with every fault disarmed.
+func WrapConn(inner io.ReadWriteCloser) *Conn {
+	return &Conn{inner: inner, readsLeft: Unlimited}
+}
+
+// FailReadsAfter arms the read countdown: the next n Read calls succeed
+// and every one after that fails. n = Unlimited disarms.
+func (c *Conn) FailReadsAfter(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readsLeft = n
+}
+
+// SetTornRead makes the failing read return up to n bytes of real data
+// alongside ErrInjected. Zero restores fail-clean behavior.
+func (c *Conn) SetTornRead(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tornBytes = n
+}
+
+// Reads returns the number of successful Read calls.
+func (c *Conn) Reads() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reads
+}
+
+// Read implements io.Reader with the read countdown and torn-read
+// behavior.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.readsLeft == 0 {
+		torn := c.tornBytes
+		c.mu.Unlock()
+		if torn > 0 {
+			if torn > len(p) {
+				torn = len(p)
+			}
+			n, err := c.inner.Read(p[:torn])
+			if err != nil {
+				return n, err
+			}
+			return n, ErrInjected
+		}
+		return 0, ErrInjected
+	}
+	if c.readsLeft > 0 {
+		c.readsLeft--
+	}
+	c.reads++
+	c.mu.Unlock()
+	return c.inner.Read(p)
+}
+
+// Write passes through to the wrapped stream.
+func (c *Conn) Write(p []byte) (int, error) { return c.inner.Write(p) }
+
+// Close closes the wrapped stream.
+func (c *Conn) Close() error { return c.inner.Close() }

@@ -1,0 +1,40 @@
+package server
+
+// Admission control bounds the memory held by ingest frames that have
+// been read off the wire but not yet applied. Each BATCH frame reserves
+// its payload size against two budgets — the connection's and the
+// server's — before the payload is read; a frame that cannot reserve is
+// discarded (the length prefix keeps the stream in sync) and answered
+// with "ERR busy" in command order, so a loaded server sheds work instead
+// of growing its heap. The reservation is released after the frame is
+// applied (or dropped).
+
+// reserve attempts to admit n payload bytes for sc. Both budgets must
+// admit; a partial reservation is rolled back.
+func (s *Server) reserve(sc *serverConn, n int64) bool {
+	if sc.queued.Add(n) > s.connBudget {
+		sc.queued.Add(-n)
+		return false
+	}
+	if s.queuedBytes.Add(n) > s.globalBudget {
+		s.queuedBytes.Add(-n)
+		sc.queued.Add(-n)
+		return false
+	}
+	return true
+}
+
+// release returns n reserved bytes to both budgets.
+func (s *Server) release(sc *serverConn, n int64) {
+	if n <= 0 {
+		return
+	}
+	s.queuedBytes.Add(-n)
+	sc.queued.Add(-n)
+}
+
+// shed records one rejected frame of n payload bytes.
+func (s *Server) shed(n int64) {
+	s.batchesShed.Add(1)
+	s.shedBytes.Add(n)
+}

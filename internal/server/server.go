@@ -1,40 +1,84 @@
 // Package server implements the historian's network endpoint: the role
 // of the paper's data servers in Figure 2, accepting operational writes
-// and SQL over a minimal TCP line protocol.
+// and SQL over a minimal TCP protocol.
 //
+// Text commands (protocol version 1, the default):
+//
+//	HELLO <version>                        -> "HELLO <negotiated>"
 //	WRITE <source> <ts-ms> <v1> [v2 ...]   -> "OK" | "ERR <msg>"
 //	SQL <statement>                        -> header, rows, "OK <n>" | "ERR <msg>"
 //	FLUSH                                  -> "OK"
 //	PING                                   -> "PONG"
+//	STATS                                  -> "<name> <value>" lines, "OK"
 //	QUIT                                   -> "BYE" and closes the connection
 //
-// NULL tag values are spelled "null" in WRITE. Responses to SQL are
-// tab-separated; EXPLAIN output is returned verbatim followed by "OK 0".
+// NULL tag values are spelled "null" in WRITE; non-finite values (nan,
+// inf) are rejected because NaN is the storage engine's NULL sentinel.
+// Responses to SQL are tab-separated; EXPLAIN output is returned verbatim
+// followed by "OK 0".
+//
+// After "HELLO 2" the connection may also send binary batch frames
+// (layout in proto.go):
+//
+//	BATCH <payloadLen>\n<payload>          -> "OK <npoints>" | "ERR busy" | "ERR <msg>"
+//
+// Each connection runs a reader goroutine (parse + admission) and an
+// applier goroutine (execute + reply) joined by a bounded queue, so a
+// client can pipeline frames while earlier ones are applied, replies stay
+// in command order, and the memory held per connection stays bounded.
 package server
 
 import (
-	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"odh"
 )
 
+// Default budgets and timeouts (see Options).
+const (
+	DefaultMaxInflightBytes = 64 << 20
+	DefaultDrainTimeout     = 5 * time.Second
+)
+
 // Options tunes server behavior. The zero value keeps the defaults.
 type Options struct {
 	// IdleTimeout, when > 0, disconnects a connection that sends no
-	// complete line for this long (applied as a per-read deadline on
+	// complete command for this long (applied as a per-read deadline on
 	// connections that support deadlines; others are unaffected).
 	IdleTimeout time.Duration
+	// WriteTimeout, when > 0, bounds how long a reply flush may block on
+	// a client that stopped reading; on expiry the session is dropped
+	// (slow-client backpressure). Transports without write deadlines are
+	// unaffected.
+	WriteTimeout time.Duration
+	// QueryTimeout, when > 0, bounds each SQL command; an expired query
+	// is answered with ERR and counted in Stats.QueriesTimedOut.
+	QueryTimeout time.Duration
+	// DrainTimeout bounds Close's graceful drain: connections that have
+	// not finished their in-flight commands by then are force-closed
+	// (default DefaultDrainTimeout).
+	DrainTimeout time.Duration
+	// MaxInflightBytes budgets BATCH payload bytes admitted but not yet
+	// applied, across all connections (default DefaultMaxInflightBytes).
+	// Frames that would exceed it are discarded and answered "ERR busy".
+	MaxInflightBytes int64
+	// ConnInflightBytes is the per-connection share of the admission
+	// budget (default MaxInflightBytes/4, floored at one max-size frame).
+	ConnInflightBytes int64
 	// OnError, when non-nil, is invoked with every connection-level
-	// failure the protocol loop hits: scanner errors (oversized lines,
-	// read failures) and idle-timeout disconnects. Command errors are
-	// reported to the client as ERR replies, not here.
+	// failure the protocol loop hits: read failures (oversized lines,
+	// torn connections), idle-timeout disconnects, and drain cutoffs.
+	// Command errors are reported to the client as ERR replies, not here.
 	OnError func(err error)
 }
 
@@ -45,20 +89,105 @@ type Server struct {
 	ln   net.Listener
 	wg   sync.WaitGroup
 
+	globalBudget int64
+	connBudget   int64
+
 	mu     sync.Mutex
+	conns  map[*serverConn]struct{}
 	closed bool
+
+	drainCh chan struct{} // closed when Close begins draining
+
+	// Counters behind Stats; all atomics so the hot paths stay lock-free.
+	queuedBytes     atomic.Int64
+	connsAccepted   atomic.Int64
+	connsActive     atomic.Int64
+	framesIngested  atomic.Int64
+	pointsIngested  atomic.Int64
+	batchesShed     atomic.Int64
+	shedBytes       atomic.Int64
+	queriesTimedOut atomic.Int64
+	forcedCloses    atomic.Int64
+}
+
+// Stats is a snapshot of the serving layer's counters, surfaced by the
+// STATS command and the CLI's .stats view.
+type Stats struct {
+	// ConnsAccepted counts sessions ever started; ConnsActive counts
+	// sessions currently open.
+	ConnsAccepted int64
+	ConnsActive   int64
+	// FramesIngested / PointsIngested count applied BATCH frames and the
+	// points they carried plus per-line WRITEs.
+	FramesIngested int64
+	PointsIngested int64
+	// BatchesShed / ShedBytes count frames rejected by admission control.
+	BatchesShed int64
+	ShedBytes   int64
+	// QueuedBytes is the admission budget currently held by frames
+	// admitted but not yet applied.
+	QueuedBytes int64
+	// QueriesTimedOut counts SQL commands that hit the query timeout.
+	QueriesTimedOut int64
+	// ForcedCloses counts connections cut off by the drain timeout.
+	ForcedCloses int64
 }
 
 // New wraps a historian with default options.
 func New(h *odh.Historian) *Server { return NewWith(h, Options{}) }
 
 // NewWith wraps a historian with explicit options.
-func NewWith(h *odh.Historian, opts Options) *Server { return &Server{h: h, opts: opts} }
+func NewWith(h *odh.Historian, opts Options) *Server {
+	if opts.MaxInflightBytes <= 0 {
+		opts.MaxInflightBytes = DefaultMaxInflightBytes
+	}
+	if opts.ConnInflightBytes <= 0 {
+		opts.ConnInflightBytes = opts.MaxInflightBytes / 4
+		if opts.ConnInflightBytes < MaxBatchFrameBytes {
+			opts.ConnInflightBytes = opts.MaxInflightBytes
+		}
+	}
+	if opts.DrainTimeout <= 0 {
+		opts.DrainTimeout = DefaultDrainTimeout
+	}
+	return &Server{
+		h:            h,
+		opts:         opts,
+		globalBudget: opts.MaxInflightBytes,
+		connBudget:   opts.ConnInflightBytes,
+		conns:        make(map[*serverConn]struct{}),
+		drainCh:      make(chan struct{}),
+	}
+}
 
-// deadlineConn is the subset of net.Conn the idle timeout needs;
-// net.Pipe ends satisfy it too.
-type deadlineConn interface {
-	SetReadDeadline(t time.Time) error
+// Stats snapshots the serving-layer counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		ConnsAccepted:   s.connsAccepted.Load(),
+		ConnsActive:     s.connsActive.Load(),
+		FramesIngested:  s.framesIngested.Load(),
+		PointsIngested:  s.pointsIngested.Load(),
+		BatchesShed:     s.batchesShed.Load(),
+		ShedBytes:       s.shedBytes.Load(),
+		QueuedBytes:     s.queuedBytes.Load(),
+		QueriesTimedOut: s.queriesTimedOut.Load(),
+		ForcedCloses:    s.forcedCloses.Load(),
+	}
+}
+
+// writeStats renders the STATS reply.
+func (s *Server) writeStats(out io.Writer) {
+	st := s.Stats()
+	fmt.Fprintf(out, "conns_accepted %d\n", st.ConnsAccepted)
+	fmt.Fprintf(out, "conns_active %d\n", st.ConnsActive)
+	fmt.Fprintf(out, "frames_ingested %d\n", st.FramesIngested)
+	fmt.Fprintf(out, "points_ingested %d\n", st.PointsIngested)
+	fmt.Fprintf(out, "batches_shed %d\n", st.BatchesShed)
+	fmt.Fprintf(out, "shed_bytes %d\n", st.ShedBytes)
+	fmt.Fprintf(out, "queued_bytes %d\n", st.QueuedBytes)
+	fmt.Fprintf(out, "queries_timed_out %d\n", st.QueriesTimedOut)
+	fmt.Fprintf(out, "forced_closes %d\n", st.ForcedCloses)
+	fmt.Fprintln(out, "OK")
 }
 
 // reportError invokes the error hook, if any.
@@ -66,6 +195,33 @@ func (s *Server) reportError(err error) {
 	if s.opts.OnError != nil && err != nil {
 		s.opts.OnError(err)
 	}
+}
+
+// draining reports whether Close has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// track registers a live session; it fails once draining began.
+func (s *Server) track(sc *serverConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[sc] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(sc *serverConn) {
+	s.mu.Lock()
+	delete(s.conns, sc)
+	s.mu.Unlock()
 }
 
 // Listen starts accepting on addr and returns the bound address (useful
@@ -96,82 +252,53 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// Close stops accepting and waits for in-flight connections to finish
-// their current command loop (connections end when clients close or send
-// QUIT).
+// Close drains the server: it stops accepting, stops reading new
+// commands, lets in-flight commands finish, and after DrainTimeout
+// force-closes whatever is left (counted in Stats.ForcedCloses). It
+// always returns — an idle client that never sends QUIT cannot wedge
+// shutdown. Safe to call more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.wg.Wait()
 		return nil
 	}
 	s.closed = true
+	close(s.drainCh)
+	// Poke blocked readers: an expired read deadline turns the blocking
+	// read into an error, which the reader reports as a drain cutoff.
+	for sc := range s.conns {
+		if sc.dc != nil {
+			_ = sc.dc.SetReadDeadline(time.Now())
+		}
+	}
 	s.mu.Unlock()
+
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
-	s.wg.Wait()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.opts.DrainTimeout):
+		s.mu.Lock()
+		for sc := range s.conns {
+			s.forcedCloses.Add(1)
+			sc.forceClose()
+		}
+		s.mu.Unlock()
+		<-done
+	}
 	return err
 }
 
-// ServeConn runs the protocol on one connection until EOF, QUIT, a read
-// failure, or an idle timeout. Read failures (an oversized line, a torn
-// connection, an expired idle deadline) are answered with a final ERR
-// line so the client sees why the session ended, and handed to the
-// OnError hook; the old behavior was to drop the connection silently.
-func (s *Server) ServeConn(conn io.ReadWriteCloser) {
-	defer conn.Close()
-	w := s.h.Writer()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	out := bufio.NewWriter(conn)
-	dc, hasDeadline := conn.(deadlineConn)
-	for {
-		if s.opts.IdleTimeout > 0 && hasDeadline {
-			_ = dc.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
-		}
-		if !sc.Scan() {
-			if err := sc.Err(); err != nil {
-				s.reportError(err)
-				fmt.Fprintf(out, "ERR connection: %v\n", err)
-				out.Flush()
-			}
-			return
-		}
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		cmd, rest, _ := strings.Cut(line, " ")
-		switch strings.ToUpper(cmd) {
-		case "PING":
-			fmt.Fprintln(out, "PONG")
-		case "FLUSH":
-			if err := w.Flush(); err != nil {
-				fmt.Fprintf(out, "ERR %v\n", err)
-			} else {
-				fmt.Fprintln(out, "OK")
-			}
-		case "WRITE":
-			if err := s.handleWrite(w, rest); err != nil {
-				fmt.Fprintf(out, "ERR %v\n", err)
-			} else {
-				fmt.Fprintln(out, "OK")
-			}
-		case "SQL":
-			s.handleSQL(out, rest)
-		case "QUIT":
-			fmt.Fprintln(out, "BYE")
-			out.Flush()
-			return
-		default:
-			fmt.Fprintf(out, "ERR unknown command %q\n", cmd)
-		}
-		out.Flush()
-	}
-}
-
+// handleWrite parses and applies one WRITE command.
 func (s *Server) handleWrite(w *odh.Writer, rest string) error {
 	fields := strings.Fields(rest)
 	if len(fields) < 3 {
@@ -195,17 +322,33 @@ func (s *Server) handleWrite(w *odh.Writer, rest string) error {
 		if err != nil {
 			return fmt.Errorf("bad value %q: %w", f, err)
 		}
+		// ParseFloat accepts "nan" and "inf", but NaN is the storage
+		// engine's NULL sentinel and Inf breaks summary arithmetic;
+		// neither may enter through the wire as a plain value.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("non-finite value %q (spell NULL as null)", f)
+		}
 		values[i] = v
 	}
 	return w.WritePoint(source, ts, values...)
 }
 
-func (s *Server) handleSQL(out *bufio.Writer, sql string) {
-	res, err := s.h.Query(sql)
+// handleSQL executes one SQL command under the server's query timeout and
+// streams the result.
+func (s *Server) handleSQL(out io.Writer, sql string) {
+	ctx := context.Background()
+	if s.opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+		defer cancel()
+	}
+	res, err := s.h.QueryContext(ctx, sql)
 	if err != nil {
+		s.noteQueryErr(err)
 		fmt.Fprintf(out, "ERR %v\n", err)
 		return
 	}
+	defer res.Close()
 	if res.PlanText != "" {
 		for _, line := range strings.Split(strings.TrimRight(res.PlanText, "\n"), "\n") {
 			fmt.Fprintln(out, line)
@@ -222,6 +365,7 @@ func (s *Server) handleSQL(out *bufio.Writer, sql string) {
 	for {
 		row, ok, err := res.Next()
 		if err != nil {
+			s.noteQueryErr(err)
 			fmt.Fprintf(out, "ERR %v\n", err)
 			return
 		}
@@ -236,4 +380,11 @@ func (s *Server) handleSQL(out *bufio.Writer, sql string) {
 		n++
 	}
 	fmt.Fprintf(out, "OK %d\n", n)
+}
+
+// noteQueryErr counts timeout-caused query failures.
+func (s *Server) noteQueryErr(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.queriesTimedOut.Add(1)
+	}
 }

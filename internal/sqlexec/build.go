@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -23,6 +24,7 @@ func (pc *planContext) buildScan(acc *tableAccess) (Operator, error) {
 			vs.sources = acc.idList
 		}
 		vs.workers = pc.e.parallelDegree(acc.estCost)
+		vs.ctx = pc.ctx
 		op = vs
 	} else if acc.index != nil {
 		if acc.prefixVals != nil {
@@ -252,6 +254,7 @@ func (pc *planContext) buildFusedJoins(virtual *tableSource) (Operator, error) {
 		join := newNLVirtualJoin(rel, pc.e.ts, virtual.schema, virtual.binding(),
 			pc.wantTags[virtual.binding()], outerOrd, vAcc.t1, vAcc.t2)
 		join.tagRanges = vAcc.tagRanges
+		join.ctx = pc.ctx
 		// Virtual-side single-table predicates still apply (time bounds
 		// were pushed, but re-checking is exact and cheap).
 		return pc.applyFilter(join, vAcc.conjuncts)
@@ -320,13 +323,16 @@ func (pc *planContext) buildFusedJoins(virtual *tableSource) (Operator, error) {
 	return cur, nil
 }
 
-// buildSelect compiles a full SELECT into an operator tree.
-func (e *Engine) buildSelect(stmt *sqlparse.SelectStmt) (Operator, *planContext, error) {
+// buildSelectCtx compiles a full SELECT into an operator tree. ctx is
+// threaded into every virtual-table scan the plan contains, so canceling
+// it stops the tsstore workers mid-scan.
+func (e *Engine) buildSelectCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (Operator, *planContext, error) {
 	if len(stmt.From) == 0 {
 		return nil, nil, fmt.Errorf("sqlexec: SELECT requires FROM")
 	}
 	pc := &planContext{
 		e:      e,
+		ctx:    ctx,
 		stmt:   stmt,
 		byBind: map[string]*tableSource{},
 		access: map[string]*tableAccess{},

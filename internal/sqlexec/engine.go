@@ -1,9 +1,11 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"odh/internal/catalog"
 	"odh/internal/relational"
@@ -26,6 +28,9 @@ type Engine struct {
 	// aggPushdownOff disables the summary-aggregate rewrite (zero value =
 	// enabled). Atomic for the same live-reconfiguration reason.
 	aggPushdownOff atomic.Bool
+	// queryTimeout (nanoseconds) bounds each query that arrives without
+	// its own deadline; 0 = unbounded. Atomic for live reconfiguration.
+	queryTimeout atomic.Int64
 }
 
 // New builds an engine over the two stores.
@@ -44,6 +49,12 @@ func (e *Engine) SetQueryWorkers(n int) { e.queryWorkers.Store(int64(n)) }
 // forces the decode-and-group plan — the escape hatch for comparing the
 // two paths and for the benchmark's fallback arm.
 func (e *Engine) SetAggPushdown(on bool) { e.aggPushdownOff.Store(!on) }
+
+// SetQueryTimeout bounds every query submitted without its own context
+// deadline: execution (including row pulls from Result.Next) fails with
+// context.DeadlineExceeded once d elapses. d <= 0 removes the bound.
+// Safe to call on a live engine.
+func (e *Engine) SetQueryTimeout(d time.Duration) { e.queryTimeout.Store(int64(d)) }
 
 // parallelCostUnit is the estimated blob-bytes of work that justifies one
 // additional scan worker: fanning out cheaper scans costs more in
@@ -81,6 +92,12 @@ type Result struct {
 
 	root Operator
 	err  error
+	// ctx cancels the query; Next observes it between rows, and the scan
+	// iterators underneath observe it between blob loads. cancel releases
+	// the deadline timer when the engine attached one.
+	ctx       context.Context
+	cancel    context.CancelFunc
+	ctxChecks int
 	// DataPoints counts the operational values pulled so far (non-NULL
 	// values from virtual tables; for relational-only queries, non-NULL
 	// values in the result). It is the unit Table 8's throughput uses.
@@ -89,17 +106,45 @@ type Result struct {
 	RowCount int64
 }
 
+// ctxCheckRows is how many result rows Next pulls between context
+// checks; the scan layer checks per blob, this is a backstop for
+// relational-heavy plans.
+const ctxCheckRows = 64
+
+// Close releases the query's cancellation resources (the deadline timer
+// when a query timeout applied). Next calls it automatically when the
+// result is exhausted or fails; callers abandoning a result mid-stream
+// should call it themselves. Idempotent.
+func (r *Result) Close() {
+	if r.cancel != nil {
+		r.cancel()
+		r.cancel = nil
+	}
+}
+
 // Next pulls the next result row of a SELECT.
 func (r *Result) Next() (Row, bool, error) {
 	if r.root == nil {
 		return nil, false, r.err
 	}
+	if r.ctx != nil {
+		if r.ctxChecks++; r.ctxChecks >= ctxCheckRows || r.RowCount == 0 {
+			r.ctxChecks = 0
+			if err := r.ctx.Err(); err != nil {
+				r.err = fmt.Errorf("sqlexec: query canceled: %w", err)
+				r.Close()
+				return nil, false, r.err
+			}
+		}
+	}
 	row, ok, err := r.root.Next()
 	if err != nil {
 		r.err = err
+		r.Close()
 		return nil, false, err
 	}
 	if !ok {
+		r.Close()
 		return nil, false, nil
 	}
 	r.RowCount++
@@ -134,15 +179,53 @@ func (r *Result) BlobBytes() int64 {
 	return r.root.BlobBytes()
 }
 
-// Query parses and executes one statement.
+// Query parses and executes one statement without a caller deadline
+// (the engine's query timeout, when set, still applies).
 func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx parses and executes one statement under ctx: canceling it (or
+// exceeding its deadline, or the engine's SetQueryTimeout default when
+// ctx carries no deadline) aborts planning, the scan workers, and row
+// pulls with the context's error.
+func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if d := time.Duration(e.queryTimeout.Load()); d > 0 {
+		if _, has := ctx.Deadline(); !has {
+			ctx, cancel = context.WithTimeout(ctx, d)
+		}
+	}
+	res, err := e.queryCtx(ctx, sql)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
+	if res.root == nil {
+		// DDL/DML/EXPLAIN complete inside queryCtx; nothing left to cancel.
+		if cancel != nil {
+			cancel()
+		}
+		return res, nil
+	}
+	res.ctx = ctx
+	res.cancel = cancel
+	return res, nil
+}
+
+func (e *Engine) queryCtx(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	switch s := stmt.(type) {
 	case *sqlparse.SelectStmt:
-		root, pc, err := e.buildSelect(s)
+		root, pc, err := e.buildSelectCtx(ctx, s)
 		if err != nil {
 			return nil, err
 		}
@@ -200,7 +283,7 @@ func (e *Engine) Plan(sql string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("sqlexec: Plan requires a SELECT")
 	}
-	root, pc, err := e.buildSelect(sel)
+	root, pc, err := e.buildSelectCtx(context.Background(), sel)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -129,6 +130,8 @@ type virtualScan struct {
 	// workers is the parallel degree the planner chose from the blob-bytes
 	// cost estimate; <= 1 scans serially.
 	workers int
+	// ctx cancels the scan (threaded into ScanOptions.Ctx).
+	ctx context.Context
 
 	iter       tsstore.Iterator
 	routerDone bool
@@ -185,7 +188,7 @@ func (s *virtualScan) open() error {
 		s.routerDone = true
 	}
 	var err error
-	opts := tsstore.ScanOptions{Workers: s.workers}
+	opts := tsstore.ScanOptions{Workers: s.workers, Ctx: s.ctx}
 	if s.historical {
 		s.iter, err = s.store.HistoricalScanOpts(s.source, s.t1, s.t2, s.wantTags, opts, s.tagRanges...)
 	} else if len(s.sources) > 0 {
@@ -443,6 +446,7 @@ type nlVirtualJoin struct {
 	tagRanges     []tsstore.TagRange
 	outerKey      int   // ordinal of the join key (sensor id) in outer rows
 	t1, t2        int64 // pushed time bounds for the inner scans
+	ctx           context.Context
 	cols          []ColMeta
 	inner         tsstore.Iterator
 	innerCols     int
@@ -506,7 +510,7 @@ func (j *nlVirtualJoin) Next() (Row, bool, error) {
 		// Router lookup per driven source (metadata before data access).
 		j.store.Catalog().RouterLookup([]int64{source})
 		j.routerLookups++
-		iter, err := j.store.HistoricalScan(source, j.t1, j.t2, j.wantTags, j.tagRanges...)
+		iter, err := j.store.HistoricalScanOpts(source, j.t1, j.t2, j.wantTags, tsstore.ScanOptions{Ctx: j.ctx}, j.tagRanges...)
 		if err != nil {
 			// Sensors present in the relational table but never registered
 			// as data sources contribute no rows (inner join semantics).

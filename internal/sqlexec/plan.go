@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -84,6 +85,7 @@ type tableAccess struct {
 // planContext accumulates per-query planning state.
 type planContext struct {
 	e        *Engine
+	ctx      context.Context // cancels the query's scans
 	stmt     *sqlparse.SelectStmt
 	sources  []*tableSource
 	byBind   map[string]*tableSource

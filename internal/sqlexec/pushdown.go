@@ -158,7 +158,7 @@ func (pc *planContext) tryAggPushdown() (Operator, bool) {
 	} else {
 		pc.planNote += "\n" + note
 	}
-	spec.Opts = tsstore.ScanOptions{Workers: pc.e.parallelDegree(estDecoded)}
+	spec.Opts = tsstore.ScanOptions{Workers: pc.e.parallelDegree(estDecoded), Ctx: pc.ctx}
 
 	op := &aggPushdownOp{
 		store:  pc.e.ts,

@@ -1,6 +1,7 @@
 package tsstore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -141,10 +142,11 @@ type aggSpecEx struct {
 	tags  []int      // tags to fold (sorted, deduped, in [0, NTags))
 	zones []TagRange // inclusive hull of Preds for zone-map skipping
 	ntags int
+	ctx   context.Context // from Opts.Ctx; observed between records
 }
 
 func (s *Store) prepAggSpec(spec *AggSpec) *aggSpecEx {
-	sp := &aggSpecEx{spec: spec, ntags: spec.NTags}
+	sp := &aggSpecEx{spec: spec, ntags: spec.NTags, ctx: spec.Opts.Ctx}
 	sp.cache = s.scanCache(spec.Opts)
 	sp.sig = tagsSig(spec.WantTags)
 	if spec.WantTags == nil {
@@ -395,6 +397,9 @@ func (s *Store) aggBatchPart(tree *btree.Tree, source int64, r scanRange, lookba
 			cur = tree.Seek(seekKey)
 		}
 		for cur.Valid() {
+			if err := ctxErr(sp.ctx); err != nil {
+				return err
+			}
 			key := cur.Key()
 			if keyCompare(key, hi) >= 0 {
 				return nil
@@ -513,6 +518,9 @@ func (s *Store) aggMGPart(group int64, r scanRange, onlySource int64, sp *aggSpe
 		}
 		mgFoldable := onlySource == 0 && !sp.spec.ByID
 		for cur.Valid() {
+			if err := ctxErr(sp.ctx); err != nil {
+				return err
+			}
 			key := cur.Key()
 			if keyCompare(key, hi) >= 0 {
 				return nil
@@ -661,6 +669,12 @@ func (s *Store) runAggParts(parts []aggPart, sp *aggSpecEx, workers int) (*AggRe
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				// Workers observe ctx between parts: a canceled query
+				// stops folding instead of racing the pool to completion.
+				if err := ctxErr(sp.ctx); err != nil {
+					errs[i] = err
+					return
+				}
 				errs[i] = p(partials[i])
 			}(i, p)
 		}
@@ -674,6 +688,9 @@ func (s *Store) runAggParts(parts []aggPart, sp *aggSpecEx, workers int) (*AggRe
 		}
 	} else {
 		for i, p := range parts {
+			if err := ctxErr(sp.ctx); err != nil {
+				return nil, err
+			}
 			if err := p(partials[i]); err != nil {
 				return nil, err
 			}

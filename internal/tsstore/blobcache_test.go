@@ -223,7 +223,7 @@ func TestBlobCacheLeafCopySnapshotRace(t *testing.T) {
 
 	// The reader's cursor copies the leaf (and snapshots cache versions)
 	// at Seek, i.e. now — before the overwrite below.
-	stale := f.store.newMGIter(group, f.store.cache, math.MinInt64, math.MaxInt64, 0, nil, nil)
+	stale := f.store.newMGIter(nil, group, f.store.cache, math.MinInt64, math.MaxInt64, 0, nil, nil)
 
 	// Overwrite window 2's record in place: a duplicate-timestamp arrival
 	// for member 0 replaces the stored value and invalidates the key.

@@ -1,6 +1,7 @@
 package tsstore
 
 import (
+	"context"
 	"math"
 
 	"odh/internal/model"
@@ -30,7 +31,27 @@ type ScanOptions struct {
 	// NoCache bypasses the decoded-blob cache for this scan (reads and
 	// inserts); used to cross-check cached results and by verification.
 	NoCache bool
+	// Ctx, when non-nil, cancels the scan: serial iterators observe it
+	// before each blob load, pool workers observe it between drained
+	// points and between parts, and aggregate parts observe it between
+	// records. A canceled scan stops decoding and reports ctx.Err()
+	// through Iterator.Err (or the aggregate call's error).
+	Ctx context.Context
 }
+
+// ctxErr is a nil-safe ctx.Err for the scan paths (nil ctx = no
+// cancellation, the historical behavior).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// ctxCheckInterval is how many drained points a pool worker buffers
+// between cancellation checks; cheap enough to keep aborts prompt without
+// a per-point atomic load.
+const ctxCheckInterval = 256
 
 // maxScanWorkers caps the per-scan fan-out regardless of options.
 const maxScanWorkers = 64
@@ -180,13 +201,16 @@ func (it *partIter) BlobsSkipped() int64 {
 
 // drainParts drains every part on the worker pool and returns one
 // order-preserving partIter per input part.
-func (s *Store) drainParts(parts []Iterator, workers int) []Iterator {
-	return s.drainPartsBounded(parts, workers, maxPartBufferBytes)
+func (s *Store) drainParts(ctx context.Context, parts []Iterator, workers int) []Iterator {
+	return s.drainPartsBounded(ctx, parts, workers, maxPartBufferBytes)
 }
 
 // drainPartsBounded is drainParts with an explicit per-part buffer
-// budget (separated for tests).
-func (s *Store) drainPartsBounded(parts []Iterator, workers int, budget int64) []Iterator {
+// budget (separated for tests). Workers observe ctx before starting
+// their part and every ctxCheckInterval drained points, so an abandoned
+// or timed-out query stops decoding blobs instead of racing the pool to
+// completion.
+func (s *Store) drainPartsBounded(ctx context.Context, parts []Iterator, workers int, budget int64) []Iterator {
 	if workers > len(parts) {
 		workers = len(parts)
 	}
@@ -199,7 +223,13 @@ func (s *Store) drainPartsBounded(parts []Iterator, workers int, budget int64) [
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			var res partResult
+			if err := ctxErr(ctx); err != nil {
+				res.err = err
+				ch <- res
+				return
+			}
 			var buffered int64
+			var sinceCheck int
 			for buffered < budget {
 				pt, ok := p.Next()
 				if !ok {
@@ -207,6 +237,14 @@ func (s *Store) drainPartsBounded(parts []Iterator, workers int, budget int64) [
 				}
 				res.points = append(res.points, pt)
 				buffered += pointBlobBytes(len(pt.Values))
+				if sinceCheck++; sinceCheck >= ctxCheckInterval {
+					sinceCheck = 0
+					if err := ctxErr(ctx); err != nil {
+						res.err = err
+						ch <- res
+						return
+					}
+				}
 			}
 			if buffered >= budget {
 				// Budget hit: hand the live iterator back; the consumer

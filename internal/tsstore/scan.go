@@ -2,6 +2,7 @@ package tsstore
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -211,7 +212,8 @@ type batchIter struct {
 	nextBase  int64 // first timestamp of the batch under the cursor
 	done      bool  // no more batches in range
 	err       error
-	cache     *blobCache // nil = bypass
+	ctx       context.Context // nil = never canceled
+	cache     *blobCache      // nil = bypass
 	treeID    uint8
 	sig       string // cache variant: canonical wantTags signature
 	// vers is the cache version array snapshotted by the cursor's
@@ -240,8 +242,9 @@ func (s *Store) treeID(tree *btree.Tree) uint8 {
 
 // newBatchIter scans tree for source's batches overlapping [t1, t2).
 // lookback widens the scan start so a batch beginning before t1 but
-// spilling into the window is found.
-func (s *Store) newBatchIter(tree *btree.Tree, cache *blobCache, source, t1, t2, lookback int64, wantTags []int, tagRanges []TagRange) *batchIter {
+// spilling into the window is found. A non-nil ctx is observed before
+// every blob load, so canceling it stops the walk mid-scan.
+func (s *Store) newBatchIter(ctx context.Context, tree *btree.Tree, cache *blobCache, source, t1, t2, lookback int64, wantTags []int, tagRanges []TagRange) *batchIter {
 	loTS := t1
 	if lookback > 0 {
 		if loTS > math.MinInt64+lookback+1 {
@@ -258,6 +261,7 @@ func (s *Store) newBatchIter(tree *btree.Tree, cache *blobCache, source, t1, t2,
 		wantTags:  wantTags,
 		tagRanges: tagRanges,
 		hi:        keyenc.SourceTime(source, t2),
+		ctx:       ctx,
 		cache:     cache,
 		treeID:    s.treeID(tree),
 	}
@@ -303,6 +307,11 @@ func (it *batchIter) peek() {
 // (skipped and counted) instead of failing the scan; a broken tree walk
 // still aborts either way, since the cursor cannot advance past it.
 func (it *batchIter) loadOne() {
+	if err := ctxErr(it.ctx); err != nil {
+		it.err = err
+		it.done = true
+		return
+	}
 	baseTS := it.nextBase
 	bk := blobKey{tree: it.treeID, source: it.source, ts: baseTS}
 	if it.cache != nil {
@@ -432,7 +441,8 @@ type mgIter struct {
 	queue         []model.Point
 	qi            int
 	err           error
-	cache         *blobCache // nil = bypass
+	ctx           context.Context // nil = never canceled
+	cache         *blobCache      // nil = bypass
 	sig           string
 	vers          [cacheVerSlots]uint64 // see batchIter.vers
 	BlobBytesRead int64
@@ -455,7 +465,7 @@ func (s *Store) groupWindow(group int64) int64 {
 // newMGIter scans group records whose window overlaps [t1, t2); the scan
 // starts one window early because a record's members may carry offsets up
 // to the window size. Emitted points are filtered to the exact range.
-func (s *Store) newMGIter(group int64, cache *blobCache, t1, t2 int64, onlySource int64, wantTags []int, tagRanges []TagRange) *mgIter {
+func (s *Store) newMGIter(ctx context.Context, group int64, cache *blobCache, t1, t2 int64, onlySource int64, wantTags []int, tagRanges []TagRange) *mgIter {
 	window := s.groupWindow(group)
 	lo := t1
 	if lo > math.MinInt64+window {
@@ -471,6 +481,7 @@ func (s *Store) newMGIter(group int64, cache *blobCache, t1, t2 int64, onlySourc
 		t1:         t1,
 		t2:         t2,
 		hi:         keyenc.SourceTime(group, t2),
+		ctx:        ctx,
 		cache:      cache,
 	}
 	seekKey := keyenc.SourceTime(group, lo)
@@ -494,6 +505,10 @@ func (it *mgIter) Next() (model.Point, bool) {
 			if it.err == nil {
 				it.err = it.cur.Err()
 			}
+			return model.Point{}, false
+		}
+		if err := ctxErr(it.ctx); err != nil {
+			it.err = err
 			return model.Point{}, false
 		}
 		key := it.cur.Key()
@@ -677,11 +692,11 @@ func (s *Store) HistoricalScanOpts(source, t1, t2 int64, wantTags []int, opts Sc
 		if stats.BatchCount > 0 {
 			tree := s.treeFor(ds.HistoricalStructure())
 			for _, r := range ranges {
-				parts = append(parts, s.newBatchIter(tree, cache, source, r.t1, r.t2, stats.MaxSpanMs, wantTags, tagRanges))
+				parts = append(parts, s.newBatchIter(opts.Ctx, tree, cache, source, r.t1, r.t2, stats.MaxSpanMs, wantTags, tagRanges))
 			}
 		}
 		for _, r := range ranges {
-			parts = append(parts, s.newMGIter(ds.Group, cache, r.t1, r.t2, source, wantTags, tagRanges))
+			parts = append(parts, s.newMGIter(opts.Ctx, ds.Group, cache, r.t1, r.t2, source, wantTags, tagRanges))
 		}
 		if buf := s.snapshotGroupBuffer(ds.Group, t1, t2, source); len(buf) > 0 {
 			parts = append(parts, newSliceIter(buf))
@@ -689,14 +704,14 @@ func (s *Store) HistoricalScanOpts(source, t1, t2 int64, wantTags []int, opts Sc
 	} else {
 		tree := s.treeFor(ds.IngestStructure())
 		for _, r := range ranges {
-			parts = append(parts, s.newBatchIter(tree, cache, source, r.t1, r.t2, stats.MaxSpanMs, wantTags, tagRanges))
+			parts = append(parts, s.newBatchIter(opts.Ctx, tree, cache, source, r.t1, r.t2, stats.MaxSpanMs, wantTags, tagRanges))
 		}
 		if buf := s.snapshotSourceBuffer(source, t1, t2); len(buf) > 0 {
 			parts = append(parts, newSliceIter(buf))
 		}
 	}
 	if workers > 1 && len(parts) > 1 {
-		parts = s.drainParts(parts, workers)
+		parts = s.drainParts(opts.Ctx, parts, workers)
 	}
 	if len(parts) == 0 {
 		return emptyIter{}, nil
@@ -737,9 +752,9 @@ func (s *Store) SliceScanOpts(schemaID int64, t1, t2 int64, wantTags []int, opts
 			if stats.BatchCount == 0 {
 				continue
 			}
-			parts = append(parts, s.newBatchIter(s.treeFor(ds.HistoricalStructure()), cache, src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+			parts = append(parts, s.newBatchIter(opts.Ctx, s.treeFor(ds.HistoricalStructure()), cache, src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
 		}
-		parts = append(parts, s.newMGIter(g, cache, t1, t2, 0, wantTags, tagRanges))
+		parts = append(parts, s.newMGIter(opts.Ctx, g, cache, t1, t2, 0, wantTags, tagRanges))
 		if buf := s.snapshotGroupBuffer(g, t1, t2, 0); len(buf) > 0 {
 			parts = append(parts, newSliceIter(buf))
 		}
@@ -754,13 +769,13 @@ func (s *Store) SliceScanOpts(schemaID int64, t1, t2 int64, wantTags []int, opts
 		if stats.PointCount > 0 && (stats.LastTS < t1 || stats.FirstTS >= t2) && s.bufferEmpty(src) {
 			continue // partition elimination: source has no data in range
 		}
-		parts = append(parts, s.newBatchIter(s.treeFor(ds.IngestStructure()), cache, src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
+		parts = append(parts, s.newBatchIter(opts.Ctx, s.treeFor(ds.IngestStructure()), cache, src, t1, t2, stats.MaxSpanMs, wantTags, tagRanges))
 		if buf := s.snapshotSourceBuffer(src, t1, t2); len(buf) > 0 {
 			parts = append(parts, newSliceIter(buf))
 		}
 	}
 	if workers > 1 && len(parts) > 1 {
-		parts = s.drainParts(parts, workers)
+		parts = s.drainParts(opts.Ctx, parts, workers)
 	}
 	if len(parts) == 0 {
 		return emptyIter{}, nil
@@ -782,7 +797,7 @@ func (s *Store) MultiHistoricalScanOpts(sources []int64, t1, t2 int64, wantTags 
 	parts := make([]Iterator, 0, len(sources))
 	for _, src := range sources {
 		// Each part stays serial inside; the fan-out is across sources.
-		it, err := s.HistoricalScanOpts(src, t1, t2, wantTags, ScanOptions{NoCache: opts.NoCache}, tagRanges...)
+		it, err := s.HistoricalScanOpts(src, t1, t2, wantTags, ScanOptions{NoCache: opts.NoCache, Ctx: opts.Ctx}, tagRanges...)
 		if err != nil {
 			// Unknown ids in the IN list simply contribute no rows.
 			continue
@@ -790,7 +805,7 @@ func (s *Store) MultiHistoricalScanOpts(sources []int64, t1, t2 int64, wantTags 
 		parts = append(parts, it)
 	}
 	if workers > 1 && len(parts) > 1 {
-		parts = s.drainParts(parts, workers)
+		parts = s.drainParts(opts.Ctx, parts, workers)
 	}
 	if len(parts) == 0 {
 		return emptyIter{}, nil

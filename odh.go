@@ -26,10 +26,12 @@
 package odh
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"odh/internal/catalog"
 	"odh/internal/compress"
@@ -121,6 +123,11 @@ type Options struct {
 	// same history then skip the pagestore read and the column decode —
 	// the paper's dominant row-assembly overhead. Zero disables caching.
 	BlobCacheBytes int64
+	// QueryTimeout bounds every query submitted without its own context
+	// deadline: planning, scan workers, and row pulls all fail with
+	// context.DeadlineExceeded once it elapses. Zero = unbounded. Queries
+	// run through QueryContext with a deadline keep their own bound.
+	QueryTimeout time.Duration
 	// DisableAggPushdown turns off rewriting COUNT/SUM/AVG/MIN/MAX (and
 	// TIME_BUCKET/id group-bys) over virtual tables into ValueBlob header
 	// summary folds, forcing the decode-and-group plan (ablation and
@@ -231,6 +238,7 @@ func Open(dir string, opts Options) (*Historian, error) {
 	engine := sqlexec.New(rel, ts)
 	engine.SetQueryWorkers(opts.QueryWorkers)
 	engine.SetAggPushdown(!opts.DisableAggPushdown)
+	engine.SetQueryTimeout(opts.QueryTimeout)
 	h := &Historian{
 		dir:     dir,
 		page:    page,
@@ -312,6 +320,14 @@ func (h *Historian) Writer() *Writer { return &Writer{h: h} }
 // CREATE INDEX, CREATE VIRTUAL TABLE, INSERT, EXPLAIN SELECT).
 func (h *Historian) Query(sql string) (*Result, error) {
 	return h.engine.Query(sql)
+}
+
+// QueryContext is Query under a context: canceling ctx (or exceeding its
+// deadline) aborts planning, the parallel scan workers, and subsequent
+// Result.Next calls with the context's error. When ctx carries no deadline
+// and Options.QueryTimeout is set, that timeout applies.
+func (h *Historian) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return h.engine.QueryCtx(ctx, sql)
 }
 
 // Plan returns the optimizer's physical plan for a SELECT.
