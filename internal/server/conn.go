@@ -25,6 +25,13 @@ const maxLineBytes = 1 << 20
 // socket — backpressure via TCP flow control.
 const workQueueDepth = 32
 
+// maxDiscardBytes bounds how many declared-but-rejected payload bytes
+// the server will skip to keep a stream in sync. A BATCH length beyond
+// this is not a client staying in protocol — it is garbage or an attempt
+// to tarpit the reader in a near-endless discard — so it ends the
+// session instead.
+const maxDiscardBytes = 4 * MaxBatchFrameBytes
+
 // errServerClosing ends sessions cut off by a drain.
 var errServerClosing = errors.New("server shutting down")
 
@@ -219,6 +226,9 @@ func (sc *serverConn) readBatch(rest string) (workItem, bool) {
 	if err != nil || n < 0 {
 		return workItem{kind: itemErr, err: fmt.Errorf("bad BATCH length %q", rest)}, false
 	}
+	if n > maxDiscardBytes {
+		return workItem{kind: itemFatal, err: fmt.Errorf("BATCH length %d exceeds any protocol limit (frame cap %d)", n, MaxBatchFrameBytes)}, true
+	}
 	if sc.version < ProtoVersionBinary {
 		if err := sc.discard(n); err != nil {
 			return workItem{kind: itemFatal, err: err}, true
@@ -230,6 +240,15 @@ func (sc *serverConn) readBatch(rest string) (workItem, bool) {
 			return workItem{kind: itemFatal, err: err}, true
 		}
 		return workItem{kind: itemErr, err: fmt.Errorf("frame of %d bytes exceeds the %d-byte cap", n, MaxBatchFrameBytes)}, false
+	}
+	// A frame larger than a budget will *never* be admitted, no matter how
+	// idle the server is; answering "ERR busy" would invite retries that
+	// can't succeed. Tell the client to shrink the frame instead.
+	if n > sc.s.connBudget || n > sc.s.globalBudget {
+		if err := sc.discard(n); err != nil {
+			return workItem{kind: itemFatal, err: err}, true
+		}
+		return workItem{kind: itemErr, err: fmt.Errorf("frame of %d bytes can never fit the %d-byte admission budget; send smaller frames", n, min(sc.s.connBudget, sc.s.globalBudget))}, false
 	}
 	if !sc.s.reserve(sc, n) {
 		sc.s.shed(n)

@@ -88,6 +88,12 @@ func DecodeBatchFrame(payload []byte) ([]odh.Point, error) {
 		return nil, fmt.Errorf("batch frame: crc mismatch (got %08x, want %08x)", got, want)
 	}
 	n := int(binary.LittleEndian.Uint32(payload[4:8]))
+	// npoints is client-controlled and the CRC only proves the frame was
+	// sent as-is, not that it is sane: bound the count by what the payload
+	// could possibly hold before sizing any allocation by it.
+	if maxPoints := (len(payload) - batchHeaderBytes) / pointHeaderBytes; n > maxPoints {
+		return nil, fmt.Errorf("batch frame: %d points cannot fit in %d payload bytes", n, len(payload))
+	}
 	points := make([]odh.Point, 0, n)
 	off := batchHeaderBytes
 	for i := 0; i < n; i++ {

@@ -69,12 +69,53 @@ func TestBatchFrameRejectsCorruption(t *testing.T) {
 			binary.LittleEndian.PutUint32(q[4:8], 99)
 			binary.LittleEndian.PutUint32(q[0:4], crc32.Checksum(q[4:], castagnoli))
 			return q
+		}, "cannot fit"},
+		{"count truncated mid-values", func(p []byte) []byte {
+			// Two declared points where the payload holds one wide point:
+			// the count passes the fit bound but the decode runs out.
+			q := mustEncode(t, []odh.Point{{Source: 1, TS: 1, Values: []float64{1, 2, 3}}})
+			binary.LittleEndian.PutUint32(q[4:8], 2)
+			binary.LittleEndian.PutUint32(q[0:4], crc32.Checksum(q[4:], castagnoli))
+			return q
 		}, "truncated at point"},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeBatchFrame(tc.mutate(payload)); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// TestBatchFrameHugeCountRejected: a valid-CRC 8-byte frame declaring
+// 2^32-1 points must fail the fit check before any allocation is sized
+// from the attacker-controlled count (a ~170 GB make() would OOM the
+// server).
+func TestBatchFrameHugeCountRejected(t *testing.T) {
+	frame := make([]byte, batchHeaderBytes)
+	binary.LittleEndian.PutUint32(frame[4:8], math.MaxUint32)
+	binary.LittleEndian.PutUint32(frame[0:4], crc32.Checksum(frame[4:], castagnoli))
+	if _, err := DecodeBatchFrame(frame); err == nil || !strings.Contains(err.Error(), "cannot fit") {
+		t.Fatalf("err = %v, want cannot-fit rejection", err)
+	}
+}
+
+// TestBatchAbsurdLengthClosesConn: a declared payload length no
+// protocol-legal frame could have is a fatal protocol error; the server
+// must close the session rather than block discarding exabytes to keep
+// the stream in sync.
+func TestBatchAbsurdLengthClosesConn(t *testing.T) {
+	addr := startServer(t)
+	c := dial(t, addr)
+	c.send(t, "HELLO 2")
+	if got := c.read(t); got != "HELLO 2" {
+		t.Fatalf("HELLO -> %q", got)
+	}
+	c.send(t, "BATCH 9223372036854775807")
+	if got := c.read(t); !strings.HasPrefix(got, "ERR connection:") {
+		t.Fatalf("absurd BATCH length -> %q, want ERR connection", got)
+	}
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection stayed open after absurd BATCH length")
 	}
 }
 

@@ -71,9 +71,14 @@ type Options struct {
 	// MaxInflightBytes budgets BATCH payload bytes admitted but not yet
 	// applied, across all connections (default DefaultMaxInflightBytes).
 	// Frames that would exceed it are discarded and answered "ERR busy".
+	// A frame larger than the budget itself could never be admitted even
+	// on an idle server, so it gets a deterministic too-large ERR instead
+	// of the retryable-looking busy reply.
 	MaxInflightBytes int64
 	// ConnInflightBytes is the per-connection share of the admission
 	// budget (default MaxInflightBytes/4, floored at one max-size frame).
+	// Like MaxInflightBytes, frames that can never fit it are answered
+	// with a deterministic too-large ERR, not "ERR busy".
 	ConnInflightBytes int64
 	// OnError, when non-nil, is invoked with every connection-level
 	// failure the protocol loop hits: read failures (oversized lines,

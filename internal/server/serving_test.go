@@ -203,9 +203,11 @@ func TestTornReadReportedAsERR(t *testing.T) {
 	}
 }
 
-// TestAdmissionShedsAndRecovers: a frame over the byte budget is answered
-// "ERR busy" in order, its bytes are never held, and the connection keeps
-// working — smaller frames are admitted afterwards.
+// TestAdmissionShedsAndRecovers: a frame that can never fit the byte
+// budget gets a deterministic too-large ERR (retrying it is pointless);
+// a frame that only fails because the budget is currently held gets
+// "ERR busy" and is counted as shed; in both cases the bytes are never
+// held and the connection keeps working.
 func TestAdmissionShedsAndRecovers(t *testing.T) {
 	addr, srv, _ := startServerWith(t, 1, Options{MaxInflightBytes: 64, ConnInflightBytes: 64})
 	c := dial(t, addr)
@@ -213,25 +215,43 @@ func TestAdmissionShedsAndRecovers(t *testing.T) {
 	if got := c.read(t); got != "HELLO 2" {
 		t.Fatalf("HELLO -> %q", got)
 	}
-	// A 100-byte frame cannot fit the 64-byte budget: shed. The payload
-	// is garbage on purpose — admission rejects before decoding.
+	// A 100-byte frame can never fit the 64-byte budget: deterministic
+	// rejection, not the retryable-looking busy. The payload is garbage
+	// on purpose — admission rejects before decoding.
 	junk := make([]byte, 100)
 	if _, err := c.conn.Write(append([]byte("BATCH 100\n"), junk...)); err != nil {
 		t.Fatal(err)
 	}
-	if got := c.read(t); got != "ERR busy" {
-		t.Fatalf("oversized frame -> %q, want ERR busy", got)
+	if got := c.read(t); !strings.Contains(got, "never fit") {
+		t.Fatalf("never-fitting frame -> %q, want a deterministic too-large ERR", got)
 	}
-	// A one-point frame (34 bytes) fits: admitted and applied.
-	if err := WriteBatchFrame(c.conn, []odh.Point{{Source: 1, TS: 1000, Values: []float64{1, 2}}}); err != nil {
+	if shed := srv.Stats().BatchesShed; shed != 0 {
+		t.Fatalf("BatchesShed = %d after a never-fitting frame, want 0", shed)
+	}
+	// Occupy most of the global budget so a one-point frame (42 bytes)
+	// that *could* fit is transiently rejected: that is a shed.
+	holder := &serverConn{}
+	if !srv.reserve(holder, 40) {
+		t.Fatal("could not stage the budget holder")
+	}
+	onePoint := []odh.Point{{Source: 1, TS: 1000, Values: []float64{1, 2}}}
+	if err := WriteBatchFrame(c.conn, onePoint); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.read(t); got != "ERR busy" {
+		t.Fatalf("frame under held budget -> %q, want ERR busy", got)
+	}
+	// Budget released: the same frame is admitted and applied.
+	srv.release(holder, 40)
+	if err := WriteBatchFrame(c.conn, onePoint); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.read(t); got != "OK 1" {
-		t.Fatalf("small frame after shed -> %q", got)
+		t.Fatalf("same frame after release -> %q", got)
 	}
 	st := srv.Stats()
-	if st.BatchesShed != 1 || st.ShedBytes != 100 {
-		t.Fatalf("shed counters = %d frames / %d bytes, want 1 / 100", st.BatchesShed, st.ShedBytes)
+	if st.BatchesShed != 1 || st.ShedBytes != 42 {
+		t.Fatalf("shed counters = %d frames / %d bytes, want 1 / 42", st.BatchesShed, st.ShedBytes)
 	}
 	if st.QueuedBytes != 0 {
 		t.Fatalf("QueuedBytes = %d after all frames applied, want 0", st.QueuedBytes)
