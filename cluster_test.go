@@ -1,0 +1,200 @@
+package odh
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func openTestCluster(t *testing.T, nodes, replicas, quorum int) *Cluster {
+	t.Helper()
+	c, err := OpenCluster(ClusterOptions{
+		Nodes:          nodes,
+		Replicas:       replicas,
+		WriteQuorum:    quorum,
+		ReplicaTimeout: -1, // deterministic tests: no timeout goroutines
+		RetryAttempts:  3,
+		RetryBaseDelay: time.Microsecond,
+		RetryMaxDelay:  10 * time.Microsecond,
+		Seed:           1,
+		BatchSize:      8,
+		GroupSize:      4,
+		PoolPages:      16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func seedTestCluster(t *testing.T, c *Cluster, nSources, pointsPer int) {
+	t.Helper()
+	if err := c.CreateSchema(SchemaType{
+		Name: "env",
+		Tags: []TagDef{{Name: "temp"}, {Name: "wind"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateVirtualTable("env_v", "env"); err != nil {
+		t.Fatal(err)
+	}
+	schema, ok := c.Schema("env")
+	if !ok {
+		t.Fatal("schema not found after CreateSchema")
+	}
+	for i := 1; i <= nSources; i++ {
+		if err := c.RegisterSource(DataSource{
+			ID: int64(i), SchemaID: schema.ID, Regular: true, IntervalMs: 100,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= nSources; i++ {
+		for j := 0; j < pointsPer; j++ {
+			p := Point{Source: int64(i), TS: int64(1000 + j*100), Values: []float64{float64(j), float64(i)}}
+			if err := c.Write(p); err != nil {
+				t.Fatalf("write source %d point %d: %v", i, j, err)
+			}
+		}
+	}
+}
+
+// TestPublicClusterEndToEnd drives the exported cluster API through a
+// full failover cycle: write replicated data, kill a node, query
+// through the survivors, recover, catch up, verify.
+func TestPublicClusterEndToEnd(t *testing.T) {
+	c := openTestCluster(t, 3, 2, 1)
+	seedTestCluster(t, c, 9, 8)
+
+	if got, want := c.Nodes(), 3; got != want {
+		t.Fatalf("Nodes() = %d, want %d", got, want)
+	}
+	if got, want := c.Replicas(), 2; got != want {
+		t.Fatalf("Replicas() = %d, want %d", got, want)
+	}
+
+	const q = `SELECT id, COUNT(*), SUM(temp) FROM env_v GROUP BY id`
+	healthy, err := c.Query(q)
+	if err != nil {
+		t.Fatalf("healthy query: %v", err)
+	}
+	if len(healthy.Rows) != 9 {
+		t.Fatalf("healthy query rows = %d, want 9", len(healthy.Rows))
+	}
+
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	degradedWritesOK := 0
+	for i := 1; i <= 9; i++ {
+		err := c.Write(Point{Source: int64(i), TS: 9000, Values: []float64{1, float64(i)}})
+		if err != nil {
+			t.Fatalf("write during outage (quorum 1 should survive one node): %v", err)
+		}
+		degradedWritesOK++
+	}
+	outage, err := c.Query(q)
+	if err != nil {
+		t.Fatalf("query during single-node outage with R=2: %v", err)
+	}
+	if len(outage.Rows) != 9 {
+		t.Fatalf("outage query rows = %d, want 9", len(outage.Rows))
+	}
+	if c.Stats().Failovers == 0 {
+		t.Fatal("expected failovers during outage")
+	}
+
+	if err := c.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CatchUp(1); err != nil {
+		t.Fatalf("catch up: %v", err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := c.VerifyCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("cluster integrity: storage=%v divergent=%v", rep.StorageProblems, rep.DivergentShards)
+	}
+	if rep.CopiesChecked != 6 {
+		t.Fatalf("copies checked = %d, want 6", rep.CopiesChecked)
+	}
+	if len(rep.SkippedCopies) != 0 {
+		t.Fatalf("copies still stale after catch-up: %v", rep.SkippedCopies)
+	}
+
+	after, err := c.Query(`SELECT COUNT(*) FROM env_v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(9*8 + degradedWritesOK)
+	if got := after.Rows[0][0].AsInt(); got != want {
+		t.Fatalf("total rows after recovery = %d, want %d", got, want)
+	}
+
+	for _, ns := range c.Status() {
+		if ns.Down || ns.Stalled {
+			t.Fatalf("node %d still down/stalled after recovery", ns.Node)
+		}
+	}
+}
+
+// TestPublicClusterPartialResult checks that with R=1 a dead node's
+// shard degrades explicitly through the exported error alias.
+func TestPublicClusterPartialResult(t *testing.T) {
+	c := openTestCluster(t, 3, 1, 1)
+	seedTestCluster(t, c, 9, 4)
+
+	if err := c.KillNode(2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(`SELECT * FROM env_v`)
+	if err == nil {
+		t.Fatal("expected partial result error with R=1 and a dead node")
+	}
+	var pe *PartialResultError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a *PartialResultError: %v", err)
+	}
+	if len(pe.Shards) == 0 {
+		t.Fatalf("partial error names no shards: %v", err)
+	}
+	if !RetryableClusterError(err) {
+		t.Fatal("partial result should be retryable (restart may fix it)")
+	}
+	if res == nil || len(res.Unavailable) != len(pe.Shards) {
+		t.Fatalf("result Unavailable should mirror error shards: %+v vs %+v", res, pe)
+	}
+	// Parse errors must NOT be retryable.
+	if _, err := c.Query(`SELEC nonsense`); err == nil || RetryableClusterError(err) {
+		t.Fatalf("parse error should be non-retryable, got %v", err)
+	}
+}
+
+// TestPublicClusterExec checks relational DDL/DML replication through
+// the wrapper.
+func TestPublicClusterExec(t *testing.T) {
+	c := openTestCluster(t, 2, 2, 2)
+	if err := c.Exec(`CREATE TABLE fleet (vid INT, miles INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec(`INSERT INTO fleet VALUES (1, 120)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Exec(`INSERT INTO fleet VALUES (2, 80)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(`SELECT SUM(miles) FROM fleet`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].AsInt(); got != 200 {
+		t.Fatalf("SUM(miles) = %d, want 200", got)
+	}
+}

@@ -3,6 +3,8 @@
 //
 //	odh-cli -dir DIR          interactive shell over a local directory
 //	odh-cli -connect ADDR     interactive shell over a remote odh-server
+//	odh-cli -cluster N        interactive shell over an in-process
+//	                          replicated cluster (-replicas, -quorum)
 //	odh-cli -dir DIR fsck     offline integrity check; exit 1 when damaged
 //
 // Besides SQL, the local shell accepts dot commands:
@@ -16,7 +18,14 @@
 //
 // The remote shell maps .stats to the server's STATS command (serving
 // layer counters), .flush to FLUSH, .ping to PING, and sends everything
-// else as SQL.
+// else as SQL; when the server sheds load with "ERR busy" the statement
+// is resent up to -retries times with jittered exponential backoff.
+//
+// The cluster shell adds failover-drill commands: .cluster (topology
+// and staleness), .kill/.restart/.stall/.heal for fault injection, and
+// .catchup to replay hinted handoff. Degraded SELECTs print their
+// surviving rows followed by an explicit PARTIAL RESULT line naming
+// the unavailable shards.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"os"
 	"strconv"
@@ -31,18 +41,27 @@ import (
 	"time"
 
 	"odh"
+	"odh/internal/retry"
 )
 
 func main() {
 	dir := flag.String("dir", "", "historian directory (empty = in-memory scratch)")
 	connect := flag.String("connect", "", "odh-server address; when set, the shell runs remotely over the wire protocol")
+	retries := flag.Int("retries", 3, "with -connect: bounded resend attempts when the server sheds load (ERR busy)")
+	clusterNodes := flag.Int("cluster", 0, "run an in-process replicated cluster shell with this many nodes")
+	clusterReplicas := flag.Int("replicas", 2, "with -cluster: copies per shard")
+	clusterQuorum := flag.Int("quorum", 0, "with -cluster: write acks required (0 = majority of replicas)")
 	lenient := flag.Bool("recover", false, "lenient recovery: scans skip corrupt blobs instead of failing")
 	queryWorkers := flag.Int("query-workers", 0, "parallel degree cap for virtual-table scans (0 = serial)")
 	blobCache := flag.Int64("blob-cache", 0, "decoded-ValueBlob cache budget in bytes (0 = off)")
 	flag.Parse()
 
 	if *connect != "" {
-		remoteShell(*connect)
+		remoteShell(*connect, *retries)
+		return
+	}
+	if *clusterNodes > 0 {
+		clusterShell(*clusterNodes, *clusterReplicas, *clusterQuorum)
 		return
 	}
 
@@ -221,14 +240,20 @@ func runSQL(h *odh.Historian, sql string) {
 	fmt.Printf("(%d rows, %v, %d blob bytes read)\n", n, time.Since(start).Round(time.Microsecond), res.BlobBytes())
 }
 
-// remoteShell speaks the wire protocol to a running odh-server.
-func remoteShell(addr string) {
+// remoteShell speaks the wire protocol to a running odh-server. When
+// the server sheds load ("ERR busy"), SQL statements are resent up to
+// maxRetries times with jittered exponential backoff instead of being
+// dumped on the operator; the retry count shows up in .stats.
+func remoteShell(addr string, maxRetries int) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer conn.Close()
 	r := bufio.NewReader(conn)
+	policy := retry.Policy{MaxAttempts: maxRetries + 1, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var clientRetries int64
 	reply := func() (string, bool) {
 		line, err := r.ReadString('\n')
 		if err != nil {
@@ -274,6 +299,7 @@ func remoteShell(addr string) {
 				}
 				fmt.Println(l)
 			}
+			fmt.Printf("client_busy_retries %d\n", clientRetries)
 		case line == ".flush":
 			fmt.Fprintln(conn, "FLUSH")
 			if l, ok := reply(); ok {
@@ -292,21 +318,44 @@ func remoteShell(addr string) {
 			fmt.Println("unknown command; try .help")
 		default:
 			start := time.Now()
-			fmt.Fprintln(conn, "SQL "+line)
-			for {
+			for attempt := 0; ; attempt++ {
+				fmt.Fprintln(conn, "SQL "+line)
 				l, ok := reply()
 				if !ok {
 					return
 				}
-				if strings.HasPrefix(l, "ERR") {
+				// Admission-control shedding is transient by definition:
+				// back off (jittered, bounded) and resend rather than
+				// surfacing it, up to the -retries budget.
+				if strings.HasPrefix(l, "ERR busy") && attempt < maxRetries {
+					clientRetries++
+					time.Sleep(policy.Delay(attempt, rng))
+					continue
+				}
+				done := false
+				for {
+					if strings.HasPrefix(l, "ERR") {
+						if attempt > 0 && strings.HasPrefix(l, "ERR busy") {
+							fmt.Printf("%s (after %d retries)\n", l, attempt)
+						} else {
+							fmt.Println(l)
+						}
+						done = true
+						break
+					}
+					if strings.HasPrefix(l, "OK") {
+						fmt.Printf("(%s rows, %v)\n", strings.TrimPrefix(l, "OK "), time.Since(start).Round(time.Microsecond))
+						done = true
+						break
+					}
 					fmt.Println(l)
+					if l, ok = reply(); !ok {
+						return
+					}
+				}
+				if done {
 					break
 				}
-				if strings.HasPrefix(l, "OK") {
-					fmt.Printf("(%s rows, %v)\n", strings.TrimPrefix(l, "OK "), time.Since(start).Round(time.Microsecond))
-					break
-				}
-				fmt.Println(l)
 			}
 		}
 	}

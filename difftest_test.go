@@ -402,3 +402,166 @@ func mustQuery(t *testing.T, h *Historian, sql string) {
 		t.Fatalf("%s: %v", sql, err)
 	}
 }
+
+// TestDifferentialClusterVsSingleNode drives the same deterministic
+// workload into a single-node historian and a replicated cluster (3
+// nodes, R=2, quorum 1) while a node is killed, restarted, and caught
+// up mid-stream. Replication, hinted handoff, failover, and the
+// aggregate gather are all pure routing — so after sorting, every query
+// must return byte-identical normalized rows on both sides. Values are
+// integer-valued floats so cross-shard SUM re-folding stays exact.
+func TestDifferentialClusterVsSingleNode(t *testing.T) {
+	single, err := Open("", Options{BatchSize: 16, GroupSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	c, err := OpenCluster(ClusterOptions{
+		Nodes:          3,
+		Replicas:       2,
+		WriteQuorum:    1,
+		ReplicaTimeout: -1, // deterministic: no timeout goroutines
+		Seed:           3,
+		BatchSize:      16,
+		GroupSize:      4,
+		PoolPages:      32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	schema, err := single.CreateSchema(SchemaType{
+		Name: "env", IDName: "id", TSName: "ts",
+		Tags: []TagDef{{Name: "a"}, {Name: "b"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := single.CreateVirtualTable("D", "env"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSchema(SchemaType{
+		Name: "env", IDName: "id", TSName: "ts",
+		Tags: []TagDef{{Name: "a"}, {Name: "b"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateVirtualTable("D", "env"); err != nil {
+		t.Fatal(err)
+	}
+	cSchema, ok := c.Schema("env")
+	if !ok {
+		t.Fatal("cluster schema missing")
+	}
+	const nSources = 10
+	for i := 1; i <= nSources; i++ {
+		if _, err := single.RegisterSource(DataSource{
+			ID: int64(i), SchemaID: schema.ID, Regular: true, IntervalMs: 10,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.RegisterSource(DataSource{
+			ID: int64(i), SchemaID: cSchema.ID, Regular: true, IntervalMs: 10,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(20260808))
+	var ts int64 = 1000
+	writeBoth := func(rounds int) {
+		t.Helper()
+		for r := 0; r < rounds; r++ {
+			for src := int64(1); src <= nSources; src++ {
+				a, b := float64(rng.Intn(16)), float64(rng.Intn(64))
+				if err := single.Writer().WritePoint(src, ts, a, b); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Write(Point{Source: src, TS: ts, Values: []float64{a, b}}); err != nil {
+					t.Fatalf("cluster write (quorum 1 must survive one dead node): %v", err)
+				}
+			}
+			ts += 10
+		}
+	}
+
+	// clusterFetch mirrors diffFetch's normalization for the gathered
+	// cluster result; both sides sort, so scatter order cannot matter.
+	clusterFetch := func(sql string) []string {
+		t.Helper()
+		res, err := c.Query(sql)
+		if err != nil {
+			t.Fatalf("cluster %s: %v", sql, err)
+		}
+		norm := make([]string, 0, len(res.Rows))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = diffNorm(v)
+			}
+			norm = append(norm, strings.Join(cells, "|"))
+		}
+		sort.Strings(norm)
+		return norm
+	}
+	templates := func() []string {
+		hi := ts
+		lo := ts - 300
+		return []string{
+			fmt.Sprintf(`SELECT id, ts, a, b FROM D WHERE id = %d`, rng.Int63n(nSources)+1),
+			fmt.Sprintf(`SELECT id, ts, a, b FROM D WHERE ts BETWEEN %d AND %d`, lo, hi),
+			`SELECT id, COUNT(*), SUM(a), MIN(b), MAX(b) FROM D GROUP BY id`,
+			`SELECT COUNT(*) FROM D`,
+		}
+	}
+	compare := func(stage string) {
+		t.Helper()
+		for _, q := range templates() {
+			_, want := diffFetch(t, single, q)
+			got := clusterFetch(q)
+			if strings.Join(want, "\n") != strings.Join(got, "\n") {
+				t.Fatalf("%s: %s\nsingle (%d rows) != cluster (%d rows)", stage, q, len(want), len(got))
+			}
+		}
+	}
+
+	writeBoth(30)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	compare("healthy")
+
+	// Kill a node mid-workload: quorum-1 writes keep landing, the dead
+	// node's copies accumulate hints, reads fail over to the survivors.
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	writeBoth(30)
+	compare("degraded (node 1 down)")
+
+	// Recover and catch up, then write more: replayed hints and fresh
+	// writes must interleave into the exact same answer set.
+	if err := c.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CatchUp(1); err != nil {
+		t.Fatal(err)
+	}
+	writeBoth(20)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	compare("recovered")
+
+	if st := c.Stats(); st.Failovers == 0 || st.HintsReplayed == 0 {
+		t.Fatalf("drill exercised no failover/handoff machinery: %+v", st)
+	}
+	rep, err := c.VerifyCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || len(rep.SkippedCopies) != 0 {
+		t.Fatalf("cluster not clean after drill: %+v", rep)
+	}
+}

@@ -1,0 +1,418 @@
+// Scatter-query failover and the cross-shard aggregate gather. A query
+// scatters per shard (not per node): each shard is answered by its first
+// readable, caught-up copy, retrying the remaining copies with bounded
+// jittered exponential backoff on retryable errors. A shard with zero
+// live fresh copies degrades the query to an explicit partial result; a
+// non-retryable error (parse error, unknown table) fails the query
+// outright, since every replica would reject it identically.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"odh/internal/relational"
+	"odh/internal/sqlexec"
+	"odh/internal/sqlparse"
+)
+
+// QueryResult gathers rows from a scattered query.
+type QueryResult struct {
+	Columns    []string
+	Rows       []sqlexec.Row
+	DataPoints int64
+	BlobBytes  int64
+	// Unavailable lists shards that contributed nothing, ascending; set
+	// exactly when Query also returned a *sqlexec.PartialResultError.
+	Unavailable []int
+}
+
+// copyResult is one copy's answer to a shard sub-query.
+type copyResult struct {
+	cols []string
+	rows []sqlexec.Row
+	dp   int64
+	bb   int64
+}
+
+// Query scatters a SELECT across the shards and gathers the results.
+// Plain selections and joins concatenate; COUNT/SUM/MIN/MAX aggregates
+// (optionally grouped by plain columns or TIME_BUCKET) are re-folded at
+// the coordinator from the per-shard partials, composing with the
+// storage-level aggregate pushdown. AVG does not decompose into
+// per-shard partials and is rejected with a clear error.
+//
+// On node failure the shard fails over to another replica; a shard with
+// no live fresh replica is dropped from the answer and reported in a
+// *sqlexec.PartialResultError alongside the rows that ARE complete —
+// degraded, never silently short. Queries over purely relational tables
+// (replicated everywhere) are answered by a single shard.
+func (c *Cluster) Query(sql string) (*QueryResult, error) {
+	c.stats.queries.Add(1)
+	plan, err := c.classifyScatter(sql)
+	if err != nil {
+		return nil, err
+	}
+	targets := make([]int, 0, len(c.shards))
+	if plan != nil && plan.relationalOnly {
+		// Replicated data: any one shard answers; scattering would count
+		// every row once per shard.
+		targets = append(targets, 0)
+	} else {
+		for s := range c.shards {
+			targets = append(targets, s)
+		}
+	}
+	out := &QueryResult{}
+	var acc *aggAccum
+	if plan != nil && plan.agg != nil {
+		acc = newAggAccum(plan.agg)
+		c.stats.aggGathers.Add(1)
+	}
+	var unavailable []int
+	var shardErrs []error
+	for _, s := range targets {
+		res, err := c.queryShard(s, sql)
+		if err != nil {
+			if !Retryable(err) {
+				return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+			}
+			unavailable = append(unavailable, s)
+			shardErrs = append(shardErrs, err)
+			continue
+		}
+		if out.Columns == nil {
+			out.Columns = res.cols
+		}
+		out.DataPoints += res.dp
+		out.BlobBytes += res.bb
+		if acc != nil {
+			if err := acc.fold(res.rows); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		out.Rows = append(out.Rows, res.rows...)
+	}
+	if acc != nil {
+		out.Rows = acc.result()
+	}
+	if len(unavailable) > 0 {
+		sort.Ints(unavailable)
+		out.Unavailable = unavailable
+		c.stats.partialQueries.Add(1)
+		return out, &sqlexec.PartialResultError{Shards: unavailable, Errs: shardErrs}
+	}
+	return out, nil
+}
+
+// queryShard answers one shard's sub-query from its first readable copy,
+// cycling the copies with jittered backoff between rounds. It returns a
+// retryable error only after exhausting every copy in every round.
+func (c *Cluster) queryShard(s int, sql string) (*copyResult, error) {
+	copies := c.shards[s]
+	attempts := c.opts.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for round := 0; round < attempts; round++ {
+		if round > 0 {
+			c.rngMu.Lock()
+			d := c.opts.Retry.Delay(round, c.rng)
+			c.rngMu.Unlock()
+			c.stats.backoffs.Add(1)
+			if d > 0 {
+				sleep(d)
+			}
+		}
+		for k, cp := range copies {
+			if rerr := c.readable(cp); rerr != nil {
+				lastErr = &NodeError{Node: cp.host, Err: rerr}
+				continue
+			}
+			res, err := c.execOnCopy(cp, sql)
+			if err == nil {
+				if k > 0 || round > 0 {
+					c.stats.failovers.Add(1)
+				}
+				return res, nil
+			}
+			if !Retryable(err) {
+				return nil, err
+			}
+			lastErr = &NodeError{Node: cp.host, Err: err}
+		}
+	}
+	if lastErr == nil {
+		lastErr = &NodeError{Node: copies[0].host, Err: ErrNodeDown}
+	}
+	return nil, lastErr
+}
+
+// sleep is swappable in tests.
+var sleep = time.Sleep
+
+// execOnCopy runs the sub-query on one copy under the stall gate and the
+// per-replica timeout. Results cross the timeout boundary through a
+// channel, so an abandoned slow query can never race its caller.
+func (c *Cluster) execOnCopy(cp *shardCopy, sql string) (*copyResult, error) {
+	ns := c.nodes[cp.host]
+	n := cp.n.Load()
+	if n == nil {
+		return nil, ErrNodeDown
+	}
+	run := func() (*copyResult, error) {
+		c.stallGate(ns)
+		res, err := n.Engine.Query(sql)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := res.FetchAll()
+		if err != nil {
+			return nil, err
+		}
+		return &copyResult{cols: res.Columns, rows: rows, dp: res.DataPoints, bb: res.BlobBytes()}, nil
+	}
+	if c.opts.ReplicaTimeout <= 0 {
+		return run()
+	}
+	type outcome struct {
+		r   *copyResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		r, err := run()
+		done <- outcome{r, err}
+	}()
+	t := time.NewTimer(c.opts.ReplicaTimeout)
+	defer t.Stop()
+	select {
+	case o := <-done:
+		return o.r, o.err
+	case <-t.C:
+		return nil, ErrReplicaTimeout
+	}
+}
+
+// --- aggregate gather ---
+
+type aggKind int
+
+const (
+	aggKey aggKind = iota // group key column
+	aggCount
+	aggSum
+	aggMin
+	aggMax
+)
+
+// aggPlan describes how to re-fold per-shard rows at the coordinator.
+type aggPlan struct {
+	kinds  []aggKind
+	keyIdx []int
+}
+
+// scatterPlan classifies a scatter query: nil means plain concatenation.
+type scatterPlan struct {
+	agg            *aggPlan
+	relationalOnly bool
+}
+
+// classifyScatter decides how a SELECT composes across shards. Parse
+// failures return a nil plan — the engines surface the identical error.
+func (c *Cluster) classifyScatter(sql string) (*scatterPlan, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, nil
+	}
+	sel, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok || sel.Explain {
+		return nil, nil
+	}
+	relOnly := true
+	for _, tr := range sel.From {
+		if c.isVirtualTable(tr.Name) {
+			relOnly = false
+			break
+		}
+	}
+	hasAgg := false
+	for _, item := range sel.Items {
+		if fe, ok := item.Expr.(*sqlparse.FuncExpr); ok && fe.IsAggregate() {
+			hasAgg = true
+			break
+		}
+	}
+	if !hasAgg {
+		if relOnly {
+			return &scatterPlan{relationalOnly: true}, nil
+		}
+		return nil, nil
+	}
+	if relOnly {
+		// Aggregates over replicated tables: one shard has the full
+		// answer; no re-fold needed.
+		return &scatterPlan{relationalOnly: true}, nil
+	}
+	if sel.Having != nil || len(sel.OrderBy) > 0 || sel.Limit >= 0 {
+		return nil, fmt.Errorf("cluster: HAVING/ORDER BY/LIMIT do not compose across shards; apply them client-side")
+	}
+	groupKeys := make(map[string]bool, len(sel.GroupBy))
+	for _, g := range sel.GroupBy {
+		groupKeys[g.String()] = true
+	}
+	plan := &aggPlan{kinds: make([]aggKind, len(sel.Items))}
+	for i, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("cluster: SELECT * does not mix with aggregates across shards")
+		}
+		if fe, ok := item.Expr.(*sqlparse.FuncExpr); ok && fe.IsAggregate() {
+			switch fe.Name {
+			case "COUNT":
+				plan.kinds[i] = aggCount
+			case "SUM":
+				plan.kinds[i] = aggSum
+			case "MIN":
+				plan.kinds[i] = aggMin
+			case "MAX":
+				plan.kinds[i] = aggMax
+			default: // AVG
+				return nil, fmt.Errorf("cluster: AVG does not compose across shards; gather SUM and COUNT and divide client-side")
+			}
+			continue
+		}
+		if !groupKeys[item.Expr.String()] {
+			return nil, fmt.Errorf("cluster: select item %q is neither an aggregate nor a GROUP BY key", item.Expr)
+		}
+		plan.kinds[i] = aggKey
+		plan.keyIdx = append(plan.keyIdx, i)
+	}
+	return &scatterPlan{agg: plan}, nil
+}
+
+// isVirtualTable checks the name against any live copy's catalog.
+func (c *Cluster) isVirtualTable(name string) bool {
+	found := false
+	c.forEachCopy(func(cp *shardCopy) error {
+		if found {
+			return nil
+		}
+		if n := cp.n.Load(); n != nil {
+			if _, ok := n.Cat.VirtualTable(name); ok {
+				found = true
+			}
+		}
+		return nil
+	})
+	return found
+}
+
+// aggAccum merges per-shard partial aggregate rows by group key.
+type aggAccum struct {
+	plan   *aggPlan
+	groups map[string]*aggGroup
+}
+
+type aggGroup struct {
+	keys  []relational.Value // the full row's key cells (for ordering)
+	cells []relational.Value
+}
+
+func newAggAccum(plan *aggPlan) *aggAccum {
+	return &aggAccum{plan: plan, groups: map[string]*aggGroup{}}
+}
+
+func (a *aggAccum) fold(rows []sqlexec.Row) error {
+	for _, row := range rows {
+		if len(row) != len(a.plan.kinds) {
+			return fmt.Errorf("cluster: aggregate gather: shard row has %d columns, plan has %d", len(row), len(a.plan.kinds))
+		}
+		var kb strings.Builder
+		for _, i := range a.plan.keyIdx {
+			kb.WriteString(row[i].String())
+			kb.WriteByte('\x00')
+		}
+		key := kb.String()
+		g, ok := a.groups[key]
+		if !ok {
+			g = &aggGroup{cells: make([]relational.Value, len(row))}
+			copy(g.cells, row)
+			for _, i := range a.plan.keyIdx {
+				g.keys = append(g.keys, row[i])
+			}
+			a.groups[key] = g
+			continue
+		}
+		for i, kind := range a.plan.kinds {
+			g.cells[i] = mergeCell(kind, g.cells[i], row[i])
+		}
+	}
+	return nil
+}
+
+// mergeCell folds one shard's partial aggregate cell into the running
+// one. NULL partials (an aggregate over an empty shard subset) are
+// skipped; COUNT partials sum, SUM partials add kind-aware, MIN/MAX
+// compare with the relational ordering.
+func mergeCell(kind aggKind, acc, next relational.Value) relational.Value {
+	switch kind {
+	case aggKey:
+		return acc
+	case aggCount:
+		return relational.Int(acc.AsInt() + next.AsInt())
+	case aggSum:
+		if next.IsNull() {
+			return acc
+		}
+		if acc.IsNull() {
+			return next
+		}
+		if acc.Kind == relational.KindFloat || next.Kind == relational.KindFloat {
+			return relational.Float(acc.AsFloat() + next.AsFloat())
+		}
+		return relational.Int(acc.AsInt() + next.AsInt())
+	case aggMin:
+		if next.IsNull() {
+			return acc
+		}
+		if acc.IsNull() || relational.Compare(next, acc) < 0 {
+			return next
+		}
+		return acc
+	default: // aggMax
+		if next.IsNull() {
+			return acc
+		}
+		if acc.IsNull() || relational.Compare(next, acc) > 0 {
+			return next
+		}
+		return acc
+	}
+}
+
+// result emits the merged rows ordered by group key (deterministic across
+// shard arrival order).
+func (a *aggAccum) result() []sqlexec.Row {
+	groups := make([]*aggGroup, 0, len(a.groups))
+	for _, g := range a.groups {
+		groups = append(groups, g)
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		gi, gj := groups[i], groups[j]
+		for k := range gi.keys {
+			if cmp := relational.Compare(gi.keys[k], gj.keys[k]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	out := make([]sqlexec.Row, len(groups))
+	for i, g := range groups {
+		out[i] = g.cells
+	}
+	return out
+}

@@ -3,11 +3,15 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
+	"time"
 
 	"odh/internal/fault"
 	"odh/internal/model"
 	"odh/internal/pagestore"
+	"odh/internal/retry"
+	"odh/internal/sqlexec"
 )
 
 // newFaultCluster builds a 3-node cluster whose nodes run on fault-
@@ -106,5 +110,335 @@ func TestExecAllDegradesPastFailingNode(t *testing.T) {
 		}(); err != nil {
 			t.Fatalf("node %d missing replicated table: %v", i, err)
 		}
+	}
+}
+
+// --- replication, failover, and degraded-operation tests ---
+
+// newReplicatedCluster builds a replicated in-memory cluster tuned for
+// deterministic tests: timeouts disabled (no goroutine hand-off), tiny
+// backoff so failover rounds are instant.
+func newReplicatedCluster(t *testing.T, nodes, replicas, quorum int) *Cluster {
+	t.Helper()
+	c, err := NewReplicated(Options{
+		Nodes:          nodes,
+		Replicas:       replicas,
+		WriteQuorum:    quorum,
+		ReplicaTimeout: -1,
+		Retry:          retry.Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond},
+		Seed:           42,
+		Node:           NodeOptions{BatchSize: 8, GroupSize: 4, PoolPages: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// seedReplicated registers the vehicle schema and nSources sources and
+// writes pointsPer points to each (timestamps 1000, 1100, ...).
+func seedReplicated(t *testing.T, c *Cluster, nSources, pointsPer int) {
+	t.Helper()
+	if err := c.CreateSchema(model.SchemaType{
+		Name: "vehicle",
+		Tags: []model.TagDef{{Name: "speed"}, {Name: "fuel"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateVirtualTable("vehicle_v", "vehicle"); err != nil {
+		t.Fatal(err)
+	}
+	schema, _ := c.Node(0).Cat.SchemaByName("vehicle")
+	for i := 1; i <= nSources; i++ {
+		if err := c.RegisterSource(model.DataSource{
+			ID: int64(i), SchemaID: schema.ID, Regular: true, IntervalMs: 100,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < pointsPer; j++ {
+			if err := c.Write(model.Point{
+				Source: int64(i), TS: int64(1000 + j*100),
+				Values: []float64{float64(j), float64(i)},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// renderRows flattens a result to one comparable string, row order
+// included.
+func renderRows(rows []sqlexec.Row) string {
+	var b strings.Builder
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestFailoverByteIdentical kills a node mid-workload and checks that a
+// replicated cluster answers scatter queries byte-identically to its
+// healthy self, for both plain scans and the cross-shard aggregate
+// gather.
+func TestFailoverByteIdentical(t *testing.T) {
+	c := newReplicatedCluster(t, 3, 2, 1)
+	seedReplicated(t, c, 12, 10)
+	queries := []string{
+		`SELECT * FROM vehicle_v WHERE timestamp BETWEEN 1000 AND 1500`,
+		`SELECT * FROM vehicle_v WHERE id = 7`,
+		`SELECT id, COUNT(*), SUM(speed), MIN(fuel), MAX(fuel) FROM vehicle_v GROUP BY id`,
+	}
+	healthy := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("healthy %q: %v", q, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("healthy %q returned no rows", q)
+		}
+		healthy[i] = renderRows(res.Rows)
+	}
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		res, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("degraded %q: %v", q, err)
+		}
+		if got := renderRows(res.Rows); got != healthy[i] {
+			t.Fatalf("failover answer differs for %q:\nhealthy:\n%sdegraded:\n%s", q, healthy[i], got)
+		}
+		if len(res.Unavailable) != 0 {
+			t.Fatalf("failover marked shards unavailable: %v", res.Unavailable)
+		}
+	}
+	if c.Stats().Failovers == 0 {
+		t.Fatal("no failovers recorded despite a dead node")
+	}
+}
+
+// TestPartialResultNamesDeadShards checks graceful degradation without
+// replication: losing a node yields the surviving shards' rows plus a
+// PartialResultError naming exactly the dead shards — never a silent
+// short answer.
+func TestPartialResultNamesDeadShards(t *testing.T) {
+	c := newReplicatedCluster(t, 3, 1, 1)
+	seedReplicated(t, c, 12, 5)
+	liveRows := 0
+	for src := int64(1); src <= 12; src++ {
+		if c.shardOf(src) != 1 {
+			liveRows += 5
+		}
+	}
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(`SELECT * FROM vehicle_v WHERE timestamp BETWEEN 1000 AND 2000`)
+	if err == nil {
+		t.Fatal("expected a partial-result error with a dead unreplicated shard")
+	}
+	var pe *sqlexec.PartialResultError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a PartialResultError", err)
+	}
+	if len(pe.Shards) != 1 || pe.Shards[0] != 1 {
+		t.Fatalf("partial error names shards %v, want [1]", pe.Shards)
+	}
+	if len(res.Unavailable) != 1 || res.Unavailable[0] != 1 {
+		t.Fatalf("result marks shards %v unavailable, want [1]", res.Unavailable)
+	}
+	if len(res.Rows) != liveRows {
+		t.Fatalf("partial result has %d rows, want %d from surviving shards", len(res.Rows), liveRows)
+	}
+	if !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("partial error %v does not unwrap to ErrNodeDown", err)
+	}
+	if c.Stats().PartialQueries != 1 {
+		t.Fatalf("PartialQueries = %d, want 1", c.Stats().PartialQueries)
+	}
+}
+
+// TestWriteQuorumFailure checks that writes below quorum fail with a
+// retryable ErrNoQuorum and recover once the node returns.
+func TestWriteQuorumFailure(t *testing.T) {
+	c := newReplicatedCluster(t, 2, 2, 2)
+	seedReplicated(t, c, 2, 1)
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Write(model.Point{Source: 1, TS: 5000, Values: []float64{1, 1}})
+	if !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("write with dead quorum member = %v, want ErrNoQuorum", err)
+	}
+	if !Retryable(err) {
+		t.Fatalf("quorum failure %v is not classified retryable", err)
+	}
+	if c.Stats().WriteQuorumFailures == 0 {
+		t.Fatal("quorum failure not counted")
+	}
+	if err := c.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CatchUp(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(model.Point{Source: 1, TS: 5100, Values: []float64{1, 1}}); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+// TestHintedHandoffRoundTrip kills a node, keeps writing (quorum 1),
+// restarts it, and checks that hint replay converges the replicas to
+// byte-identical contents with the staleness window enforced in between.
+func TestHintedHandoffRoundTrip(t *testing.T) {
+	c := newReplicatedCluster(t, 2, 2, 1)
+	seedReplicated(t, c, 4, 5)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	for src := int64(1); src <= 4; src++ {
+		for j := 0; j < 5; j++ {
+			if err := c.Write(model.Point{
+				Source: src, TS: int64(3000 + j*100), Values: []float64{9, float64(src)},
+			}); err != nil {
+				t.Fatalf("write during outage: %v", err)
+			}
+		}
+	}
+	if c.Stats().HintsQueued == 0 {
+		t.Fatal("no hints queued for the dead node's copies")
+	}
+	// Queries during the outage still see everything (failover to the
+	// surviving copies).
+	res, err := c.Query(`SELECT * FROM vehicle_v WHERE timestamp BETWEEN 1000 AND 4000`)
+	if err != nil {
+		t.Fatalf("query during outage: %v", err)
+	}
+	if len(res.Rows) != 4*10 {
+		t.Fatalf("outage query rows = %d, want 40", len(res.Rows))
+	}
+	if err := c.RestartNode(1); err != nil {
+		t.Fatal(err)
+	}
+	// Restarted copies with pending hints must be excluded from reads.
+	stale := 0
+	c.forEachCopy(func(cp *shardCopy) error {
+		if cp.host == 1 && errors.Is(c.readable(cp), ErrReplicaStale) {
+			stale++
+		}
+		return nil
+	})
+	if stale == 0 {
+		t.Fatal("no restarted copy is marked stale despite pending hints")
+	}
+	if err := c.CatchUp(1); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.HintsReplayed+st.HintsDeduped != st.HintsQueued {
+		t.Fatalf("hints queued %d != replayed %d + deduped %d", st.HintsQueued, st.HintsReplayed, st.HintsDeduped)
+	}
+	divergent, notes, err := c.VerifyReplicas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divergent) != 0 {
+		t.Fatalf("replicas diverged after catch-up: %v", divergent)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("copies still skipped after catch-up: %v", notes)
+	}
+}
+
+// TestNodeLossMidQuery makes a scatter read die partway through one
+// copy's scan: the node is restarted so its blob pages are out of the
+// buffer pool, then a read fault is armed so the scan starts cleanly and
+// dies at its first blob-page load. The shard must fail over to the
+// other replica and the answer must match the healthy one byte for byte.
+func TestNodeLossMidQuery(t *testing.T) {
+	c := newReplicatedCluster(t, 3, 2, 1)
+	seedReplicated(t, c, 12, 40)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT * FROM vehicle_v WHERE timestamp BETWEEN 1000 AND 5000`
+	res, err := c.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := renderRows(res.Rows)
+	// Cold-start node 0 so shard 0's preferred copy must hit the file,
+	// then let the first few reads through: the scan starts, then dies.
+	if err := c.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartNode(0); err != nil {
+		t.Fatal(err)
+	}
+	// Restart installed a fresh fault wrapper; every read from here on
+	// fails. Planning and catalog lookups ride the warmed pool, so the
+	// query begins normally and dies at the first blob-page load —
+	// genuinely mid-scan.
+	cp := c.shards[0][0]
+	cp.pageF.FailReadsAfter(0)
+	res, err = c.Query(q)
+	if err != nil {
+		t.Fatalf("mid-query fault not failed over: %v", err)
+	}
+	if got := renderRows(res.Rows); got != healthy {
+		t.Fatalf("mid-query failover differs:\nhealthy:\n%sgot:\n%s", healthy, got)
+	}
+	if c.Stats().Failovers == 0 {
+		t.Fatal("no failover recorded for the faulted copy")
+	}
+}
+
+// TestAggGatherRejectsNonComposable pins the error surface of the
+// aggregate gather: AVG and post-aggregate clauses need client-side
+// handling, and the errors must say so rather than silently mis-merging.
+func TestAggGatherRejectsNonComposable(t *testing.T) {
+	c := newReplicatedCluster(t, 2, 1, 1)
+	seedReplicated(t, c, 4, 3)
+	for _, q := range []string{
+		`SELECT id, AVG(speed) FROM vehicle_v GROUP BY id`,
+		`SELECT id, COUNT(*) FROM vehicle_v GROUP BY id HAVING COUNT(*) > 1`,
+		`SELECT id, COUNT(*) FROM vehicle_v GROUP BY id ORDER BY id`,
+		`SELECT id, COUNT(*) FROM vehicle_v GROUP BY id LIMIT 2`,
+		`SELECT speed, COUNT(*) FROM vehicle_v GROUP BY id`,
+	} {
+		if _, err := c.Query(q); err == nil {
+			t.Fatalf("non-composable %q accepted", q)
+		} else if Retryable(err) {
+			t.Fatalf("plan rejection %q misclassified as retryable: %v", q, err)
+		}
+	}
+	// Aggregates over replicated relational tables route to one shard and
+	// need no decomposition — ORDER BY and AVG are fine there.
+	if err := c.ExecAll(`CREATE TABLE fleet (id BIGINT, miles BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := c.ExecAll(fmt.Sprintf(`INSERT INTO fleet VALUES (%d, %d)`, i, i*100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Query(`SELECT AVG(miles) FROM fleet`)
+	if err != nil {
+		t.Fatalf("relational aggregate: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].AsFloat() != 250 {
+		t.Fatalf("relational AVG = %v, want 250", res.Rows)
 	}
 }

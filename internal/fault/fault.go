@@ -18,6 +18,8 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ErrInjected is the error every armed fault reports. Tests assert on it
@@ -62,6 +64,8 @@ type File struct {
 	tearOff    int64 // tear every write whose range covers this offset
 	tearKeep   int   // ...persisting only this many leading bytes
 	counters   Counters
+
+	latencyNs atomic.Int64 // injected delay before each read/write/sync
 }
 
 // Wrap returns a File over inner with every fault disarmed.
@@ -124,6 +128,20 @@ func (f *File) ClearTearWriteAt() {
 	f.tearArmed = false
 }
 
+// SetLatency injects a fixed delay before every ReadAt, WriteAt, and Sync
+// — a hung or degraded device. Zero disarms. The delay applies whether or
+// not the operation then fails, so a stalled node stays stalled even when
+// its faults are armed.
+func (f *File) SetLatency(d time.Duration) {
+	f.latencyNs.Store(int64(d))
+}
+
+func (f *File) sleep() {
+	if ns := f.latencyNs.Load(); ns > 0 {
+		time.Sleep(time.Duration(ns))
+	}
+}
+
 // Counters returns a snapshot of successful operation counts.
 func (f *File) Counters() Counters {
 	f.mu.Lock()
@@ -149,6 +167,7 @@ func (f *File) CorruptAt(off int64, mask byte) error {
 // WriteAt implements io.WriterAt with the write countdown and torn-write
 // behavior.
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.sleep()
 	f.mu.Lock()
 	if f.tearArmed && off <= f.tearOff && f.tearOff < off+int64(len(p)) {
 		keep := f.tearKeep
@@ -181,6 +200,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 
 // ReadAt implements io.ReaderAt with the read countdown.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.sleep()
 	f.mu.Lock()
 	if f.readsLeft == 0 {
 		f.mu.Unlock()
@@ -202,6 +222,7 @@ func (f *File) Truncate(size int64) error { return f.inner.Truncate(size) }
 
 // Sync applies the sync countdown, then syncs the backing file.
 func (f *File) Sync() error {
+	f.sleep()
 	f.mu.Lock()
 	if f.syncsLeft == 0 {
 		f.mu.Unlock()
@@ -219,24 +240,30 @@ func (f *File) Sync() error {
 func (f *File) Close() error { return f.inner.Close() }
 
 // Conn wraps a bidirectional stream (a net.Conn, one end of a net.Pipe)
-// with read-fault injection, extending the crash-simulation vocabulary to
-// the serving layer: a Conn armed with FailReadsAfter models a client
-// whose link died mid-command, and SetTornRead makes the failing read
-// deliver a prefix of the available bytes first — a torn read, the
-// stream analogue of a torn write. Failures are sticky. Writes and Close
-// pass through untouched so the server's final ERR reply still reaches
-// the test.
+// with fault injection, extending the crash-simulation vocabulary to the
+// serving layer: a Conn armed with FailReadsAfter models a client whose
+// link died mid-command, and SetTornRead makes the failing read deliver a
+// prefix of the available bytes first — a torn read, the stream analogue
+// of a torn write. FailWritesAfter and SetTornWrite mirror the same modes
+// on the write side (a peer that stops draining, a segment cut mid-send),
+// and SetLatency injects a per-operation delay — a hung link. Failures
+// are sticky. Close passes through untouched so teardown still works.
 type Conn struct {
-	mu        sync.Mutex
-	inner     io.ReadWriteCloser
-	readsLeft int // Unlimited = disarmed
-	tornBytes int // on the failing read, deliver this prefix first
-	reads     int64
+	mu         sync.Mutex
+	inner      io.ReadWriteCloser
+	readsLeft  int // Unlimited = disarmed
+	tornBytes  int // on the failing read, deliver this prefix first
+	writesLeft int // Unlimited = disarmed
+	tornWrite  int // on the failing write, send this prefix first
+	reads      int64
+	writes     int64
+
+	latencyNs atomic.Int64 // injected delay before each read/write
 }
 
 // WrapConn returns a Conn over inner with every fault disarmed.
 func WrapConn(inner io.ReadWriteCloser) *Conn {
-	return &Conn{inner: inner, readsLeft: Unlimited}
+	return &Conn{inner: inner, readsLeft: Unlimited, writesLeft: Unlimited}
 }
 
 // FailReadsAfter arms the read countdown: the next n Read calls succeed
@@ -255,6 +282,35 @@ func (c *Conn) SetTornRead(n int) {
 	c.tornBytes = n
 }
 
+// FailWritesAfter arms the write countdown: the next n Write calls
+// succeed and every one after that fails. n = Unlimited disarms.
+func (c *Conn) FailWritesAfter(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.writesLeft = n
+}
+
+// SetTornWrite makes the failing write deliver up to n bytes of the
+// buffer to the peer alongside ErrInjected — a partial write, as when a
+// connection is cut mid-segment. Zero restores fail-clean behavior.
+func (c *Conn) SetTornWrite(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tornWrite = n
+}
+
+// SetLatency injects a fixed delay before every Read and Write — a hung
+// or congested link. Zero disarms.
+func (c *Conn) SetLatency(d time.Duration) {
+	c.latencyNs.Store(int64(d))
+}
+
+func (c *Conn) sleep() {
+	if ns := c.latencyNs.Load(); ns > 0 {
+		time.Sleep(time.Duration(ns))
+	}
+}
+
 // Reads returns the number of successful Read calls.
 func (c *Conn) Reads() int64 {
 	c.mu.Lock()
@@ -262,9 +318,17 @@ func (c *Conn) Reads() int64 {
 	return c.reads
 }
 
+// Writes returns the number of successful Write calls.
+func (c *Conn) Writes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes
+}
+
 // Read implements io.Reader with the read countdown and torn-read
 // behavior.
 func (c *Conn) Read(p []byte) (int, error) {
+	c.sleep()
 	c.mu.Lock()
 	if c.readsLeft == 0 {
 		torn := c.tornBytes
@@ -289,8 +353,33 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return c.inner.Read(p)
 }
 
-// Write passes through to the wrapped stream.
-func (c *Conn) Write(p []byte) (int, error) { return c.inner.Write(p) }
+// Write implements io.Writer with the write countdown and torn-write
+// behavior.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.sleep()
+	c.mu.Lock()
+	if c.writesLeft == 0 {
+		torn := c.tornWrite
+		c.mu.Unlock()
+		if torn > 0 {
+			if torn > len(p) {
+				torn = len(p)
+			}
+			n, err := c.inner.Write(p[:torn])
+			if err != nil {
+				return n, err
+			}
+			return n, ErrInjected
+		}
+		return 0, ErrInjected
+	}
+	if c.writesLeft > 0 {
+		c.writesLeft--
+	}
+	c.writes++
+	c.mu.Unlock()
+	return c.inner.Write(p)
+}
 
 // Close closes the wrapped stream.
 func (c *Conn) Close() error { return c.inner.Close() }

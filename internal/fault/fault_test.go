@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 )
 
 // memBacking is a tiny in-memory Backing for the package's own tests
@@ -172,5 +173,115 @@ func TestTearWriteAtTargetsOffset(t *testing.T) {
 	f.ClearTearWriteAt()
 	if _, err := f.WriteAt([]byte("ABCDEFGH"), 96); err != nil {
 		t.Fatalf("write after disarm failed: %v", err)
+	}
+}
+
+// pipeConn is a loopback stream for Conn tests: writes land in a buffer
+// that reads drain.
+type pipeConn struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (p *pipeConn) Read(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.buf.Len() == 0 {
+		return 0, io.EOF
+	}
+	return p.buf.Read(b)
+}
+
+func (p *pipeConn) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.Write(b)
+}
+
+func (p *pipeConn) Close() error { return nil }
+
+func TestConnWriteCountdownSticky(t *testing.T) {
+	inner := &pipeConn{}
+	c := WrapConn(inner)
+	c.FailWritesAfter(1)
+	if _, err := c.Write([]byte("ok")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Write([]byte("no")); !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d after countdown = %v, want ErrInjected (sticky)", i, err)
+		}
+	}
+	if c.Writes() != 1 {
+		t.Fatalf("Writes = %d, want 1", c.Writes())
+	}
+	if got := inner.buf.String(); got != "ok" {
+		t.Fatalf("peer received %q, want %q", got, "ok")
+	}
+	c.FailWritesAfter(Unlimited)
+	if _, err := c.Write([]byte("again")); err != nil {
+		t.Fatalf("disarmed write failed: %v", err)
+	}
+}
+
+func TestConnTornWriteDeliversPrefix(t *testing.T) {
+	inner := &pipeConn{}
+	c := WrapConn(inner)
+	c.FailWritesAfter(0)
+	c.SetTornWrite(4)
+	n, err := c.Write([]byte("ABCDEFGH"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write err = %v, want ErrInjected", err)
+	}
+	if n != 4 || inner.buf.String() != "ABCD" {
+		t.Fatalf("peer received %d bytes %q, want 4 bytes ABCD", n, inner.buf.String())
+	}
+}
+
+func TestConnLatencyDelaysOps(t *testing.T) {
+	c := WrapConn(&pipeConn{})
+	const d = 30 * time.Millisecond
+	c.SetLatency(d)
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*d {
+		t.Fatalf("two ops took %v, want >= %v of injected latency", elapsed, 2*d)
+	}
+	c.SetLatency(0)
+	start = time.Now()
+	if _, err := c.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > d {
+		t.Fatalf("disarmed write took %v, want fast", elapsed)
+	}
+}
+
+func TestFileLatencyDelaysOps(t *testing.T) {
+	f := Wrap(&memBacking{})
+	const d = 30 * time.Millisecond
+	f.SetLatency(d)
+	start := time.Now()
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("write took %v, want >= %v of injected latency", elapsed, d)
+	}
+	// Latency applies even to failing operations: a stalled node that is
+	// also dead still hangs callers for the injected delay.
+	f.FailReadsAfter(0)
+	start = time.Now()
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("expected armed read fault")
+	}
+	if elapsed := time.Since(start); elapsed < d {
+		t.Fatalf("failing read took %v, want >= %v of injected latency", elapsed, d)
 	}
 }

@@ -581,7 +581,11 @@ func (p *partition) unpin(fr *frame) {
 }
 
 // SetRoot records a named root page in the meta page. Higher layers use
-// this to anchor B-trees and heap tables.
+// this to anchor B-trees and heap tables. It runs the full two-phase
+// checkpoint, not just a meta write: the new root's content pages may
+// still be dirty in the pool, and committing a meta that references a
+// page the file does not yet hold would leave a crash-corrupt store.
+// Roots are created rarely, so the extra flush is cheap.
 func (s *Store) SetRoot(name string, id PageID) error {
 	if len(name) == 0 || len(name) > maxRootNameLen {
 		return fmt.Errorf("pagestore: invalid root name %q", name)
@@ -589,10 +593,10 @@ func (s *Store) SetRoot(name string, id PageID) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
-	s.metaMu.Lock()
-	defer s.metaMu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	s.roots[name] = id
-	return s.flushMeta()
+	return s.flushLocked()
 }
 
 // Root looks up a named root page.

@@ -1,0 +1,84 @@
+package retry
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelayScheduleBoundedAndJittered(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i <= 9; i++ {
+		want := p.BaseDelay << (i - 1)
+		if want > p.MaxDelay {
+			want = p.MaxDelay
+		}
+		for trial := 0; trial < 100; trial++ {
+			d := p.Delay(i, rng)
+			if d < want/2 || d > want {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", i, d, want/2, want)
+			}
+		}
+	}
+	if d := p.Delay(0, rng); d != 0 {
+		t.Fatalf("Delay(0) = %v, want 0", d)
+	}
+	if d := (Policy{}).Delay(3, rng); d != 0 {
+		t.Fatalf("zero-policy Delay = %v, want 0", d)
+	}
+}
+
+func TestDelayJitterVaries(t *testing.T) {
+	p := Policy{BaseDelay: time.Second, MaxDelay: time.Minute}
+	rng := rand.New(rand.NewSource(7))
+	seen := map[time.Duration]bool{}
+	for trial := 0; trial < 50; trial++ {
+		seen[p.Delay(3, rng)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("50 jittered delays collapsed to %d distinct values — not jittered", len(seen))
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	var slept []time.Duration
+	calls := 0
+	attempts, err := Do(p, rand.New(rand.NewSource(1)), func(d time.Duration) { slept = append(slept, d) }, nil, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 || calls != 3 {
+		t.Fatalf("Do = (%d, %v), calls = %d; want (3, nil, 3)", attempts, err, calls)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2 (between the 3 attempts)", len(slept))
+	}
+}
+
+func TestDoStopsOnNonRetryable(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	fatal := errors.New("fatal")
+	calls := 0
+	attempts, err := Do(p, nil, func(time.Duration) {}, func(e error) bool { return !errors.Is(e, fatal) }, func() error {
+		calls++
+		return fatal
+	})
+	if !errors.Is(err, fatal) || attempts != 1 || calls != 1 {
+		t.Fatalf("Do = (%d, %v), calls = %d; want immediate stop", attempts, err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	boom := errors.New("still down")
+	attempts, err := Do(p, nil, func(time.Duration) {}, nil, func() error { return boom })
+	if !errors.Is(err, boom) || attempts != 3 {
+		t.Fatalf("Do = (%d, %v), want (3, still down)", attempts, err)
+	}
+}

@@ -1,0 +1,50 @@
+// Partial-result surfacing for degraded distributed queries. The engine
+// itself always answers over one complete store; when the cluster router
+// scatters a query and a shard has zero live replicas it cannot answer
+// all-or-nothing without throwing away the healthy shards' work. Instead
+// it returns the rows it has alongside a *PartialResultError naming the
+// missing shards — callers distinguish "complete", "explicitly partial",
+// and "failed" and never mistake a degraded answer for a full one.
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PartialResultError reports that a distributed query's answer covers
+// only part of the data: every shard listed in Shards was unavailable
+// (zero live, caught-up replicas after retries). The rows accompanying
+// the error are complete for every shard NOT listed. It unwraps to the
+// per-shard causes so errors.Is/As see through it.
+type PartialResultError struct {
+	// Shards lists the unavailable shard indices, ascending.
+	Shards []int
+	// Errs holds the final error from each unavailable shard, parallel
+	// to Shards.
+	Errs []error
+}
+
+func (e *PartialResultError) Error() string {
+	var b strings.Builder
+	b.WriteString("partial result: ")
+	if len(e.Shards) == 1 {
+		fmt.Fprintf(&b, "shard %d unavailable", e.Shards[0])
+	} else {
+		fmt.Fprintf(&b, "%d shards unavailable (", len(e.Shards))
+		for i, s := range e.Shards {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", s)
+		}
+		b.WriteString(")")
+	}
+	if len(e.Errs) > 0 && e.Errs[0] != nil {
+		fmt.Fprintf(&b, ": %v", e.Errs[0])
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-shard causes to errors.Is and errors.As.
+func (e *PartialResultError) Unwrap() []error { return e.Errs }

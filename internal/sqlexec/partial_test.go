@@ -1,0 +1,31 @@
+package sqlexec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestPartialResultErrorUnwraps(t *testing.T) {
+	cause := errors.New("node 2 down")
+	e := &PartialResultError{Shards: []int{2, 5}, Errs: []error{cause, errors.New("timeout")}}
+	if !errors.Is(e, cause) {
+		t.Fatal("errors.Is does not see through PartialResultError to the shard cause")
+	}
+	var pe *PartialResultError
+	wrapped := errors.Join(errors.New("query degraded"), e)
+	if !errors.As(wrapped, &pe) {
+		t.Fatal("errors.As cannot extract PartialResultError from a join")
+	}
+	if len(pe.Shards) != 2 || pe.Shards[0] != 2 || pe.Shards[1] != 5 {
+		t.Fatalf("extracted shards = %v", pe.Shards)
+	}
+	msg := e.Error()
+	if !strings.Contains(msg, "2 shards unavailable") || !strings.Contains(msg, "node 2 down") {
+		t.Fatalf("message = %q", msg)
+	}
+	one := &PartialResultError{Shards: []int{3}, Errs: []error{cause}}
+	if got := one.Error(); !strings.Contains(got, "shard 3 unavailable") {
+		t.Fatalf("single-shard message = %q", got)
+	}
+}

@@ -157,7 +157,7 @@ func TestWALPointDecodeRejectsHugeCount(t *testing.T) {
 		0x02,                                                       // ts
 		0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x1F, // count
 	}
-	if _, err := decodePointWAL(b); err == nil {
+	if _, err := DecodePointWAL(b); err == nil {
 		t.Fatal("huge count accepted")
 	}
 }

@@ -54,10 +54,10 @@ func FuzzValueBlobDecode(f *testing.F) {
 // FuzzWALPointDecode asserts the WAL point codec rejects corrupt records
 // without panicking (replay feeds it checksummed but possibly torn bytes).
 func FuzzWALPointDecode(f *testing.F) {
-	f.Add(encodePointWAL(model.Point{Source: 3, TS: 12345, Values: []float64{1, 2, 3}}))
+	f.Add(EncodePointWAL(model.Point{Source: 3, TS: 12345, Values: []float64{1, 2, 3}}))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, b []byte) {
-		p, err := decodePointWAL(b)
+		p, err := DecodePointWAL(b)
 		if err == nil && len(p.Values) > 1<<20 {
 			t.Fatalf("accepted %d values from a %d-byte record", len(p.Values), len(b))
 		}

@@ -123,6 +123,13 @@ type Store struct {
 	shards    []*shard
 	shardMask uint32
 
+	// logMu orders WAL appends against log recycling when a recovery log
+	// is attached: writers hold it shared across append + buffer insert,
+	// Flush holds it exclusively across drain + reset. Without it a flush
+	// racing a writer could truncate an appended record whose point had
+	// not yet reached a buffer — an acked write lost without any crash.
+	logMu sync.RWMutex
+
 	// corruptBlobs is kept outside the shards: scans quarantine records
 	// without knowing (or locking) a shard.
 	corruptBlobs atomic.Int64
@@ -351,9 +358,23 @@ func (s *Store) Write(p model.Point) error {
 		return err
 	}
 	if s.cfg.Log != nil {
-		if err := s.cfg.Log.Append(encodePointWAL(p)); err != nil {
+		s.logMu.RLock()
+		defer s.logMu.RUnlock()
+		if err := s.cfg.Log.Append(EncodePointWAL(p)); err != nil {
 			return err
 		}
+	}
+	return s.writeResolved(r)
+}
+
+// WriteRecovered ingests one point without appending it to the attached
+// recovery log — the replay path. Routing recovery through Write would
+// re-append every replayed record to the log it was just read from, so a
+// second crash before the next flush would apply them twice.
+func (s *Store) WriteRecovered(p model.Point) error {
+	r, err := s.resolve(p)
+	if err != nil {
+		return err
 	}
 	return s.writeResolved(r)
 }
@@ -362,6 +383,10 @@ func (s *Store) Write(p model.Point) error {
 // first and logged with a single group commit before any point enters a
 // buffer, so the WAL-before-buffer ordering of Write holds batch-wide.
 func (s *Store) WriteBatch(points []model.Point) error {
+	if s.cfg.Log != nil {
+		s.logMu.RLock()
+		defer s.logMu.RUnlock()
+	}
 	rs, err := s.resolveBatch(points)
 	if err != nil {
 		return err
@@ -390,7 +415,7 @@ func (s *Store) resolveBatch(points []model.Point) ([]resolved, error) {
 	if s.cfg.Log != nil {
 		recs := make([][]byte, len(points))
 		for i, p := range points {
-			recs[i] = encodePointWAL(p)
+			recs[i] = EncodePointWAL(p)
 		}
 		if err := s.cfg.Log.AppendBatch(recs); err != nil {
 			return nil, err
@@ -408,6 +433,10 @@ func (s *Store) resolveBatch(points []model.Point) ([]resolved, error) {
 func (s *Store) WriteBatchParallel(points []model.Point, workers int) error {
 	if workers <= 1 || len(points) < 2 || len(s.shards) == 1 {
 		return s.WriteBatch(points)
+	}
+	if s.cfg.Log != nil {
+		s.logMu.RLock()
+		defer s.logMu.RUnlock()
 	}
 	rs, err := s.resolveBatch(points)
 	if err != nil {
@@ -712,6 +741,21 @@ func (s *Store) flushMGRowLocked(sh *shard, gb *groupBuffer, ts int64) error {
 // its WAL record was appended — that record would be truncated away while
 // the point is still volatile. Writers resume as soon as Flush returns.
 func (s *Store) Flush() error {
+	return s.FlushWith(nil)
+}
+
+// FlushWith persists every open buffer like Flush, then runs commit (when
+// non-nil) before recycling the recovery log — all while ingest stays
+// quiesced. Passing the page store's Flush as commit closes the crash
+// window where the log was recycled before the batches it protected were
+// durable in the page store: the order becomes drain buffers → sync WAL →
+// commit pages → reset WAL, so a crash at any point recovers from either
+// the committed pages or the still-intact log.
+func (s *Store) FlushWith(commit func() error) error {
+	if s.cfg.Log != nil {
+		s.logMu.Lock()
+		defer s.logMu.Unlock()
+	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 	}
@@ -738,24 +782,72 @@ func (s *Store) Flush() error {
 		if err := s.cfg.Log.Sync(); err != nil {
 			return err
 		}
+	}
+	if commit != nil {
+		if err := commit(); err != nil {
+			return err
+		}
+	}
+	if s.cfg.Log != nil {
 		return s.cfg.Log.Reset()
 	}
 	return nil
 }
 
 // RecoverFromLog replays a recovery log into the store (used after a crash
-// before buffered points reached a batch).
+// before buffered points reached a batch). Replay bypasses the attached
+// log — the records are already in it.
 func (s *Store) RecoverFromLog(l *walog.Log) (int, error) {
 	n := 0
 	err := l.Replay(func(payload []byte) error {
-		p, err := decodePointWAL(payload)
+		p, err := DecodePointWAL(payload)
 		if err != nil {
 			return err
 		}
 		n++
-		return s.Write(p)
+		return s.WriteRecovered(p)
 	})
 	return n, err
+}
+
+// RecoverFromLogDedup replays a recovery log, skipping records whose
+// point is already visible in the store. FlushWith commits the page store
+// before recycling the log, so a crash between commit and reset leaves a
+// log whose records are already durable — blind replay would apply them
+// twice. Returns the number of points applied and skipped.
+func (s *Store) RecoverFromLogDedup(l *walog.Log) (applied, skipped int, err error) {
+	err = l.Replay(func(payload []byte) error {
+		p, derr := DecodePointWAL(payload)
+		if derr != nil {
+			return derr
+		}
+		ok, herr := s.HasPoint(p.Source, p.TS)
+		if herr != nil {
+			return herr
+		}
+		if ok {
+			skipped++
+			return nil
+		}
+		applied++
+		return s.WriteRecovered(p)
+	})
+	return applied, skipped, err
+}
+
+// HasPoint reports whether a point for source at exactly ts is visible to
+// scans — buffered or persisted. Replication catch-up uses it to
+// deduplicate hinted records that may already have been applied before
+// the replica crashed or timed out.
+func (s *Store) HasPoint(source, ts int64) (bool, error) {
+	it, err := s.HistoricalScan(source, ts, ts+1, nil)
+	if err != nil {
+		return false, err
+	}
+	if _, ok := it.Next(); !ok {
+		return false, it.Err()
+	}
+	return true, nil
 }
 
 // watermark returns the reorg watermark of a group (math.MinInt64 when
@@ -846,7 +938,11 @@ func (s *Store) BlobBytesTotal() uint64 {
 
 // --- WAL point codec ---
 
-func encodePointWAL(p model.Point) []byte {
+// EncodePointWAL seals one point into the recovery-log payload format
+// (varint source, varint ts, uvarint value count, float64 bits). The
+// cluster's replication layer reuses the same encoding for hinted-handoff
+// records, so a hint log replays with the same codec as a recovery log.
+func EncodePointWAL(p model.Point) []byte {
 	b := binary.AppendVarint(nil, p.Source)
 	b = binary.AppendVarint(b, p.TS)
 	b = binary.AppendUvarint(b, uint64(len(p.Values)))
@@ -856,7 +952,8 @@ func encodePointWAL(p model.Point) []byte {
 	return b
 }
 
-func decodePointWAL(b []byte) (model.Point, error) {
+// DecodePointWAL is the inverse of EncodePointWAL.
+func DecodePointWAL(b []byte) (model.Point, error) {
 	var p model.Point
 	var n int
 	if p.Source, n = binary.Varint(b); n <= 0 {

@@ -326,6 +326,15 @@ func (l *Log) Stats() Stats {
 // replay without error (bounded-loss semantics); other I/O failures are
 // reported.
 func (l *Log) Replay(fn func(payload []byte) error) error {
+	return l.Records(func(_ int64, payload []byte) error { return fn(payload) })
+}
+
+// Records invokes fn for every valid record in order, passing the byte
+// offset the record starts at — the exported record iteration used for
+// replication shipping and hinted-handoff replay, where a consumer resumes
+// from the offset it last acknowledged. Like Replay, a corrupt record ends
+// iteration without error; other I/O failures are reported.
+func (l *Log) Records(fn func(off int64, payload []byte) error) error {
 	l.mu.Lock()
 	end := l.off
 	l.mu.Unlock()
@@ -350,7 +359,7 @@ func (l *Log) Replay(fn func(payload []byte) error) error {
 		if crc32.ChecksumIEEE(payload) != want {
 			return nil
 		}
-		if err := fn(payload); err != nil {
+		if err := fn(off, payload); err != nil {
 			return err
 		}
 		off += recordHeader + int64(length)

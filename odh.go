@@ -251,7 +251,10 @@ func Open(dir string, opts Options) (*Historian, error) {
 	}
 	if wal != nil {
 		// Buffered points from a previous crash re-enter the buffers.
-		if _, err := ts.RecoverFromLog(wal); err != nil {
+		// Dedup replay: Flush commits the page store before recycling the
+		// log, so a crash between the two leaves records that are already
+		// persisted — blind replay would double-apply them.
+		if _, _, err := ts.RecoverFromLogDedup(wal); err != nil {
 			page.Close()
 			return nil, fmt.Errorf("odh: recovery: %w", err)
 		}
@@ -259,9 +262,11 @@ func Open(dir string, opts Options) (*Historian, error) {
 	return h, nil
 }
 
-// Close flushes buffers and releases the historian.
+// Close flushes buffers and releases the historian. The page store
+// commits before the recovery log resets, so a crash anywhere in Close
+// loses nothing: either the log still holds the points or the pages do.
 func (h *Historian) Close() error {
-	if err := h.ts.Flush(); err != nil {
+	if err := h.ts.FlushWith(h.page.Flush); err != nil {
 		return err
 	}
 	if h.wal != nil {
@@ -379,12 +384,11 @@ func (h *Historian) VirtualTables() []string { return h.cat.VirtualTables() }
 // Tables lists the relational table names.
 func (h *Historian) Tables() []string { return h.rel.Tables() }
 
-// Flush persists all ingest buffers and syncs the page store.
+// Flush persists all ingest buffers and syncs the page store. The page
+// commit happens before the recovery log recycles (via FlushWith), so
+// buffered points are never exposed to a crash window between the two.
 func (h *Historian) Flush() error {
-	if err := h.ts.Flush(); err != nil {
-		return err
-	}
-	return h.page.Flush()
+	return h.ts.FlushWith(h.page.Flush)
 }
 
 // HistorianStats aggregates storage and ingest counters.
