@@ -608,3 +608,97 @@ func max64(a, b int64) int64 {
 	}
 	return b
 }
+
+// BenchmarkTierCompaction measures the cold-recompaction pass over the
+// 200k-point query fixture: every aged hot blob is coalesced into
+// 8x-granularity cold blobs re-encoded at maximum codec effort. Each
+// iteration builds a fresh hot store and times only the tier pass;
+// cold-reduction-x is the hot/cold byte ratio (the issue targets >= 5x
+// on this fixture).
+func BenchmarkTierCompaction(b *testing.B) {
+	var hotB, coldB, reclaimed, pts float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h, _, maxTS := benchQueryFixture(b, Options{})
+		pre, err := h.TierStats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := h.TierSchema("scan", TierPolicy{ColdAfterMs: 1}, maxTS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		post, err := h.TierStats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ColdWritten == 0 || post.ColdBytes == 0 {
+			b.Fatalf("cold pass did nothing: %+v", res)
+		}
+		hotB += float64(pre.HotBytes)
+		coldB += float64(post.ColdBytes + post.HotBytes)
+		reclaimed += float64(res.BytesReclaimed)
+		pts += 200_000
+		b.StartTimer()
+	}
+	b.StopTimer()
+	n := float64(max64(int64(b.N), 1))
+	b.ReportMetric(hotB/n, "hotB")
+	b.ReportMetric(coldB/n, "coldB")
+	b.ReportMetric(reclaimed/n, "reclaimedB/op")
+	if coldB > 0 {
+		b.ReportMetric(hotB/coldB, "cold-reduction-x")
+	}
+	b.ReportMetric(pts/b.Elapsed().Seconds(), "tier_pts_per_s")
+}
+
+// BenchmarkStubAggregate tiers the whole 200k-point fixture down to
+// summary-only stubs (cold pass first, so stubs sit at 8x batch
+// granularity), then measures aggregate pushdown over pure stubs.
+// stub-reduction-x is the hot/stub byte ratio (the issue targets
+// >= 50x); the COUNT correctness guard keeps the measurement honest.
+func BenchmarkStubAggregate(b *testing.B) {
+	h, src, maxTS := benchQueryFixture(b, Options{})
+	pre, err := h.TierStats()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := h.TierSchema("scan", TierPolicy{ColdAfterMs: 1, StubAfterMs: 1}, maxTS); err != nil {
+		b.Fatal(err)
+	}
+	post, err := h.TierStats()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if post.StubBlobs == 0 {
+		b.Fatal("fixture did not stub")
+	}
+	q := `SELECT COUNT(*), SUM(t1), MIN(t0), MAX(t0) FROM V WHERE id = ` + strconv.FormatInt(src, 10) +
+		` AND ts >= 0 AND ts < ` + strconv.FormatInt(maxTS, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := h.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := res.FetchAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 1 || rows[0][0].AsInt() != 200_000 {
+			b.Fatalf("aggregate over stubs returned %v", rows)
+		}
+	}
+	b.StopTimer()
+	st := h.TotalStats()
+	n := max64(int64(b.N), 1)
+	b.ReportMetric(float64(pre.HotBytes), "hotB")
+	b.ReportMetric(float64(post.StubBytes), "stubB")
+	if post.StubBytes > 0 {
+		b.ReportMetric(float64(pre.HotBytes)/float64(post.StubBytes), "stub-reduction-x")
+	}
+	b.ReportMetric(float64(st.SummaryHits)/float64(n), "folds/op")
+}

@@ -12,6 +12,11 @@
 //	.schema          list schema types and virtual tables
 //	.tables          list relational tables
 //	.stats [source]  historian-wide counters, or one source's statistics
+//	.tier SCHEMA COLD_MS STUB_MS   run a storage-lifecycle pass: batches
+//	                 older than COLD_MS compact into max-effort cold
+//	                 batches, older than STUB_MS truncate to summary-only
+//	                 stubs (0 disables either transition); the reference
+//	                 "now" is the schema's newest timestamp
 //	.flush           flush ingest buffers
 //	.fsck            verify pages, B-trees, and blobs in place
 //	.quit
@@ -116,7 +121,7 @@ func dotCommand(h *odh.Historian, line string) bool {
 	case ".quit", ".exit":
 		return false
 	case ".help":
-		fmt.Println("SQL statements end at the newline. Dot commands: .schema .tables .stats [id] .flush .fsck .quit")
+		fmt.Println("SQL statements end at the newline. Dot commands: .schema .tables .stats [id] .tier SCHEMA COLD_MS STUB_MS .flush .fsck .quit")
 	case ".fsck":
 		rep, err := h.VerifyIntegrity()
 		if err != nil {
@@ -159,6 +164,11 @@ func dotCommand(h *odh.Historian, line string) bool {
 				fmt.Printf("aggPushdown: summaryHits=%d bytesNotDecoded=%d\n",
 					total.SummaryHits, total.BytesNotDecoded)
 			}
+			if tiers, err := h.TierStats(); err == nil {
+				fmt.Printf("tiers: hot=%d (%d bytes) cold=%d (%d bytes) stub=%d (%d bytes) reclaimed=%d bytes\n",
+					tiers.HotBlobs, tiers.HotBytes, tiers.ColdBlobs, tiers.ColdBytes,
+					tiers.StubBlobs, tiers.StubBytes, total.TierBytesReclaimed)
+			}
 			for i, ps := range h.PoolPartitionStats() {
 				fmt.Printf("  partition %d: hits=%d misses=%d evictions=%d hitRate=%.1f%%\n",
 					i, ps.Hits, ps.Misses, ps.Evictions, 100*ps.HitRate())
@@ -173,6 +183,31 @@ func dotCommand(h *odh.Historian, line string) bool {
 		st := h.Stats(id)
 		fmt.Printf("batches=%d points=%d blobBytes=%d range=[%d, %d] maxSpan=%dms\n",
 			st.BatchCount, st.PointCount, st.BlobBytes, st.FirstTS, st.LastTS, st.MaxSpanMs)
+	case ".tier":
+		fields := strings.Fields(arg)
+		if len(fields) != 3 {
+			fmt.Println("usage: .tier SCHEMA COLD_MS STUB_MS  (0 disables a transition)")
+			break
+		}
+		coldMs, err1 := strconv.ParseInt(fields[1], 10, 64)
+		stubMs, err2 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			fmt.Println("usage: .tier SCHEMA COLD_MS STUB_MS  (0 disables a transition)")
+			break
+		}
+		now, ok := h.LatestTS(fields[0])
+		if !ok {
+			fmt.Printf("schema %q has no data (or does not exist)\n", fields[0])
+			break
+		}
+		res, err := h.TierSchema(fields[0], odh.TierPolicy{ColdAfterMs: coldMs, StubAfterMs: stubMs}, now)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("tiered %s (now=%d): coldCompacted=%d coldWritten=%d stubbed=%d bytes %d -> %d (reclaimed %d)\n",
+			fields[0], now, res.ColdCompacted, res.ColdWritten, res.Stubbed,
+			res.BytesBefore, res.BytesAfter, res.BytesReclaimed)
 	case ".schema":
 		for _, s := range h.Schemas() {
 			tags := make([]string, len(s.Tags))

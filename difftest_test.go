@@ -1,6 +1,7 @@
 package odh
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -375,6 +376,17 @@ func TestDifferentialODHvsRelational(t *testing.T) {
 			}
 			rebuildRef(round)
 		}
+		if round%251 == 250 {
+			// Cold-compact two of the four configurations only: the cold
+			// tier is lossless, so tiered and untiered stores must keep
+			// returning byte-identical rows for every template.
+			pol := TierPolicy{ColdAfterMs: maxTS + 1 - maxTS/2}
+			for _, i := range []int{1, 3} {
+				if _, err := hs[i].TierSchema("env", pol, maxTS+1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
 
 		compare(round, templates[rng.Intn(len(templates))]())
 	}
@@ -389,6 +401,49 @@ func TestDifferentialODHvsRelational(t *testing.T) {
 	}
 	if st := hs[0].TotalStats(); st.SummaryHits == 0 || st.BytesNotDecoded == 0 {
 		t.Fatalf("aggregate templates never folded a summary: %+v", st)
+	}
+
+	// Stub epilogue: summary-only stubs must answer full-window
+	// aggregates with the exact bytes the row-bearing store produced, on
+	// every configuration, and raw scans into stubbed history must fail
+	// with the typed error everywhere.
+	aggTemplates := []string{
+		fmt.Sprintf(`SELECT COUNT(*), COUNT(a), SUM(a), MIN(b), MAX(b) FROM %%s WHERE ts >= 0 AND ts < %d`, maxTS+1),
+		fmt.Sprintf(`SELECT id, COUNT(*), SUM(a) FROM %%s WHERE ts >= 0 AND ts < %d GROUP BY id`, maxTS+1),
+	}
+	preStub := make([][]string, len(aggTemplates))
+	for i, tmpl := range aggTemplates {
+		compare(rounds, tmpl)
+		preStub[i], _ = diffFetch(t, hs[0], fmt.Sprintf(tmpl, "D"))
+	}
+	stubPol := TierPolicy{ColdAfterMs: maxTS + 1 - (3*maxTS)/4, StubAfterMs: maxTS + 1 - maxTS/2}
+	for _, h := range hs {
+		if err := h.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.TierSchema("env", stubPol, maxTS+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, err := hs[0].TierStats(); err != nil || st.StubBlobs == 0 {
+		t.Fatalf("stub epilogue produced no stubs: %+v err=%v", st, err)
+	}
+	for i, tmpl := range aggTemplates {
+		compare(rounds+1, tmpl)
+		raw, _ := diffFetch(t, hs[0], fmt.Sprintf(tmpl, "D"))
+		if strings.Join(raw, "\n") != strings.Join(preStub[i], "\n") {
+			t.Fatalf("stubbed aggregate diverged from row-bearing answer:\n got %v\nwant %v", raw, preStub[i])
+		}
+	}
+	rawScan := fmt.Sprintf(`SELECT id, ts, a, b FROM D WHERE ts >= 0 AND ts < %d`, maxTS/2)
+	for i, h := range hs {
+		res, err := h.Query(rawScan)
+		if err == nil {
+			_, err = res.FetchAll()
+		}
+		if !errors.Is(err, ErrStubbed) {
+			t.Fatalf("%s: raw scan over stubbed range err = %v, want ErrStubbed", configs[i].name, err)
+		}
 	}
 }
 

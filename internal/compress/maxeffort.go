@@ -1,0 +1,176 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Maximum-effort column encoding for the cold storage tier. Hot-path
+// encodes pick one codec from cheap heuristics; cold compaction runs once
+// per blob lifetime, so it can afford to try every lossless candidate,
+// verify each by decoding, and keep the smallest.
+
+// CodecDelta is the bit-packed integral delta-of-delta codec (value 4 in
+// the column codec byte). It applies only to columns whose values are all
+// integral float64s: the sequence is converted to int64, delta-of-delta
+// transformed, and packed with Gorilla-timestamp-style variable-width
+// buckets. Counters, ramps, and sawtooths — the dominant shapes in
+// operational telemetry — collapse to about one bit per value.
+const CodecDelta Codec = 4
+
+// appendIntDelta encodes ints as CodecDelta payload (codec byte included).
+func appendIntDelta(dst []byte, ints []int64) []byte {
+	dst = append(dst, byte(CodecDelta))
+	dst = binary.AppendUvarint(dst, uint64(len(ints)))
+	if len(ints) == 0 {
+		return dst
+	}
+	dst = AppendVarint(dst, ints[0])
+	if len(ints) == 1 {
+		return dst
+	}
+	prevDelta := ints[1] - ints[0]
+	dst = AppendVarint(dst, prevDelta)
+	w := NewBitWriter(dst)
+	prev := ints[1]
+	for _, v := range ints[2:] {
+		d := v - prev
+		dod := Zigzag(d - prevDelta)
+		switch {
+		case dod == 0:
+			w.WriteBit(false)
+		case dod < 1<<7:
+			w.WriteBits(0b10, 2)
+			w.WriteBits(dod, 7)
+		case dod < 1<<10:
+			w.WriteBits(0b110, 3)
+			w.WriteBits(dod, 10)
+		case dod < 1<<16:
+			w.WriteBits(0b1110, 4)
+			w.WriteBits(dod, 16)
+		case dod < 1<<32:
+			w.WriteBits(0b11110, 5)
+			w.WriteBits(dod, 32)
+		default:
+			w.WriteBits(0b11111, 5)
+			w.WriteBits(dod, 64)
+		}
+		prevDelta = d
+		prev = v
+	}
+	return w.Bytes()
+}
+
+// decodeIntDelta decodes a CodecDelta payload (codec byte stripped) back
+// into float64s.
+func decodeIntDelta(b []byte) ([]float64, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n > 1<<24 {
+		return nil, ErrCorrupt
+	}
+	b = b[k:]
+	out := make([]float64, n)
+	if n == 0 {
+		return out, nil
+	}
+	v0, b, err := Varint(b)
+	if err != nil {
+		return nil, err
+	}
+	out[0] = float64(v0)
+	if n == 1 {
+		return out, nil
+	}
+	delta, b, err := Varint(b)
+	if err != nil {
+		return nil, err
+	}
+	prev := v0 + delta
+	out[1] = float64(prev)
+	r := NewBitReader(b)
+	for i := 2; i < int(n); i++ {
+		var width uint
+		zero, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if !zero {
+			// control bit 0: delta repeats
+			prev += delta
+			out[i] = float64(prev)
+			continue
+		}
+		for _, w := range []uint{7, 10, 16, 32} {
+			more, err := r.ReadBit()
+			if err != nil {
+				return nil, err
+			}
+			if !more {
+				width = w
+				break
+			}
+		}
+		if width == 0 {
+			width = 64
+		}
+		dod, err := r.ReadBits(width)
+		if err != nil {
+			return nil, err
+		}
+		delta += Unzigzag(dod)
+		prev += delta
+		out[i] = float64(prev)
+	}
+	return out, nil
+}
+
+// integralColumn converts values to int64 when every value is an integer
+// that round-trips exactly through the conversion (rejects NaN, ±Inf,
+// fractions, -0, and magnitudes beyond the float64 integer range).
+func integralColumn(values []float64) ([]int64, bool) {
+	const maxExact = 1 << 53
+	ints := make([]int64, len(values))
+	for i, v := range values {
+		if v != math.Trunc(v) || v < -maxExact || v > maxExact {
+			return nil, false
+		}
+		n := int64(v)
+		if math.Float64bits(float64(n)) != math.Float64bits(v) {
+			return nil, false
+		}
+		ints[i] = n
+	}
+	return ints, true
+}
+
+// EncodeColumnMaxEffort appends the smallest encoding of values that
+// reconstructs bit-exactly. It tries every lossless candidate — swinging
+// door at zero deviation (collapses exactly-collinear runs), bit-packed
+// integral delta-of-delta, XOR, raw — and verifies each by decoding and
+// comparing bit patterns before it may win, so codec bugs or rounding in
+// a candidate can cost size but never correctness. The cold compaction
+// tier uses this; the ingest path keeps the cheap single-codec picks.
+func EncodeColumnMaxEffort(dst []byte, values []float64) []byte {
+	best := appendRaw(nil, values)
+	consider := func(cand []byte) {
+		if len(cand) >= len(best) {
+			return
+		}
+		dec, err := DecodeColumn(cand)
+		if err != nil || len(dec) != len(values) {
+			return
+		}
+		for i := range dec {
+			if math.Float64bits(dec[i]) != math.Float64bits(values[i]) {
+				return
+			}
+		}
+		best = cand
+	}
+	consider(CompressLinear([]byte{byte(CodecLinear)}, values, 0))
+	if ints, ok := integralColumn(values); ok {
+		consider(appendIntDelta(nil, ints))
+	}
+	consider(CompressXOR([]byte{byte(CodecXOR)}, values))
+	return append(dst, best...)
+}

@@ -16,6 +16,8 @@ const (
 	CodecLinear Codec = 1 // swinging-door linear (paper ref [7])
 	CodecQuant  Codec = 2 // uniform quantization (paper ref [8])
 	CodecXOR    Codec = 3 // lossless XOR float compression
+	// CodecDelta = 4 (maxeffort.go): bit-packed integral delta-of-delta,
+	// written only by the cold-tier EncodeColumnMaxEffort path.
 )
 
 // String names the codec for logs and EXPERIMENTS reports.
@@ -29,6 +31,8 @@ func (c Codec) String() string {
 		return "quant"
 	case CodecXOR:
 		return "xor"
+	case CodecDelta:
+		return "delta"
 	}
 	return fmt.Sprintf("codec(%d)", uint8(c))
 }
@@ -96,6 +100,8 @@ func DecodeColumn(b []byte) ([]float64, error) {
 		return DecompressQuant(payload)
 	case CodecXOR:
 		return DecompressXOR(payload)
+	case CodecDelta:
+		return decodeIntDelta(payload)
 	}
 	return nil, fmt.Errorf("%w: unknown codec %d", ErrCorrupt, b[0])
 }

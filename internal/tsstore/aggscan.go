@@ -469,6 +469,19 @@ func (s *Store) aggBatchPart(tree *btree.Tree, source int64, r scanRange, lookba
 					continue
 				}
 			}
+			if IsStubBlob(blob) {
+				if !haveSum {
+					if s.lenient() {
+						s.noteCorruptBlob()
+						continue
+					}
+					return fmt.Errorf("tsstore: corrupt stub blob source=%d ts=%d", source, baseTS)
+				}
+				// A boundary-classified stub needs per-row resolution (a
+				// window or predicate the summary cannot prove) and its
+				// rows are gone: fail loudly, never under-count.
+				return &StubbedRangeError{Tree: treeName(treeID), Source: source, TS: baseTS, FirstTS: sum.firstTS, LastTS: sum.lastTS}
+			}
 			batch, err := DecodeBlob(blob, baseTS, sp.spec.WantTags)
 			if err != nil {
 				if s.lenient() {
@@ -586,6 +599,16 @@ func (s *Store) aggMGPart(group int64, r scanRange, onlySource int64, sp *aggSpe
 					pt.foldSummary(0, sum, sp)
 					continue
 				}
+			}
+			if IsStubBlob(blob) {
+				if !haveSum {
+					if s.lenient() {
+						s.noteCorruptBlob()
+						continue
+					}
+					return fmt.Errorf("tsstore: corrupt stub blob group=%d ts=%d", group, ts)
+				}
+				return &StubbedRangeError{Tree: "ts.mg", Source: group, TS: ts, FirstTS: sum.firstTS, LastTS: sum.lastTS}
 			}
 			batch, err := DecodeBlob(blob, ts, sp.spec.WantTags)
 			if err != nil {

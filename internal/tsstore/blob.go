@@ -31,8 +31,63 @@ const (
 	flagRowOriented = 0x80
 	flagZoneMaps    = 0x40
 	flagSummaries   = 0x20
-	formatMask      = 0x1F
+	// The tier bits live in the low-5 format field: the three structures
+	// only ever used values 1-3, so 0x10 and 0x08 were always zero, and
+	// pre-tier readers (whose structure switch covers the whole 0x1F
+	// field) reject tiered blobs as unknown formats instead of silently
+	// misreading them.
+	flagStub   = 0x10 // summary-only stub: header kept, payload dropped
+	flagCold   = 0x08 // cold tier: recompacted at maximum codec effort
+	structMask = 0x07
+	formatMask = 0x1F // the full pre-tier field (error reporting only)
 )
+
+// ErrStubbedBlob reports a payload decode attempted against a summary-only
+// stub: the rows were dropped by the tier policy, so raw scans over the
+// range fail explicitly — degradation is never a silent wrong answer.
+// Aggregates keep folding from the surviving header summary.
+var ErrStubbedBlob = errors.New("tsstore: blob aged to summary-only stub (raw rows dropped by tier policy)")
+
+// Tier classifies a blob's storage lifecycle stage.
+type Tier uint8
+
+// Blob lifecycle tiers, in aging order.
+const (
+	TierHot  Tier = iota // as flushed by ingest or maintenance
+	TierCold             // recompacted at maximum codec effort
+	TierStub             // summary-only; payload dropped
+)
+
+// String names the tier for stats and CLI output.
+func (t Tier) String() string {
+	switch t {
+	case TierHot:
+		return "hot"
+	case TierCold:
+		return "cold"
+	case TierStub:
+		return "stub"
+	}
+	return fmt.Sprintf("tier(%d)", uint8(t))
+}
+
+// BlobTier reports which lifecycle tier a stored blob is in. A stub that
+// was made from a cold blob reports TierStub (stub is the later stage).
+func BlobTier(b []byte) Tier {
+	if len(b) == 0 {
+		return TierHot
+	}
+	switch {
+	case b[0]&flagStub != 0:
+		return TierStub
+	case b[0]&flagCold != 0:
+		return TierCold
+	}
+	return TierHot
+}
+
+// IsStubBlob reports whether b is a summary-only stub.
+func IsStubBlob(b []byte) bool { return len(b) > 0 && b[0]&flagStub != 0 }
 
 // TagRange is a pushed-down predicate bound on one tag: rows outside
 // [Lo, Hi] cannot match. Zone maps let scans skip whole blobs whose
@@ -131,7 +186,7 @@ func blobZoneMaps(b []byte) ([]zoneMap, bool) {
 	if len(b) < 1 || b[0]&flagZoneMaps == 0 {
 		return nil, false
 	}
-	format := b[0] & formatMask
+	format := b[0] & structMask
 	rest := b[1:]
 	ntagsU, n := binary.Uvarint(rest)
 	if n <= 0 || ntagsU > 1<<16 {
@@ -196,6 +251,7 @@ type encodeOpts struct {
 	policies []compress.Policy // per tag; nil means lossless for all
 	disable  bool              // raw storage (compression ablation)
 	legacy   bool              // write the pre-summary format (compat tests)
+	cold     bool              // cold tier: max-effort lossless columns
 }
 
 func (o encodeOpts) policy(tag int) compress.Policy {
@@ -247,7 +303,12 @@ func encodeColumns(rows [][]float64, ntags int, opts encodeOpts) ([]byte, []tagS
 				}
 			}
 		}
-		col := compress.EncodeColumn(nil, vals, compress.Policy{Disable: opts.disable})
+		var col []byte
+		if opts.cold && !opts.disable {
+			col = compress.EncodeColumnMaxEffort(nil, vals)
+		} else {
+			col = compress.EncodeColumn(nil, vals, compress.Policy{Disable: opts.disable})
+		}
 		dst = binary.AppendUvarint(dst, uint64(len(col)))
 		dst = append(dst, col...)
 		for tag := 0; tag < ntags; tag++ {
@@ -267,11 +328,20 @@ func encodeColumns(rows [][]float64, ntags int, opts encodeOpts) ([]byte, []tagS
 			}
 		}
 		pol := opts.policy(tag)
-		col := compress.EncodeColumn(nil, vals, pol)
+		var col []byte
 		eff := vals
-		if !pol.Lossless() && !pol.Disable {
-			if dec, err := compress.DecodeColumn(col); err == nil && len(dec) == len(vals) {
-				eff = dec
+		if opts.cold && !pol.Disable {
+			// Cold recompaction is always lossless at maximum effort; the
+			// inputs are already the round-tripped values earlier lossy
+			// encodes produced, so decoded rows — and the stats below —
+			// stay bit-identical across the tier transition.
+			col = compress.EncodeColumnMaxEffort(nil, vals)
+		} else {
+			col = compress.EncodeColumn(nil, vals, pol)
+			if !pol.Lossless() && !pol.Disable {
+				if dec, err := compress.DecodeColumn(col); err == nil && len(dec) == len(vals) {
+					eff = dec
+				}
 			}
 		}
 		for _, v := range eff {
@@ -348,7 +418,7 @@ func parseBlobSummary(b []byte, baseTS int64) (*blobSummary, bool) {
 	if len(b) < 1 || b[0]&flagSummaries == 0 || b[0]&flagZoneMaps == 0 {
 		return nil, false
 	}
-	format := b[0] & formatMask
+	format := b[0] & structMask
 	rest := b[1:]
 	ntagsU, n := binary.Uvarint(rest)
 	if n <= 0 || ntagsU > 1<<16 {
@@ -615,6 +685,9 @@ func EncodeRTS(points []model.Point, ntags int, intervalMs int64, opts encodeOpt
 	if !opts.legacy {
 		format |= flagSummaries
 	}
+	if opts.cold && !opts.legacy {
+		format |= flagCold
+	}
 	dst = append(dst, format)
 	dst = binary.AppendUvarint(dst, uint64(ntags))
 	dst = binary.AppendUvarint(dst, uint64(len(points)))
@@ -649,6 +722,9 @@ func EncodeIRTS(points []model.Point, ntags int, opts encodeOpts) []byte {
 	format |= flagZoneMaps
 	if !opts.legacy {
 		format |= flagSummaries
+	}
+	if opts.cold && !opts.legacy {
+		format |= flagCold
 	}
 	dst = append(dst, format)
 	dst = binary.AppendUvarint(dst, uint64(ntags))
@@ -762,7 +838,13 @@ func DecodeBlob(b []byte, baseTS int64, wantTags []int) (*DecodedBatch, error) {
 	if len(b) < 1 {
 		return nil, ErrCorruptBlob
 	}
-	format := b[0] & formatMask
+	if b[0]&flagStub != 0 {
+		// The payload is gone by design, not by damage: surface the typed
+		// error so scans can distinguish tier degradation from corruption
+		// (lenient recovery must never quarantine a stub).
+		return nil, ErrStubbedBlob
+	}
+	format := b[0] & structMask
 	rowOriented := b[0]&flagRowOriented != 0
 	hasZones := b[0]&flagZoneMaps != 0
 	hasSummary := b[0]&flagSummaries != 0
@@ -898,4 +980,79 @@ func (d *DecodedBatch) blobSpan() int64 {
 		return 0
 	}
 	return d.Timestamps[len(d.Timestamps)-1] - d.Timestamps[0]
+}
+
+// stubHeaderLen returns the length of a v2 blob's header through the end
+// of the summary block — the prefix a stub keeps. It requires zone maps
+// and a summary (every non-legacy blob carries both).
+func stubHeaderLen(b []byte) (int, bool) {
+	if len(b) < 1 || b[0]&flagZoneMaps == 0 || b[0]&flagSummaries == 0 {
+		return 0, false
+	}
+	off := 1
+	ntagsU, n := binary.Uvarint(b[off:])
+	if n <= 0 || ntagsU > 1<<16 {
+		return 0, false
+	}
+	ntags := int(ntagsU)
+	off += n
+	extras := 1 // IRTS count / MG memberCount
+	switch b[0] & structMask {
+	case blobRTS:
+		extras = 2 // count, interval
+	case blobIRTS, blobMG:
+	default:
+		return 0, false
+	}
+	for i := 0; i < extras; i++ {
+		// Varint and Uvarint share continuation bits, so the skip length
+		// is the same whichever wrote the field.
+		if _, n := binary.Varint(b[off:]); n > 0 {
+			off += n
+		} else {
+			return 0, false
+		}
+	}
+	if len(b) < off+ntags*16 {
+		return 0, false
+	}
+	off += ntags * 16 // zone maps
+	rest, err := skipSummaryBlock(b[off:], ntags)
+	if err != nil {
+		return 0, false
+	}
+	return len(b) - len(rest), true
+}
+
+// makeStubBlob returns the summary-only stub of a v2 blob: the header is
+// preserved byte for byte — zone maps and summary survive, so aggregate
+// folds over the stub stay bit-identical to decoding the payload — and
+// everything after it is dropped. ok is false for blobs that are already
+// stubs and for legacy blobs (nothing to keep): callers re-encode those
+// with the summary format first.
+func makeStubBlob(b []byte) ([]byte, bool) {
+	if IsStubBlob(b) {
+		return nil, false
+	}
+	n, ok := stubHeaderLen(b)
+	if !ok {
+		return nil, false
+	}
+	stub := make([]byte, n)
+	copy(stub, b)
+	stub[0] |= flagStub
+	return stub, true
+}
+
+// blobLastTS reads a blob's newest row timestamp from its summary header
+// without decoding the payload; ok is false for legacy (pre-summary)
+// blobs. Unlike a payload decode's Timestamps[len-1], the summary lastTS
+// is the true maximum even for MG blobs, whose member offsets are stored
+// in slot order, not time order.
+func blobLastTS(b []byte, baseTS int64) (int64, bool) {
+	sum, ok := parseBlobSummary(b, baseTS)
+	if !ok {
+		return 0, false
+	}
+	return sum.lastTS, true
 }

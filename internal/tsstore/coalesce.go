@@ -52,6 +52,11 @@ func (s *Store) CoalesceSource(source int64) (CoalesceResult, error) {
 		if err != nil {
 			return true
 		}
+		if BlobTier(v) != TierHot {
+			// Cold blobs were already compacted at a larger granularity and
+			// stubs have no payload; both stay where the tier pass put them.
+			return true
+		}
 		batch, err := DecodeBlob(v, baseTS, nil)
 		if err != nil {
 			return true

@@ -129,11 +129,19 @@ func (s *Store) ReorganizeGroup(group int64, upTo int64) (ReorgResult, error) {
 // writeHistoricalBatches packs a sorted per-source point run into RTS or
 // IRTS batches of at most batchSize points, splitting RTS runs at gaps.
 func (s *Store) writeHistoricalBatches(ds *model.DataSource, schema *model.SchemaType, pts []model.Point) (int, error) {
+	n, _, err := s.writeBatchesOpts(ds, schema, pts, ds.HistoricalStructure(), s.encodeOptsFor(schema), s.cfg.BatchSize)
+	return n, err
+}
+
+// writeBatchesOpts is the parameterized batch writer behind both the
+// reorganizer (store defaults) and the cold compaction pass, which rewrites
+// aged history at a larger batch granularity with max-effort encoding. It
+// returns the batch count and the blob bytes written.
+func (s *Store) writeBatchesOpts(ds *model.DataSource, schema *model.SchemaType, pts []model.Point, structure model.Structure, opts encodeOpts, batchSize int) (int, int64, error) {
 	ntags := len(schema.Tags)
-	opts := s.encodeOptsFor(schema)
-	structure := ds.HistoricalStructure()
 	tree := s.treeFor(structure)
 	batches := 0
+	var blobBytes int64
 	flush := func(run []model.Point) error {
 		if len(run) == 0 {
 			return nil
@@ -161,35 +169,44 @@ func (s *Store) writeHistoricalBatches(ds *model.DataSource, schema *model.Schem
 			return err
 		}
 		batches++
+		blobBytes += int64(len(blob))
 		return nil
 	}
-	// Cap a batch's time span at b sampling intervals so batches stay
-	// aligned with the data's natural cadence; retention (which drops
-	// whole batches) then keeps working after reorganization and
-	// coalescing.
-	maxSpan := int64(0)
-	if ds.IntervalMs > 0 {
-		maxSpan = int64(s.cfg.BatchSize) * ds.IntervalMs
-	}
-	var run []model.Point
-	for _, p := range pts {
-		if len(run) > 0 {
-			last := run[len(run)-1].TS
-			gap := structure == model.RTS && p.TS != last+ds.IntervalMs
-			tooWide := maxSpan > 0 && p.TS-run[0].TS >= maxSpan
-			if gap || tooWide || len(run) >= s.cfg.BatchSize {
-				if err := flush(run); err != nil {
-					return batches, err
-				}
-				run = run[:0]
-			}
+	for _, run := range splitBatchRuns(pts, structure, ds.IntervalMs, batchSize) {
+		if err := flush(run); err != nil {
+			return batches, blobBytes, err
 		}
-		run = append(run, p)
 	}
-	if err := flush(run); err != nil {
-		return batches, err
+	return batches, blobBytes, nil
+}
+
+// splitBatchRuns partitions a sorted point slice into batch runs of at
+// most batchSize points, splitting RTS runs at sampling gaps and capping
+// each run's time span at batchSize sampling intervals so batches stay
+// aligned with the data's natural cadence; retention (which drops whole
+// batches) then keeps working after reorganization, coalescing, and cold
+// compaction. The returned runs alias pts. The split is deterministic:
+// the cold pass dry-runs it for key-collision checks before the writer
+// replays it.
+func splitBatchRuns(pts []model.Point, structure model.Structure, intervalMs int64, batchSize int) [][]model.Point {
+	maxSpan := int64(0)
+	if intervalMs > 0 {
+		maxSpan = int64(batchSize) * intervalMs
 	}
-	return batches, nil
+	var runs [][]model.Point
+	start := 0
+	for i := 1; i < len(pts); i++ {
+		gap := structure == model.RTS && pts[i].TS != pts[i-1].TS+intervalMs
+		tooWide := maxSpan > 0 && pts[i].TS-pts[start].TS >= maxSpan
+		if gap || tooWide || i-start >= batchSize {
+			runs = append(runs, pts[start:i])
+			start = i
+		}
+	}
+	if start < len(pts) {
+		runs = append(runs, pts[start:])
+	}
+	return runs
 }
 
 // writeHistoricalPoint stores a single point directly in the source's

@@ -74,44 +74,61 @@ func (s *Store) DropBefore(schemaID int64, cutoff int64) (DropResult, error) {
 
 // dropSourceRange deletes records of one key prefix whose batch data ends
 // before the cutoff: a batch is dropped only when its last timestamp is
-// below the cutoff (checked by decoding the header-level timestamps).
+// below the cutoff. The last timestamp comes straight from the v2 summary
+// header — no payload decode; only legacy (pre-summary) blobs pay for a
+// full decode. Summary-only stubs qualify like any other blob: retention
+// is the tier lifecycle's final stage.
 func (s *Store) dropSourceRange(tree *btree.Tree, prefix int64, cutoff int64) (int, int64, error) {
 	lo := keyenc.SourceTime(prefix, -1<<62)
 	hi := keyenc.SourceTime(prefix, cutoff)
 	var keys [][]byte
-	var bytes int64
+	var sizes []int64
 	err := tree.Scan(lo, hi, func(k, v []byte) bool {
 		_, baseTS, err := keyenc.DecodeSourceTime(k)
 		if err != nil {
 			return true
 		}
-		batch, err := DecodeBlob(v, baseTS, []int{})
-		if err != nil {
-			return true
-		}
-		last := baseTS
-		if n := len(batch.Timestamps); n > 0 {
-			last = batch.Timestamps[n-1]
+		last, ok := blobLastTS(v, baseTS)
+		if !ok {
+			batch, err := DecodeBlob(v, baseTS, []int{})
+			if err != nil {
+				return true
+			}
+			last = baseTS
+			// MG offsets are stored in slot order, so take the maximum
+			// rather than trusting the final entry.
+			for _, ts := range batch.Timestamps {
+				if ts > last {
+					last = ts
+				}
+			}
 		}
 		if last >= cutoff {
 			return true // straddles the cutoff; keep whole
 		}
 		keys = append(keys, append([]byte(nil), k...))
-		bytes += int64(len(v))
+		sizes = append(sizes, int64(len(v)))
 		return true
 	})
 	if err != nil {
 		return 0, 0, err
 	}
 	treeID := s.treeID(tree)
-	for _, k := range keys {
+	deleted := 0
+	var deletedBytes int64
+	for i, k := range keys {
 		err := tree.Delete(k)
 		if _, ts, derr := keyenc.DecodeSourceTime(k); derr == nil {
 			s.invalidateBlob(treeID, prefix, ts)
 		}
 		if err != nil {
-			return len(keys), bytes, err
+			// Count only what actually came out of the tree: a failed
+			// Delete must not inflate DropResult or drive catalog stats
+			// negative for records that are still there.
+			return deleted, deletedBytes, err
 		}
+		deleted++
+		deletedBytes += sizes[i]
 	}
-	return len(keys), bytes, nil
+	return deleted, deletedBytes, nil
 }

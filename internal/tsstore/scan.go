@@ -354,6 +354,28 @@ func (it *batchIter) loadOne() {
 		it.skipped++
 		return
 	}
+	if IsStubBlob(blob) {
+		sum, ok := parseBlobSummary(blob, baseTS)
+		if !ok {
+			// A stub without a readable summary is corruption, not policy.
+			if it.store.lenient() {
+				it.store.noteCorruptBlob()
+				return
+			}
+			it.err = fmt.Errorf("tsstore: corrupt stub blob source=%d ts=%d", it.source, baseTS)
+			it.done = true
+			return
+		}
+		if sum.rows == 0 || sum.lastTS < it.t1 || sum.firstTS >= it.t2 {
+			return // every stubbed row falls outside the window: nothing lost
+		}
+		// Rows inside the window were dropped by tier policy: degrade
+		// loudly rather than silently return fewer rows. Lenient mode
+		// never swallows this — a stub is not a corrupt record.
+		it.err = &StubbedRangeError{Tree: treeName(it.treeID), Source: it.source, TS: baseTS, FirstTS: sum.firstTS, LastTS: sum.lastTS}
+		it.done = true
+		return
+	}
 	batch, err := DecodeBlob(blob, baseTS, it.wantTags)
 	if err != nil {
 		if it.store.lenient() {
@@ -551,6 +573,24 @@ func (it *mgIter) Next() (model.Point, bool) {
 		if !BlobOverlaps(blob, it.tagRanges) {
 			it.skipped++
 			continue
+		}
+		if IsStubBlob(blob) {
+			// MG records never tier today, but the read path stays honest
+			// if one ever does: same contract as batchIter.
+			sum, ok := parseBlobSummary(blob, ts)
+			if !ok {
+				if it.store.lenient() {
+					it.store.noteCorruptBlob()
+					continue
+				}
+				it.err = fmt.Errorf("tsstore: corrupt stub blob group=%d ts=%d", it.group, ts)
+				return model.Point{}, false
+			}
+			if sum.rows == 0 || sum.lastTS < it.t1 || sum.firstTS >= it.t2 {
+				continue
+			}
+			it.err = &StubbedRangeError{Tree: "ts.mg", Source: it.group, TS: ts, FirstTS: sum.firstTS, LastTS: sum.lastTS}
+			return model.Point{}, false
 		}
 		batch, err := DecodeBlob(blob, ts, it.wantTags)
 		if err != nil {

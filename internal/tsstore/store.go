@@ -81,6 +81,12 @@ type Stats struct {
 	// encoded blob bytes those folds avoided reading.
 	SummaryHits     int64
 	BytesNotDecoded int64
+	// ColdCompactions counts hot records consumed by cold-tier passes;
+	// StubTransitions counts records truncated to summary-only stubs;
+	// TierBytesReclaimed is the net encoded bytes tier passes removed.
+	ColdCompactions    int64
+	StubTransitions    int64
+	TierBytesReclaimed int64
 }
 
 // Stats.add accumulates other into st (shard aggregation).
@@ -146,6 +152,11 @@ type Store struct {
 	// skipped a blob decode and the encoded bytes they avoided.
 	summaryHits     atomic.Int64
 	bytesNotDecoded atomic.Int64
+
+	// Tier lifecycle counters (cumulative; see tier.go).
+	coldCompactions    atomic.Int64
+	stubTransitions    atomic.Int64
+	tierBytesReclaimed atomic.Int64
 }
 
 // shardCount picks the ingest shard count: a power of two sized from
@@ -288,6 +299,9 @@ func (s *Store) Stats() Stats {
 	st.ParallelParts = s.parallelParts.Load()
 	st.SummaryHits = s.summaryHits.Load()
 	st.BytesNotDecoded = s.bytesNotDecoded.Load()
+	st.ColdCompactions = s.coldCompactions.Load()
+	st.StubTransitions = s.stubTransitions.Load()
+	st.TierBytesReclaimed = s.tierBytesReclaimed.Load()
 	return st
 }
 
@@ -902,6 +916,16 @@ func (s *Store) VerifyBlobs() (checked int, corrupt []BlobRef, err error) {
 			switch {
 			case kerr != nil || verr != nil:
 				corrupt = append(corrupt, BlobRef{Tree: tr.name, Source: src, TS: ts})
+			case IsStubBlob(blob):
+				// A stub's remaining contract is its summary header: the
+				// payload was dropped by tier policy, so a row decode is
+				// expected to fail and fsck only requires the header (and
+				// its zone maps) to parse.
+				_, sumOK := parseBlobSummary(blob, ts)
+				_, zonesOK := blobZoneMaps(blob)
+				if !sumOK || !zonesOK {
+					corrupt = append(corrupt, BlobRef{Tree: tr.name, Source: src, TS: ts})
+				}
 			default:
 				batch, derr := DecodeBlob(blob, ts, nil)
 				switch {

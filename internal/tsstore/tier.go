@@ -1,0 +1,412 @@
+package tsstore
+
+import (
+	"fmt"
+	"sort"
+
+	"odh/internal/btree"
+	"odh/internal/keyenc"
+	"odh/internal/model"
+)
+
+// The tier pass implements the storage lifecycle an operational historian
+// runs between ingest and retention. Batch records age through three
+// tiers, driven by per-schema age policies:
+//
+//	hot  — written by ingest/reorganization at BatchSize granularity with
+//	       the paper's variability-aware codecs (possibly lossy);
+//	cold — aged records coalesced into batches ColdBatchPoints wide and
+//	       re-encoded at maximum codec effort, lossless and bit-exact
+//	       against what a decode of the hot record returned;
+//	stub — the record truncated to its header (zone maps + aggregate
+//	       summary); COUNT/SUM/AVG/MIN/MAX and covered TIME_BUCKET
+//	       roll-ups keep answering from the summary, raw-row scans over
+//	       the stubbed range fail with StubbedRangeError.
+//
+// Only the per-source RTS/IRTS trees tier: MG records hold interleaved
+// member rows whose per-source batches only exist after Reorganize rehomes
+// them, so MG history enters the lifecycle through the reorganizer first.
+//
+// Crash safety: a pass mutates B+tree pages that become durable only at
+// the page store's next two-phase checkpoint (Flush). A crash mid-pass
+// recovers the previous checkpoint — every original record intact; a
+// failed pass surfaces its error and the caller skips the checkpoint the
+// same way failed coalescing does. No transition ever overwrites the only
+// copy of a record before its replacement is in the same shadow-paged
+// tree.
+
+// TierPolicy ages one schema's batch records. Cutoffs are relative to the
+// "now" passed to TierSchema; zero disables that transition.
+type TierPolicy struct {
+	// ColdAfterMs moves records whose last timestamp is older than
+	// now-ColdAfterMs to the cold tier (coalesce + max-effort re-encode).
+	ColdAfterMs int64
+	// StubAfterMs truncates records older than now-StubAfterMs to
+	// summary-only stubs. Usually >= ColdAfterMs so records compact
+	// before their rows are dropped, but a stub-only policy is valid.
+	StubAfterMs int64
+	// ColdBatchPoints is the cold-tier batch granularity; <= 0 means
+	// ColdBatchFactor * Config.BatchSize.
+	ColdBatchPoints int
+}
+
+// ColdBatchFactor is the default multiple of the hot batch size used for
+// cold-tier batches, amortizing per-record key and header overhead.
+const ColdBatchFactor = 8
+
+// TierResult summarizes one TierSchema pass.
+type TierResult struct {
+	// ColdCompacted counts hot records the cold pass consumed;
+	// ColdWritten counts the cold records it produced.
+	ColdCompacted int
+	ColdWritten   int
+	// Stubbed counts records truncated to summary-only stubs.
+	Stubbed int
+	// BytesBefore and BytesAfter measure the encoded bytes of every
+	// record the pass touched, around the pass; BytesReclaimed is their
+	// difference.
+	BytesBefore    int64
+	BytesAfter     int64
+	BytesReclaimed int64
+}
+
+// TierStats is an on-demand census of the three batch trees by tier.
+type TierStats struct {
+	HotBlobs, ColdBlobs, StubBlobs int64
+	HotBytes, ColdBytes, StubBytes int64
+}
+
+// StubbedRangeError reports a raw-row scan that touched a record whose
+// rows were dropped by tier policy. It unwraps to ErrStubbedBlob so
+// callers match it with errors.Is; the fields identify the record so an
+// operator can tell which range degraded. This is explicit degradation,
+// not corruption: lenient scans do not quarantine it.
+type StubbedRangeError struct {
+	Tree            string // "ts.rts", "ts.irts", or "ts.mg"
+	Source          int64  // source id (group id for MG records)
+	TS              int64  // record base timestamp
+	FirstTS, LastTS int64  // the stub's summarized row range
+}
+
+func (e *StubbedRangeError) Error() string {
+	return fmt.Sprintf("tsstore: rows of %s source=%d ts=%d (span [%d, %d]) were dropped by tier policy; only header aggregates remain",
+		e.Tree, e.Source, e.TS, e.FirstTS, e.LastTS)
+}
+
+// Unwrap ties the error to ErrStubbedBlob for errors.Is.
+func (e *StubbedRangeError) Unwrap() error { return ErrStubbedBlob }
+
+// treeName names a cache tree id like BlobRef.Tree.
+func treeName(id uint8) string {
+	switch id {
+	case cacheTreeRTS:
+		return "ts.rts"
+	case cacheTreeIRTS:
+		return "ts.irts"
+	default:
+		return "ts.mg"
+	}
+}
+
+// TierSchema runs one lifecycle pass over every source of a schema: first
+// the cold pass (coalesce + re-encode records older than the cold cutoff),
+// then the stub pass (truncate records older than the stub cutoff), so a
+// record crossing both cutoffs in one call compacts before it stubs.
+func (s *Store) TierSchema(schemaID int64, pol TierPolicy, now int64) (TierResult, error) {
+	res := TierResult{}
+	if pol.ColdAfterMs <= 0 && pol.StubAfterMs <= 0 {
+		return res, nil
+	}
+	batchPoints := pol.ColdBatchPoints
+	if batchPoints <= 0 {
+		batchPoints = ColdBatchFactor * s.cfg.BatchSize
+	}
+	for _, src := range s.cat.SourcesBySchema(schemaID) {
+		ds, ok := s.cat.Source(src)
+		if !ok {
+			continue
+		}
+		schema, ok := s.cat.SchemaByID(ds.SchemaID)
+		if !ok {
+			continue
+		}
+		for _, structure := range []model.Structure{model.RTS, model.IRTS} {
+			tree := s.treeFor(structure)
+			if pol.ColdAfterMs > 0 {
+				// Never coalesce across the stub cutoff: a cold blob
+				// straddling it would keep its rows forever (stubbing skips
+				// straddlers), starving the stub tier whenever the cold
+				// granularity exceeds the gap between the two cutoffs.
+				splitAt := int64(0)
+				if pol.StubAfterMs > 0 {
+					splitAt = now - pol.StubAfterMs
+				}
+				if err := s.coldCompactSource(tree, structure, ds, schema, now-pol.ColdAfterMs, splitAt, batchPoints, &res); err != nil {
+					return res, err
+				}
+			}
+			if pol.StubAfterMs > 0 {
+				if err := s.stubSource(tree, structure, ds, schema, now-pol.StubAfterMs, &res); err != nil {
+					return res, err
+				}
+			}
+		}
+	}
+	res.BytesReclaimed = res.BytesBefore - res.BytesAfter
+	s.tierBytesReclaimed.Add(res.BytesReclaimed)
+	return res, nil
+}
+
+// coldCompactSource rewrites one source's hot records whose data ends
+// before the cutoff into cold batches: decode, merge, re-split at the cold
+// granularity, re-encode at maximum effort. Values round-trip bit-exactly
+// — the inputs are the already-round-tripped floats a scan of the hot
+// record returned, and the cold codecs are verified lossless.
+func (s *Store) coldCompactSource(tree *btree.Tree, structure model.Structure, ds *model.DataSource, schema *model.SchemaType, cutoff, splitAt int64, batchPoints int, res *TierResult) error {
+	lo := keyenc.SourceTime(ds.ID, -1<<62)
+	// A record keyed at or past the cutoff starts there, so its last
+	// timestamp cannot be older; the scan stops at the cutoff key.
+	hi := keyenc.SourceTime(ds.ID, cutoff)
+	type rec struct {
+		key    []byte
+		bytes  int64
+		points []model.Point
+	}
+	var recs []rec
+	survivors := make(map[int64]bool)
+	err := tree.Scan(lo, hi, func(k, v []byte) bool {
+		_, baseTS, err := keyenc.DecodeSourceTime(k)
+		if err != nil {
+			return true
+		}
+		if BlobTier(v) != TierHot {
+			return true // already compacted or stubbed
+		}
+		last, haveLast := blobLastTS(v, baseTS)
+		if haveLast && last >= cutoff {
+			survivors[baseTS] = true // straddles the cutoff; stays hot
+			return true
+		}
+		batch, err := DecodeBlob(v, baseTS, nil)
+		if err != nil {
+			return true // unreadable: leave it for fsck, never destroy
+		}
+		if !haveLast {
+			// Legacy pre-summary blob: find the true last timestamp from
+			// the decode (MG-origin timestamps are slot-ordered, so take
+			// the maximum rather than the tail).
+			last = baseTS
+			for _, ts := range batch.Timestamps {
+				if ts > last {
+					last = ts
+				}
+			}
+			if last >= cutoff {
+				survivors[baseTS] = true
+				return true
+			}
+		}
+		pts := make([]model.Point, len(batch.Timestamps))
+		for i := range pts {
+			pts[i] = model.Point{Source: ds.ID, TS: batch.Timestamps[i], Values: batch.Rows[i]}
+		}
+		recs = append(recs, rec{key: append([]byte(nil), k...), bytes: int64(len(v)), points: pts})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	var all []model.Point
+	var bytesBefore, pointCount int64
+	for _, r := range recs {
+		all = append(all, r.points...)
+		bytesBefore += r.bytes
+		pointCount += int64(len(r.points))
+	}
+	insertionSortPoints(all)
+	// Partition at the stub cutoff so no rewritten run straddles it (the
+	// stub pass would skip such a run as a straddler forever).
+	parts := [][]model.Point{all}
+	if splitAt > 0 {
+		cut := sort.Search(len(all), func(i int) bool { return all[i].TS >= splitAt })
+		if cut > 0 && cut < len(all) {
+			parts = [][]model.Point{all[:cut], all[cut:]}
+		}
+	}
+	// A rewritten run must never land on the key of a record the pass
+	// keeps: after out-of-order ingest a straddler can share a first
+	// timestamp with a re-split run, and Put would overwrite it. The
+	// collision is vanishingly rare — skip the source this round; the
+	// straddler ages past the cutoff and the next pass retries.
+	if len(survivors) > 0 {
+		for _, part := range parts {
+			for _, run := range splitBatchRuns(part, structure, ds.IntervalMs, batchPoints) {
+				if survivors[run[0].TS] {
+					return nil
+				}
+			}
+		}
+	}
+	opts := s.encodeOptsFor(schema)
+	opts.cold = true
+	opts.legacy = false
+	treeID := s.treeID(tree)
+	for _, r := range recs {
+		err := tree.Delete(r.key)
+		if _, ts, derr := keyenc.DecodeSourceTime(r.key); derr == nil {
+			s.invalidateBlob(treeID, ds.ID, ts)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := s.cat.UpdateStats(ds.ID, model.SourceStats{
+		BatchCount: -int64(len(recs)),
+		PointCount: -pointCount,
+		BlobBytes:  -bytesBefore,
+	}); err != nil {
+		return err
+	}
+	var n int
+	var bytesAfter int64
+	for _, part := range parts {
+		pn, pb, err := s.writeBatchesOpts(ds, schema, part, structure, opts, batchPoints)
+		if err != nil {
+			return err
+		}
+		n += pn
+		bytesAfter += pb
+	}
+	res.ColdCompacted += len(recs)
+	res.ColdWritten += n
+	res.BytesBefore += bytesBefore
+	res.BytesAfter += bytesAfter
+	s.coldCompactions.Add(int64(len(recs)))
+	return nil
+}
+
+// stubSource truncates one source's records whose data ends before the
+// cutoff to summary-only stubs, in place under the same key. Legacy
+// pre-summary blobs are first re-encoded losslessly into the summary
+// format (from the decode's round-tripped values, so the summary matches
+// what scans were already serving) and the stub is that header.
+func (s *Store) stubSource(tree *btree.Tree, structure model.Structure, ds *model.DataSource, schema *model.SchemaType, cutoff int64, res *TierResult) error {
+	lo := keyenc.SourceTime(ds.ID, -1<<62)
+	hi := keyenc.SourceTime(ds.ID, cutoff)
+	type rec struct {
+		key  []byte
+		ts   int64
+		old  int64
+		stub []byte
+	}
+	var recs []rec
+	err := tree.Scan(lo, hi, func(k, v []byte) bool {
+		_, baseTS, err := keyenc.DecodeSourceTime(k)
+		if err != nil {
+			return true
+		}
+		if IsStubBlob(v) {
+			return true // already stubbed
+		}
+		last, haveLast := blobLastTS(v, baseTS)
+		if haveLast && last >= cutoff {
+			return true // straddles the cutoff; keep rows
+		}
+		var stub []byte
+		if haveLast {
+			stub, _ = makeStubBlob(v)
+		}
+		if stub == nil {
+			batch, derr := DecodeBlob(v, baseTS, nil)
+			if derr != nil {
+				return true // unreadable: leave it for fsck
+			}
+			last = baseTS
+			for _, ts := range batch.Timestamps {
+				if ts > last {
+					last = ts
+				}
+			}
+			if last >= cutoff {
+				return true
+			}
+			pts := make([]model.Point, len(batch.Timestamps))
+			for i := range pts {
+				pts[i] = model.Point{Source: ds.ID, TS: batch.Timestamps[i], Values: batch.Rows[i]}
+			}
+			opts := s.encodeOptsFor(schema)
+			opts.cold = true
+			opts.legacy = false
+			var full []byte
+			if structure == model.RTS {
+				full = EncodeRTS(pts, len(schema.Tags), ds.IntervalMs, opts)
+			} else {
+				full = EncodeIRTS(pts, len(schema.Tags), opts)
+			}
+			stub, _ = makeStubBlob(full)
+			if stub == nil {
+				return true
+			}
+		}
+		recs = append(recs, rec{key: append([]byte(nil), k...), ts: baseTS, old: int64(len(v)), stub: stub})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	treeID := s.treeID(tree)
+	for _, r := range recs {
+		err := tree.Put(r.key, r.stub)
+		// The record changed under its key: any cached decode is stale.
+		s.invalidateBlob(treeID, ds.ID, r.ts)
+		if err != nil {
+			return err
+		}
+		// Row counts stay: the summary still answers COUNT/SUM/AVG and
+		// partition elimination still needs the source's time range.
+		if err := s.cat.UpdateStats(ds.ID, model.SourceStats{
+			BlobBytes: int64(len(r.stub)) - r.old,
+		}); err != nil {
+			return err
+		}
+		res.Stubbed++
+		res.BytesBefore += r.old
+		res.BytesAfter += int64(len(r.stub))
+	}
+	s.stubTransitions.Add(int64(len(recs)))
+	return nil
+}
+
+// TierStats walks the three batch trees and counts records per tier from
+// their format bytes — the census behind Store/TotalStats tier reporting.
+func (s *Store) TierStats() (TierStats, error) {
+	var st TierStats
+	for _, tr := range []*btree.Tree{s.rts, s.irts, s.mg} {
+		cur := tr.First()
+		for cur.Valid() {
+			v, err := cur.Value()
+			if err != nil {
+				return st, err
+			}
+			switch BlobTier(v) {
+			case TierStub:
+				st.StubBlobs++
+				st.StubBytes += int64(len(v))
+			case TierCold:
+				st.ColdBlobs++
+				st.ColdBytes += int64(len(v))
+			default:
+				st.HotBlobs++
+				st.HotBytes += int64(len(v))
+			}
+			cur.Next()
+		}
+		if err := cur.Err(); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,474 @@
+package tsstore
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"odh/internal/compress"
+	"odh/internal/keyenc"
+	"odh/internal/model"
+)
+
+// writeRegular ingests n gap-free points for an RTS source starting at
+// start and flushes, so everything lands in persisted batches.
+func writeRegular(t testing.TB, f *fixture, ds *model.DataSource, start int64, n int, ntags int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		vals := make([]float64, ntags)
+		for j := range vals {
+			vals[j] = float64(i%97) + float64(j)
+		}
+		if err := f.store.Write(model.Point{Source: ds.ID, TS: start + int64(i)*ds.IntervalMs, Values: vals}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func tierScanAll(t testing.TB, s *Store, source, t1, t2 int64) []model.Point {
+	t.Helper()
+	it, err := s.HistoricalScan(source, t1, t2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return collect(t, it)
+}
+
+func TestTierColdCompaction(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16}, 0)
+	s := f.schema(t, "env", 2)
+	ds := f.source(t, s.ID, true, 10)
+	writeRegular(t, f, ds, 0, 400, 2)
+
+	before := tierScanAll(t, f.store, ds.ID, 0, math.MaxInt64)
+	statsBefore := f.cat.Stats(ds.ID)
+	now := statsBefore.LastTS + 1
+	cutoff := now - 1000 // everything with lastTS < cutoff goes cold
+
+	res, err := f.store.TierSchema(s.ID, TierPolicy{ColdAfterMs: 1000}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdCompacted == 0 || res.ColdWritten == 0 {
+		t.Fatalf("cold pass did nothing: %+v", res)
+	}
+	if res.ColdWritten >= res.ColdCompacted {
+		t.Fatalf("cold pass did not coalesce: %d records -> %d", res.ColdCompacted, res.ColdWritten)
+	}
+	if res.BytesAfter >= res.BytesBefore {
+		t.Fatalf("cold pass grew bytes: %d -> %d", res.BytesBefore, res.BytesAfter)
+	}
+
+	// Every record below the cutoff is now cold; data is bit-identical.
+	if err := f.store.rts.Scan(nil, nil, func(k, v []byte) bool {
+		if tier := BlobTier(v); tier == TierHot {
+			_, baseTS, kerr := keyenc.DecodeSourceTime(k)
+			if kerr != nil {
+				t.Error(kerr)
+				return false
+			}
+			if last, ok := blobLastTS(v, baseTS); ok && last < cutoff {
+				t.Errorf("hot record with lastTS=%d survived below cutoff %d", last, cutoff)
+			}
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := tierScanAll(t, f.store, ds.ID, 0, math.MaxInt64)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("cold compaction changed scan results: %d vs %d points", len(before), len(after))
+	}
+
+	// Catalog stats stay coherent through the delete/rewrite cycle.
+	statsAfter := f.cat.Stats(ds.ID)
+	if statsAfter.PointCount != statsBefore.PointCount {
+		t.Fatalf("point count drifted: %d -> %d", statsBefore.PointCount, statsAfter.PointCount)
+	}
+
+	// A second pass is a no-op: cold records never re-compact.
+	res2, err := f.store.TierSchema(s.ID, TierPolicy{ColdAfterMs: 1000}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ColdCompacted != 0 || res2.Stubbed != 0 {
+		t.Fatalf("tier pass is not idempotent: %+v", res2)
+	}
+
+	ts, err := f.store.TierStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.ColdBlobs != int64(res.ColdWritten) {
+		t.Fatalf("TierStats cold count = %d, want %d", ts.ColdBlobs, res.ColdWritten)
+	}
+	if got := f.store.Stats(); got.ColdCompactions != int64(res.ColdCompacted) || got.TierBytesReclaimed != res.BytesReclaimed {
+		t.Fatalf("stats counters = %+v, want cold=%d reclaimed=%d", got, res.ColdCompacted, res.BytesReclaimed)
+	}
+}
+
+func TestTierColdLossyPolicyBitIdentical(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16}, 0)
+	tags := []model.TagDef{
+		{Name: "a", Compression: compress.Policy{MaxDev: 0.5}},
+		{Name: "b"},
+	}
+	s, err := f.cat.CreateSchemaType("lossy", tags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := f.source(t, s.ID, true, 10)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		if werr := f.store.Write(model.Point{Source: ds.ID, TS: int64(i) * 10, Values: []float64{rng.Float64() * 100, rng.Float64()}}); werr != nil {
+			t.Fatal(werr)
+		}
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := tierScanAll(t, f.store, ds.ID, 0, math.MaxInt64)
+	if _, err := f.store.TierSchema(s.ID, TierPolicy{ColdAfterMs: 1}, f.cat.Stats(ds.ID).LastTS+2); err != nil {
+		t.Fatal(err)
+	}
+	after := tierScanAll(t, f.store, ds.ID, 0, math.MaxInt64)
+	if len(before) != len(after) {
+		t.Fatalf("point count changed: %d -> %d", len(before), len(after))
+	}
+	// The cold tier must preserve the lossy round-trip bit-for-bit — it
+	// re-encodes the already-degraded values losslessly, it never loses
+	// again.
+	for i := range before {
+		for j := range before[i].Values {
+			if math.Float64bits(before[i].Values[j]) != math.Float64bits(after[i].Values[j]) {
+				t.Fatalf("point %d tag %d: %v -> %v", i, j, before[i].Values[j], after[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestTierStubAggregatesAndScanError(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16}, 0)
+	s := f.schema(t, "env", 2)
+	ds := f.source(t, s.ID, true, 10)
+	writeRegular(t, f, ds, 0, 640, 2)
+	last := f.cat.Stats(ds.ID).LastTS
+	now := last + 1
+
+	spec := AggSpec{T1: 0, T2: math.MaxInt64, NTags: 2}
+	aggBefore, err := f.store.AggregateHistorical(ds.ID, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The cold pass coalesces at 8x batch granularity (128 points =
+	// 1280ms spans here), so the stub cutoff must clear at least one
+	// whole cold blob; straddlers keep their rows.
+	res, err := f.store.TierSchema(s.ID, TierPolicy{ColdAfterMs: 1000, StubAfterMs: 3000}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stubbed == 0 {
+		t.Fatalf("stub pass did nothing: %+v", res)
+	}
+
+	// Aggregates over the stubbed history stay bit-identical: the stub
+	// keeps the exact summary the hot record carried.
+	aggAfter, err := f.store.AggregateHistorical(ds.ID, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggBefore.Groups) != len(aggAfter.Groups) {
+		t.Fatalf("group count changed: %d -> %d", len(aggBefore.Groups), len(aggAfter.Groups))
+	}
+	for i := range aggBefore.Groups {
+		b, a := aggBefore.Groups[i], aggAfter.Groups[i]
+		if b.Rows != a.Rows || !reflect.DeepEqual(b.NonNull, a.NonNull) {
+			t.Fatalf("group %d count drifted: %+v vs %+v", i, b, a)
+		}
+		for tg := range b.Sum {
+			if math.Float64bits(b.Sum[tg]) != math.Float64bits(a.Sum[tg]) ||
+				math.Float64bits(b.Min[tg]) != math.Float64bits(a.Min[tg]) ||
+				math.Float64bits(b.Max[tg]) != math.Float64bits(a.Max[tg]) {
+				t.Fatalf("group %d tag %d aggregate drifted", i, tg)
+			}
+		}
+	}
+
+	// A raw-row scan over the stubbed range fails with the typed error.
+	it, err := f.store.HistoricalScan(ds.ID, 0, math.MaxInt64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	serr := it.Err()
+	if serr == nil {
+		t.Fatal("raw scan over stubbed range succeeded")
+	}
+	if !errors.Is(serr, ErrStubbedBlob) {
+		t.Fatalf("scan error %v is not ErrStubbedBlob", serr)
+	}
+	var sre *StubbedRangeError
+	if !errors.As(serr, &sre) || sre.Tree != "ts.rts" || sre.Source != ds.ID {
+		t.Fatalf("scan error %v lacks record identity", serr)
+	}
+
+	// A scan restricted to the still-hot tail succeeds: stubs outside the
+	// window skip silently.
+	tail := tierScanAll(t, f.store, ds.ID, now-900, math.MaxInt64)
+	if len(tail) == 0 {
+		t.Fatal("tail scan over hot range returned nothing")
+	}
+
+	// Boundary aggregates that need rows inside a stub fail loudly too.
+	if _, err := f.store.AggregateHistorical(ds.ID, AggSpec{T1: 5, T2: 25, NTags: 2}); !errors.Is(err, ErrStubbedBlob) {
+		t.Fatalf("boundary aggregate over stub: err = %v, want ErrStubbedBlob", err)
+	}
+
+	// fsck accepts stubs: the payload is gone by policy, not corruption.
+	checked, corrupt, err := f.store.VerifyBlobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 || len(corrupt) != 0 {
+		t.Fatalf("VerifyBlobs checked=%d corrupt=%v", checked, corrupt)
+	}
+
+	ts, err := f.store.TierStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.StubBlobs != int64(res.Stubbed) {
+		t.Fatalf("TierStats stub count = %d, want %d", ts.StubBlobs, res.Stubbed)
+	}
+	if ts.StubBytes >= ts.HotBytes {
+		t.Fatalf("stub bytes %d not smaller than hot bytes %d", ts.StubBytes, ts.HotBytes)
+	}
+}
+
+func TestTierStubNotQuarantinedByLenientScan(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16, LenientScan: true}, 0)
+	s := f.schema(t, "env", 1)
+	ds := f.source(t, s.ID, true, 10)
+	writeRegular(t, f, ds, 0, 64, 1)
+	now := f.cat.Stats(ds.ID).LastTS + 1
+	if _, err := f.store.TierSchema(s.ID, TierPolicy{StubAfterMs: 100}, now); err != nil {
+		t.Fatal(err)
+	}
+	it, err := f.store.HistoricalScan(ds.ID, 0, now-200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	// Lenient mode quarantines corruption; a stub is policy and must
+	// still surface as the typed error, never as a silent skip.
+	if !errors.Is(it.Err(), ErrStubbedBlob) {
+		t.Fatalf("lenient scan err = %v, want ErrStubbedBlob", it.Err())
+	}
+	if got := f.store.Stats().CorruptBlobsSkipped; got != 0 {
+		t.Fatalf("lenient scan quarantined %d stubs as corrupt", got)
+	}
+}
+
+func TestTierLegacyBlobUpgrade(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16, LegacyBlobFormat: true}, 0)
+	s := f.schema(t, "env", 2)
+	ds := f.source(t, s.ID, true, 10)
+	dsStub := f.source(t, s.ID, true, 10)
+	writeRegular(t, f, ds, 0, 160, 2)
+	writeRegular(t, f, dsStub, 0, 160, 2)
+	before := tierScanAll(t, f.store, ds.ID, 0, math.MaxInt64)
+	now := f.cat.Stats(ds.ID).LastTS + 1
+
+	// Cold pass reads legacy (pre-summary) blobs through the decode
+	// fallback and writes summary-format cold blobs.
+	res, err := f.store.TierSchema(s.ID, TierPolicy{ColdAfterMs: 1}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdCompacted == 0 {
+		t.Fatal("cold pass skipped legacy blobs")
+	}
+	after := tierScanAll(t, f.store, ds.ID, 0, math.MaxInt64)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("legacy cold upgrade changed scan results")
+	}
+
+	// Stubbing straight from legacy re-encodes the header first; the
+	// summary then answers aggregates.
+	agg, err := f.store.AggregateHistorical(dsStub.ID, AggSpec{T1: 0, T2: math.MaxInt64, NTags: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.store.TierSchema(s.ID, TierPolicy{StubAfterMs: 1}, now); err != nil {
+		t.Fatal(err)
+	}
+	agg2, err := f.store.AggregateHistorical(dsStub.ID, AggSpec{T1: 0, T2: math.MaxInt64, NTags: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Groups) != 1 || len(agg2.Groups) != 1 || agg.Groups[0].Rows != agg2.Groups[0].Rows {
+		t.Fatalf("legacy stub aggregate drifted: %+v vs %+v", agg.Groups, agg2.Groups)
+	}
+	for tg := range agg.Groups[0].Sum {
+		if math.Float64bits(agg.Groups[0].Sum[tg]) != math.Float64bits(agg2.Groups[0].Sum[tg]) {
+			t.Fatalf("legacy stub sum drifted on tag %d", tg)
+		}
+	}
+}
+
+func TestTierRetentionDropsStubs(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16}, 0)
+	s := f.schema(t, "env", 1)
+	ds := f.source(t, s.ID, true, 10)
+	writeRegular(t, f, ds, 0, 160, 1)
+	now := f.cat.Stats(ds.ID).LastTS + 1
+	res, err := f.store.TierSchema(s.ID, TierPolicy{StubAfterMs: 500}, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stubbed == 0 {
+		t.Fatal("no stubs created")
+	}
+	// Retention is the lifecycle's final stage: stubs age out like any
+	// other record, via their summary timestamps.
+	drop, err := f.store.DropBefore(s.ID, now-500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drop.RecordsDropped < res.Stubbed {
+		t.Fatalf("retention dropped %d records, want >= %d stubs", drop.RecordsDropped, res.Stubbed)
+	}
+	ts, err := f.store.TierStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.StubBlobs != 0 {
+		t.Fatalf("%d stubs survived retention", ts.StubBlobs)
+	}
+}
+
+// TestTierConcurrentWithScans exercises tier passes racing reads and
+// ingest on other sources — the CI race-detector target for the tier
+// lifecycle's lock and cache-invalidation protocol.
+func TestTierConcurrentWithScans(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16, BlobCacheBytes: 1 << 20}, 0)
+	s := f.schema(t, "env", 2)
+	tiered := f.source(t, s.ID, true, 10)
+	hot := f.source(t, s.ID, true, 10)
+	writeRegular(t, f, tiered, 0, 320, 2)
+	writeRegular(t, f, hot, 0, 320, 2)
+	now := f.cat.Stats(tiered.ID).LastTS + 1
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Scans of the hot source must never see tier errors; scans of
+			// the tiered source may see ErrStubbedBlob but nothing else.
+			it, err := f.store.HistoricalScan(hot.ID, 0, math.MaxInt64, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := 0
+			for {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+				n++
+			}
+			if it.Err() != nil || n != 320 {
+				t.Errorf("hot scan: n=%d err=%v", n, it.Err())
+				return
+			}
+			it2, err := f.store.HistoricalScan(tiered.ID, 0, math.MaxInt64, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				if _, ok := it2.Next(); !ok {
+					break
+				}
+			}
+			if err := it2.Err(); err != nil && !errors.Is(err, ErrStubbedBlob) {
+				t.Errorf("tiered scan: %v", err)
+				return
+			}
+		}
+	}()
+	for round := 0; round < 6; round++ {
+		pol := TierPolicy{ColdAfterMs: int64(2000 - round*300)}
+		if round >= 3 {
+			pol.StubAfterMs = int64(3000 - round*400)
+		}
+		if _, err := f.store.TierSchema(s.ID, pol, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if _, corrupt, err := f.store.VerifyBlobs(); err != nil || len(corrupt) != 0 {
+		t.Fatalf("post-race fsck: corrupt=%v err=%v", corrupt, err)
+	}
+}
+
+func TestMakeStubBlobRoundTrip(t *testing.T) {
+	pts := make([]model.Point, 40)
+	for i := range pts {
+		pts[i] = model.Point{TS: int64(i) * 10, Values: []float64{float64(i), float64(i % 3)}}
+	}
+	blob := EncodeRTS(pts, 2, 10, encodeOpts{policies: []compress.Policy{{}, {}}})
+	sumFull, ok := parseBlobSummary(blob, 0)
+	if !ok {
+		t.Fatal("full blob has no summary")
+	}
+	stub, ok := makeStubBlob(blob)
+	if !ok {
+		t.Fatal("makeStubBlob failed")
+	}
+	if len(stub) >= len(blob) {
+		t.Fatalf("stub (%d bytes) not smaller than blob (%d bytes)", len(stub), len(blob))
+	}
+	if BlobTier(stub) != TierStub || !IsStubBlob(stub) {
+		t.Fatal("stub tier bit missing")
+	}
+	sumStub, ok := parseBlobSummary(stub, 0)
+	if !ok {
+		t.Fatal("stub summary unreadable")
+	}
+	if !reflect.DeepEqual(sumFull, sumStub) {
+		t.Fatalf("stub summary drifted: %+v vs %+v", sumFull, sumStub)
+	}
+	if _, err := DecodeBlob(stub, 0, nil); !errors.Is(err, ErrStubbedBlob) {
+		t.Fatalf("DecodeBlob(stub) err = %v, want ErrStubbedBlob", err)
+	}
+	if _, ok := makeStubBlob(stub); ok {
+		t.Fatal("re-stubbing a stub must fail")
+	}
+	if zones, ok := blobZoneMaps(stub); !ok || len(zones) != 2 {
+		t.Fatal("stub zone maps unreadable")
+	}
+}

@@ -64,7 +64,22 @@ type (
 	Row = sqlexec.Row
 	// Result is a SQL statement outcome (pull rows with Next/FetchAll).
 	Result = sqlexec.Result
+	// TierPolicy ages a schema's batch records through the storage tiers
+	// (hot → cold → summary-only stub); see Historian.TierNow.
+	TierPolicy = tsstore.TierPolicy
+	// TierResult summarizes one tier pass.
+	TierResult = tsstore.TierResult
+	// TierStats is a census of persisted batch records by tier.
+	TierStats = tsstore.TierStats
+	// StubbedRangeError is the typed error a raw-row scan returns when it
+	// touches a range whose rows were dropped by tier policy.
+	StubbedRangeError = tsstore.StubbedRangeError
 )
+
+// ErrStubbed matches (via errors.Is) every error caused by scanning rows
+// that tier policy reduced to summary-only stubs. Aggregate queries over
+// the same range keep answering from the stub headers.
+var ErrStubbed = tsstore.ErrStubbedBlob
 
 // NullValue is the NULL tag value for Point.Values.
 var NullValue = model.NullValue
@@ -133,6 +148,10 @@ type Options struct {
 	// summary folds, forcing the decode-and-group plan (ablation and
 	// drift debugging; the rewrite is on by default).
 	DisableAggPushdown bool
+	// TierPolicies configures the storage lifecycle per schema name:
+	// TierNow applies each policy to its schema. Schemas without an entry
+	// never tier. See TierPolicy for the cutoffs.
+	TierPolicies map[string]TierPolicy
 	// legacyBlobFormat writes pre-summary (v1) blobs; a test hook for the
 	// backward-compatibility suite, deliberately unexported.
 	legacyBlobFormat bool
@@ -140,14 +159,15 @@ type Options struct {
 
 // Historian is an operational data historian instance.
 type Historian struct {
-	dir     string
-	page    *pagestore.Store
-	cat     *catalog.Catalog
-	ts      *tsstore.Store
-	rel     *relational.DB
-	engine  *sqlexec.Engine
-	wal     *walog.Log
-	workers int // default WriteBatchParallel fan-out
+	dir      string
+	page     *pagestore.Store
+	cat      *catalog.Catalog
+	ts       *tsstore.Store
+	rel      *relational.DB
+	engine   *sqlexec.Engine
+	wal      *walog.Log
+	workers  int // default WriteBatchParallel fan-out
+	tierPols map[string]TierPolicy
 }
 
 // Open opens (creating if necessary) a historian. dir == "" opens an
@@ -240,14 +260,15 @@ func Open(dir string, opts Options) (*Historian, error) {
 	engine.SetAggPushdown(!opts.DisableAggPushdown)
 	engine.SetQueryTimeout(opts.QueryTimeout)
 	h := &Historian{
-		dir:     dir,
-		page:    page,
-		cat:     cat,
-		ts:      ts,
-		rel:     rel,
-		engine:  engine,
-		wal:     wal,
-		workers: workers,
+		dir:      dir,
+		page:     page,
+		cat:      cat,
+		ts:       ts,
+		rel:      rel,
+		engine:   engine,
+		wal:      wal,
+		workers:  workers,
+		tierPols: opts.TierPolicies,
 	}
 	if wal != nil {
 		// Buffered points from a previous crash re-enter the buffers.
@@ -375,6 +396,73 @@ func (h *Historian) Coalesce(schemaName string) (before, after int, err error) {
 	return res.BatchesBefore, res.BatchesAfter, err
 }
 
+// TierSchema runs one storage-lifecycle pass over a schema with an
+// explicit policy and reference time: records whose data ends before
+// now-ColdAfterMs coalesce into large max-effort-compressed cold batches;
+// records older than now-StubAfterMs truncate to summary-only stubs that
+// keep answering COUNT/SUM/AVG/MIN/MAX (raw-row scans over them fail with
+// ErrStubbed). Timestamps are the schema's own clock — pass whatever
+// "now" the data's timestamps are relative to.
+func (h *Historian) TierSchema(schemaName string, pol TierPolicy, now int64) (TierResult, error) {
+	s, ok := h.cat.SchemaByName(schemaName)
+	if !ok {
+		return TierResult{}, fmt.Errorf("odh: unknown schema type %q", schemaName)
+	}
+	return h.ts.TierSchema(s.ID, pol, now)
+}
+
+// TierNow applies every configured Options.TierPolicies entry with the
+// given reference time — the periodic lifecycle pass an operator schedules
+// next to Reorganize and DropBefore. Schemas without a policy are
+// untouched; unknown schema names in the map are errors.
+func (h *Historian) TierNow(now int64) (TierResult, error) {
+	total := TierResult{}
+	for name, pol := range h.tierPols {
+		res, err := h.TierSchema(name, pol, now)
+		total.ColdCompacted += res.ColdCompacted
+		total.ColdWritten += res.ColdWritten
+		total.Stubbed += res.Stubbed
+		total.BytesBefore += res.BytesBefore
+		total.BytesAfter += res.BytesAfter
+		total.BytesReclaimed += res.BytesReclaimed
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// TierStats walks the persisted batch trees and reports blob counts and
+// bytes per tier (hot, cold, stub).
+func (h *Historian) TierStats() (TierStats, error) {
+	return h.ts.TierStats()
+}
+
+// LatestTS returns the newest timestamp in a schema's catalog statistics
+// (false when the schema is unknown or empty) — the reference clock for
+// age-based maintenance like TierSchema when the data's timestamps are
+// not wall-clock.
+func (h *Historian) LatestTS(schemaName string) (int64, bool) {
+	s, ok := h.cat.SchemaByName(schemaName)
+	if !ok {
+		return 0, false
+	}
+	var last int64
+	seen := false
+	note := func(st SourceStats) {
+		if st.PointCount > 0 && (!seen || st.LastTS > last) {
+			last, seen = st.LastTS, true
+		}
+	}
+	for _, src := range h.cat.SourcesBySchema(s.ID) {
+		note(h.cat.Stats(src))
+	}
+	for _, g := range h.cat.GroupsBySchema(s.ID) {
+		note(h.cat.GroupStats(g))
+	}
+	return last, seen
+}
+
 // Schemas lists all registered schema types.
 func (h *Historian) Schemas() []*SchemaType { return h.cat.Schemas() }
 
@@ -436,6 +524,13 @@ type HistorianStats struct {
 	// encoded blob bytes those folds avoided touching.
 	SummaryHits     int64
 	BytesNotDecoded int64
+	// ColdCompactions / StubTransitions / TierBytesReclaimed count the
+	// storage lifecycle: hot records consumed by cold compaction, records
+	// truncated to summary-only stubs, and the net encoded bytes the tier
+	// passes reclaimed.
+	ColdCompactions    int64
+	StubTransitions    int64
+	TierBytesReclaimed int64
 }
 
 // TotalStats returns historian-wide counters.
@@ -458,6 +553,9 @@ func (h *Historian) TotalStats() HistorianStats {
 		ParallelParts:       ts.ParallelParts,
 		SummaryHits:         ts.SummaryHits,
 		BytesNotDecoded:     ts.BytesNotDecoded,
+		ColdCompactions:     ts.ColdCompactions,
+		StubTransitions:     ts.StubTransitions,
+		TierBytesReclaimed:  ts.TierBytesReclaimed,
 	}
 	cs := h.ts.BlobCacheStats()
 	st.BlobCacheHits = cs.Hits
