@@ -702,3 +702,108 @@ func BenchmarkStubAggregate(b *testing.B) {
 	}
 	b.ReportMetric(float64(st.SummaryHits)/float64(n), "folds/op")
 }
+
+// BenchmarkClusterScatterAgg measures distributed aggregation end to
+// end on a 3-node R=2 cluster: the coordinator rewrites each aggregate
+// into per-shard partials (AVG as SUM+COUNT), every shard folds its
+// partials from blob-header summaries, and the coordinator re-folds the
+// partials with HAVING/ORDER BY/LIMIT applied over the merged groups.
+// The decode sub-bench disables the storage pushdown on every replica,
+// so the gap is the shard-local summary win measured through the full
+// scatter path; decodedB/op vs foldedB/op is the byte-level view.
+func BenchmarkClusterScatterAgg(b *testing.B) {
+	const (
+		nSources = 8
+		nPoints  = 2500
+	)
+	build := func(b *testing.B) *Cluster {
+		b.Helper()
+		c, err := OpenCluster(ClusterOptions{
+			Nodes:          3,
+			Replicas:       2,
+			WriteQuorum:    1,
+			ReplicaTimeout: -1, // synchronous replica calls: no timeout goroutines under measurement
+			Seed:           42,
+			BatchSize:      64,
+			GroupSize:      8,
+			PoolPages:      64,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.CreateSchema(SchemaType{
+			Name: "bench", IDName: "id", TSName: "ts",
+			Tags: []TagDef{{Name: "v0"}, {Name: "v1"}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.CreateVirtualTable("V", "bench"); err != nil {
+			b.Fatal(err)
+		}
+		schema, ok := c.Schema("bench")
+		if !ok {
+			b.Fatal("schema missing")
+		}
+		for i := 1; i <= nSources; i++ {
+			if err := c.RegisterSource(DataSource{
+				ID: int64(i), SchemaID: schema.ID, Regular: true, IntervalMs: 10,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 0; j < nPoints; j++ {
+			for i := 1; i <= nSources; i++ {
+				if err := c.Write(Point{
+					Source: int64(i), TS: 1000 + int64(j)*10,
+					Values: []float64{float64(j % 100), float64(i)},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := c.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	queries := []string{
+		`SELECT id, COUNT(*), SUM(v0), MIN(v0), MAX(v0), AVG(v1) FROM V GROUP BY id`,
+		`SELECT TIME_BUCKET(100000, ts), COUNT(*), MAX(v0) FROM V GROUP BY TIME_BUCKET(100000, ts) ORDER BY TIME_BUCKET(100000, ts) LIMIT 8`,
+		`SELECT id, COUNT(*), AVG(v0) FROM V GROUP BY id HAVING COUNT(*) > 100 ORDER BY AVG(v0) DESC, id LIMIT 4`,
+	}
+	run := func(b *testing.B, pushdown bool) {
+		c := build(b)
+		defer c.Close()
+		c.SetAggPushdown(pushdown)
+		// Warm once so page-pool and blob-cache state is steady.
+		for _, q := range queries {
+			if _, err := c.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		before := c.TotalStats()
+		var decoded int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				res, err := c.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				decoded += res.BlobBytes
+			}
+		}
+		b.StopTimer()
+		after := c.TotalStats()
+		n := max64(int64(b.N), 1)
+		notDecoded := after.BytesNotDecoded - before.BytesNotDecoded
+		b.ReportMetric(float64(decoded)/float64(n), "decodedB/op")
+		b.ReportMetric(float64(notDecoded+decoded)/float64(n), "foldedB/op")
+		if decoded > 0 && notDecoded > 0 {
+			b.ReportMetric(float64(notDecoded+decoded)/float64(decoded), "reduction-x")
+		}
+		b.ReportMetric(float64(after.SummaryHits-before.SummaryHits)/float64(n), "folds/op")
+	}
+	b.Run("pushdown", func(b *testing.B) { run(b, true) })
+	b.Run("decode", func(b *testing.B) { run(b, false) })
+}

@@ -1,6 +1,7 @@
 package odh
 
 import (
+	"context"
 	"time"
 
 	"odh/internal/cluster"
@@ -9,10 +10,12 @@ import (
 )
 
 // PartialResultError is the structured degradation marker a cluster
-// query returns alongside its surviving rows when some shards had no
-// live up-to-date replica: Shards lists them, Errs holds the last
-// failure per shard. Extract it with errors.As; a query that cannot be
-// answered completely NEVER comes back silently short.
+// query returns when some shards had no live up-to-date replica: Shards
+// lists them, Errs holds the last failure per shard. Plain row queries
+// keep the surviving shards' rows alongside it; aggregate queries come
+// back with no rows at all (a fold missing a shard would be a wrong
+// total, not a partial one). Extract it with errors.As; a query that
+// cannot be answered completely NEVER comes back silently short.
 type PartialResultError = sqlexec.PartialResultError
 
 // ClusterStats re-exports the replication and failover counters.
@@ -52,6 +55,10 @@ type ClusterOptions struct {
 	RetryMaxDelay  time.Duration
 	// Seed seeds the backoff jitter (0 picks a fixed default).
 	Seed int64
+	// QueryTimeout bounds a whole scattered query (all shards, all
+	// failover rounds) when the caller's context has no deadline of its
+	// own. 0 disables.
+	QueryTimeout time.Duration
 	// BatchSize / GroupSize / PoolPages configure each replica's storage
 	// stack, as in Options.
 	BatchSize int
@@ -80,7 +87,8 @@ func OpenCluster(opts ClusterOptions) (*Cluster, error) {
 			BaseDelay:   opts.RetryBaseDelay,
 			MaxDelay:    opts.RetryMaxDelay,
 		},
-		Seed: opts.Seed,
+		Seed:         opts.Seed,
+		QueryTimeout: opts.QueryTimeout,
 		Node: cluster.NodeOptions{
 			BatchSize: opts.BatchSize,
 			GroupSize: opts.GroupSize,
@@ -129,10 +137,52 @@ func (c *Cluster) RegisterSource(ds DataSource) error { return c.c.RegisterSourc
 func (c *Cluster) Write(p Point) error { return c.c.Write(p) }
 
 // Query scatters a SELECT across the shards, failing over per shard and
-// re-folding COUNT/SUM/MIN/MAX aggregates at the coordinator. When some
-// shards have no live fresh replica it returns the surviving rows AND a
-// *PartialResultError naming them.
+// re-folding aggregates (COUNT/SUM/MIN/MAX/AVG with GROUP BY, HAVING,
+// ORDER BY, and LIMIT) at the coordinator from per-shard partials. When
+// some shards have no live fresh replica it returns a
+// *PartialResultError naming them — with the surviving rows for plain
+// row queries, and with NO rows for aggregate queries, since a fold
+// missing a shard would be a wrong total, not a partial one.
 func (c *Cluster) Query(sql string) (*ClusterQueryResult, error) { return c.c.Query(sql) }
+
+// QueryContext is Query under a context: cancelling ctx aborts the
+// scatter at the engines' next cancellation check. When ctx has no
+// deadline and ClusterOptions.QueryTimeout is set, the scatter runs
+// under that timeout.
+func (c *Cluster) QueryContext(ctx context.Context, sql string) (*ClusterQueryResult, error) {
+	return c.c.QueryContext(ctx, sql)
+}
+
+// SetAggPushdown toggles the storage-level aggregate pushdown on every
+// live replica (default on; bench/diagnostic knob).
+func (c *Cluster) SetAggPushdown(on bool) { c.c.SetAggPushdown(on) }
+
+// ClusterTotalStats aggregates storage counters across every live
+// replica — most usefully the summary-pushdown pair (SummaryHits /
+// BytesNotDecoded), which shows aggregate scatter queries folding from
+// blob-header summaries on each shard instead of decoding raw columns.
+type ClusterTotalStats struct {
+	PointsWritten   int64
+	BatchesFlushed  int64
+	BlobBytes       int64
+	ParallelScans   int64
+	SummaryHits     int64
+	BytesNotDecoded int64
+}
+
+// TotalStats sums storage counters over live replicas. Down nodes
+// contribute nothing until restarted.
+func (c *Cluster) TotalStats() ClusterTotalStats {
+	ts := c.c.TotalTSStats()
+	return ClusterTotalStats{
+		PointsWritten:   ts.PointsWritten,
+		BatchesFlushed:  ts.BatchesFlushed,
+		BlobBytes:       ts.BlobBytes,
+		ParallelScans:   ts.ParallelScans,
+		SummaryHits:     ts.SummaryHits,
+		BytesNotDecoded: ts.BytesNotDecoded,
+	}
+}
 
 // Exec runs a DDL or DML statement on every replica (relational data is
 // replicated), degrading past down nodes with aggregated NodeErrors.

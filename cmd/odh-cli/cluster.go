@@ -102,6 +102,13 @@ func clusterDot(c *odh.Cluster, line string) bool {
 		fmt.Printf("queries=%d partial=%d failovers=%d backoffs=%d aggGathers=%d\n",
 			st.Queries, st.PartialQueries, st.Failovers, st.Backoffs, st.AggGathers)
 		fmt.Printf("kills=%d restarts=%d\n", st.Kills, st.Restarts)
+		total := c.TotalStats()
+		fmt.Printf("storage: points=%d batches=%d blobBytes=%d parallelScans=%d\n",
+			total.PointsWritten, total.BatchesFlushed, total.BlobBytes, total.ParallelScans)
+		if total.SummaryHits > 0 {
+			fmt.Printf("aggPushdown: summaryHits=%d bytesNotDecoded=%d\n",
+				total.SummaryHits, total.BytesNotDecoded)
+		}
 	case ".flush":
 		if err := c.Flush(); err != nil {
 			fmt.Println("degraded flush:", err)

@@ -460,11 +460,14 @@ func mustQuery(t *testing.T, h *Historian, sql string) {
 
 // TestDifferentialClusterVsSingleNode drives the same deterministic
 // workload into a single-node historian and a replicated cluster (3
-// nodes, R=2, quorum 1) while a node is killed, restarted, and caught
-// up mid-stream. Replication, hinted handoff, failover, and the
-// aggregate gather are all pure routing — so after sorting, every query
-// must return byte-identical normalized rows on both sides. Values are
-// integer-valued floats so cross-shard SUM re-folding stays exact.
+// nodes, R=2, quorum 1) across 1000 rounds (120 under -short) of
+// interleaved writes, scheduled kill/restart/catch-up/flush drills, and
+// per-round query comparisons drawn from templates covering row scans,
+// GROUP BY folds, AVG, HAVING, ORDER BY/LIMIT top-k, and TIME_BUCKET
+// roll-ups. Replication, hinted handoff, failover, and the aggregate
+// gather are all pure routing — so after sorting, every query must
+// return byte-identical normalized rows on both sides. Values are
+// integer-valued floats so cross-shard SUM/AVG re-folding stays exact.
 func TestDifferentialClusterVsSingleNode(t *testing.T) {
 	single, err := Open("", Options{BatchSize: 16, GroupSize: 4})
 	if err != nil {
@@ -560,6 +563,12 @@ func TestDifferentialClusterVsSingleNode(t *testing.T) {
 		sort.Strings(norm)
 		return norm
 	}
+	// Query templates. Aggregate ORDER BY keys always end with a group
+	// key so the order is total and LIMIT selects the same set on both
+	// sides; the non-aggregate LIMIT orders by (ts, id), which is unique
+	// per row. AVG folds stay bit-exact because per-shard SUMs over
+	// integer-valued floats are exact and the final division sees the
+	// same operands on both sides.
 	templates := func() []string {
 		hi := ts
 		lo := ts - 300
@@ -568,49 +577,85 @@ func TestDifferentialClusterVsSingleNode(t *testing.T) {
 			fmt.Sprintf(`SELECT id, ts, a, b FROM D WHERE ts BETWEEN %d AND %d`, lo, hi),
 			`SELECT id, COUNT(*), SUM(a), MIN(b), MAX(b) FROM D GROUP BY id`,
 			`SELECT COUNT(*) FROM D`,
+			`SELECT id, AVG(a) FROM D GROUP BY id`,
+			fmt.Sprintf(`SELECT id, COUNT(*), AVG(a) FROM D GROUP BY id HAVING COUNT(*) > %d ORDER BY AVG(a) DESC, id LIMIT %d`, rng.Intn(40), 1+rng.Intn(10)),
+			fmt.Sprintf(`SELECT TIME_BUCKET(200, ts), COUNT(*), AVG(b) FROM D WHERE id = %d GROUP BY TIME_BUCKET(200, ts) ORDER BY TIME_BUCKET(200, ts) LIMIT 6`, rng.Int63n(nSources)+1),
+			fmt.Sprintf(`SELECT id, SUM(a) FROM D GROUP BY id HAVING SUM(a) > %d`, rng.Intn(500)),
+			fmt.Sprintf(`SELECT id, ts, a FROM D WHERE ts BETWEEN %d AND %d ORDER BY ts, id LIMIT 20`, lo, hi),
 		}
 	}
-	compare := func(stage string) {
+	compareOne := func(stage, q string) {
 		t.Helper()
-		for _, q := range templates() {
-			_, want := diffFetch(t, single, q)
-			got := clusterFetch(q)
-			if strings.Join(want, "\n") != strings.Join(got, "\n") {
-				t.Fatalf("%s: %s\nsingle (%d rows) != cluster (%d rows)", stage, q, len(want), len(got))
+		_, want := diffFetch(t, single, q)
+		got := clusterFetch(q)
+		if strings.Join(want, "\n") != strings.Join(got, "\n") {
+			t.Fatalf("%s: %s\nsingle (%d rows) != cluster (%d rows)\nsingle:\n%s\ncluster:\n%s",
+				stage, q, len(want), len(got), strings.Join(want, "\n"), strings.Join(got, "\n"))
+		}
+	}
+
+	// 1000 rounds: each round writes one timestamp column across all
+	// sources, runs the kill/restart/catch-up/flush drill on a fixed
+	// schedule, and compares one template (picked by the seeded rng)
+	// between the two deployments. Kills land at round 250k+50, the
+	// matching recovery at 250k+120, so compares run healthy, degraded,
+	// and freshly-recovered hundreds of times each; flushes every 97
+	// rounds keep both buffered and summarized blocks in play.
+	rounds := 1000
+	if testing.Short() {
+		rounds = 120
+	}
+	down := -1
+	for r := 1; r <= rounds; r++ {
+		writeBoth(1)
+		switch {
+		case r%250 == 50 && down == -1:
+			k := (r / 250) % 3
+			if err := c.KillNode(k); err != nil {
+				t.Fatal(err)
+			}
+			down = k
+		case r%250 == 120 && down != -1:
+			if err := c.RestartNode(down); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.CatchUp(down); err != nil {
+				t.Fatal(err)
+			}
+			down = -1
+		case r%97 == 0 && down == -1:
+			// Flush only while healthy: flushing a cluster with a dead
+			// node reports the down copies, which is its own contract.
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
 			}
 		}
+		qs := templates()
+		compareOne(fmt.Sprintf("round %d", r), qs[rng.Intn(len(qs))])
 	}
 
-	writeBoth(30)
+	// Final recovery: bring everything back, flush, and run every
+	// template once more over the fully settled dataset.
+	if down != -1 {
+		if err := c.RestartNode(down); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CatchUp(down); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if err := c.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	compare("healthy")
+	for _, q := range templates() {
+		compareOne("final", q)
+	}
 
-	// Kill a node mid-workload: quorum-1 writes keep landing, the dead
-	// node's copies accumulate hints, reads fail over to the survivors.
-	if err := c.KillNode(1); err != nil {
-		t.Fatal(err)
+	if st := c.Stats(); st.Failovers == 0 || st.HintsReplayed == 0 || st.AggGathers == 0 {
+		t.Fatalf("drill exercised no failover/handoff/gather machinery: %+v", st)
 	}
-	writeBoth(30)
-	compare("degraded (node 1 down)")
-
-	// Recover and catch up, then write more: replayed hints and fresh
-	// writes must interleave into the exact same answer set.
-	if err := c.RestartNode(1); err != nil {
-		t.Fatal(err)
-	}
-	if err := c.CatchUp(1); err != nil {
-		t.Fatal(err)
-	}
-	writeBoth(20)
-	if err := c.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	compare("recovered")
-
-	if st := c.Stats(); st.Failovers == 0 || st.HintsReplayed == 0 {
-		t.Fatalf("drill exercised no failover/handoff machinery: %+v", st)
+	if tot := c.TotalStats(); tot.SummaryHits == 0 {
+		t.Fatalf("no summary pushdown on any shard: %+v", tot)
 	}
 	rep, err := c.VerifyCluster()
 	if err != nil {

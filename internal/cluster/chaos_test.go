@@ -24,6 +24,11 @@ import (
 //  2. No silent partial answers: every query during the chaos either
 //     succeeded, failed with an explicit *sqlexec.PartialResultError
 //     naming the unavailable shards, or failed with a Retryable error.
+//     Aggregate queries (GROUP BY folds with AVG/HAVING/ORDER BY/LIMIT)
+//     additionally carry ZERO rows when partial — a fold missing a
+//     shard must never surface as a smaller-but-plausible total — and
+//     complete folds must satisfy the algebraic invariants the payload
+//     formula implies.
 //
 // The run length comes from ODH_CHAOS_BUDGET (default 2s; CI uses a
 // longer budget); the schedule itself is seeded and the chaos actions
@@ -202,6 +207,133 @@ func TestChaosSoak(t *testing.T) {
 		}(q)
 	}
 
+	// Aggregate querier: distributed folds under fire. Every answer must
+	// be complete, explicitly partial (with ZERO rows — a fold missing a
+	// shard is a wrong total, never a "partial" one), or retryable; and
+	// complete answers must satisfy the algebraic invariants the payload
+	// formula implies (station == source id for every point, so
+	// MIN == MAX == AVG == id and SUM == COUNT×id, exactly — the values
+	// are small integers, so cross-shard float folds are exact).
+	var aggQueriesRun, aggPartials, aggRetryables int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(200))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			kind := rng.Intn(3)
+			src := int64(rng.Intn(nSources) + 1)
+			var q string
+			switch kind {
+			case 0:
+				q = `SELECT id, COUNT(*), MIN(station), MAX(station), AVG(station), SUM(station) FROM meter_v GROUP BY id`
+			case 1:
+				q = `SELECT id, COUNT(*), AVG(station) FROM meter_v GROUP BY id HAVING COUNT(*) > 2 ORDER BY AVG(station) DESC, id LIMIT 5`
+			default:
+				q = fmt.Sprintf(`SELECT TIME_BUCKET(1000, timestamp), COUNT(*), SUM(station) FROM meter_v WHERE id = %d GROUP BY TIME_BUCKET(1000, timestamp) ORDER BY TIME_BUCKET(1000, timestamp) LIMIT 8`, src)
+			}
+			res, err := c.Query(q)
+			cntMu.Lock()
+			aggQueriesRun++
+			cntMu.Unlock()
+			if err != nil {
+				var pe *sqlexec.PartialResultError
+				switch {
+				case errors.As(err, &pe):
+					if len(pe.Shards) == 0 {
+						t.Errorf("agg querier: partial error names no shards: %v", err)
+						return
+					}
+					if res != nil && len(res.Rows) != 0 {
+						t.Errorf("agg querier: partial aggregate leaked %d folded rows for %q", len(res.Rows), q)
+						return
+					}
+					cntMu.Lock()
+					aggPartials++
+					cntMu.Unlock()
+				case Retryable(err):
+					cntMu.Lock()
+					aggRetryables++
+					cntMu.Unlock()
+				default:
+					t.Errorf("agg querier: silent failure class: %v", err)
+					return
+				}
+				continue
+			}
+			switch kind {
+			case 0:
+				for _, row := range res.Rows {
+					id, cnt := row[0].AsInt(), row[1].AsInt()
+					if cnt <= 0 {
+						t.Errorf("agg querier: group %d with count %d", id, cnt)
+						return
+					}
+					fid := float64(id)
+					if row[2].AsFloat() != fid || row[3].AsFloat() != fid || row[4].AsFloat() != fid {
+						t.Errorf("agg querier: mis-folded MIN/MAX/AVG for source %d: %v", id, row)
+						return
+					}
+					if row[5].AsFloat() != float64(cnt)*fid {
+						t.Errorf("agg querier: SUM != COUNT*id for source %d: %v", id, row)
+						return
+					}
+				}
+			case 1:
+				if len(res.Rows) > 5 {
+					t.Errorf("agg querier: LIMIT 5 returned %d rows", len(res.Rows))
+					return
+				}
+				prev := int64(1) << 62
+				for _, row := range res.Rows {
+					id, cnt := row[0].AsInt(), row[1].AsInt()
+					if cnt <= 2 {
+						t.Errorf("agg querier: HAVING COUNT(*) > 2 leaked count %d for source %d", cnt, id)
+						return
+					}
+					if row[2].AsFloat() != float64(id) {
+						t.Errorf("agg querier: mis-folded AVG for source %d: %v", id, row)
+						return
+					}
+					// AVG(station) == id and ids are unique, so AVG DESC
+					// means strictly descending ids.
+					if id >= prev {
+						t.Errorf("agg querier: ORDER BY AVG DESC violated: id %d after %d", id, prev)
+						return
+					}
+					prev = id
+				}
+			default:
+				if len(res.Rows) > 8 {
+					t.Errorf("agg querier: LIMIT 8 returned %d rows", len(res.Rows))
+					return
+				}
+				prev := int64(-1) << 62
+				for _, row := range res.Rows {
+					bucket, cnt := row[0].AsInt(), row[1].AsInt()
+					if cnt <= 0 {
+						t.Errorf("agg querier: bucket %d with count %d", bucket, cnt)
+						return
+					}
+					if row[2].AsFloat() != float64(cnt)*float64(src) {
+						t.Errorf("agg querier: bucket SUM != COUNT*id for source %d: %v", src, row)
+						return
+					}
+					if bucket <= prev {
+						t.Errorf("agg querier: ORDER BY bucket violated: %d after %d", bucket, prev)
+						return
+					}
+					prev = bucket
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
 	// Chaos: one goroutine serializes the fault schedule. At most one
 	// node is down or stalled at a time, so every shard keeps a live
 	// copy; queries still degrade transiently when both copies of a
@@ -369,9 +501,9 @@ func TestChaosSoak(t *testing.T) {
 	}
 
 	st := c.Stats()
-	t.Logf("soak: %d writes attempted, %d acked, %d quorum failures; %d queries (%d partial, %d retryable); stats %+v",
-		attempted, ackedCount, quorumFailures, queriesRun, partials, retryables, st)
-	if ackedCount == 0 || queriesRun == 0 {
+	t.Logf("soak: %d writes attempted, %d acked, %d quorum failures; %d queries (%d partial, %d retryable); %d agg queries (%d partial, %d retryable); stats %+v",
+		attempted, ackedCount, quorumFailures, queriesRun, partials, retryables, aggQueriesRun, aggPartials, aggRetryables, st)
+	if ackedCount == 0 || queriesRun == 0 || aggQueriesRun == 0 {
 		t.Fatal("soak did no work")
 	}
 	if st.Kills == 0 {

@@ -162,6 +162,10 @@ type Options struct {
 	Retry retry.Policy
 	// Seed seeds the backoff jitter (0 picks an arbitrary seed).
 	Seed int64
+	// QueryTimeout bounds a whole scattered query (all shards, all
+	// failover rounds) when the caller's context carries no deadline of
+	// its own. 0 disables.
+	QueryTimeout time.Duration
 	// Node configures each copy's storage stack.
 	Node NodeOptions
 }
@@ -512,6 +516,33 @@ func (c *Cluster) Stats() Stats {
 		Kills:               c.stats.kills.Load(),
 		Restarts:            c.stats.restarts.Load(),
 	}
+}
+
+// TotalTSStats sums the time-series store counters across every live
+// copy — the cluster-wide view of ingest volume and of the summary-level
+// aggregate pushdown (SummaryHits / BytesNotDecoded) working per shard.
+// Down copies contribute nothing; their counters return after restart.
+func (c *Cluster) TotalTSStats() tsstore.Stats {
+	var total tsstore.Stats
+	c.forEachCopy(func(cp *shardCopy) error {
+		if n := cp.n.Load(); n != nil {
+			s := n.TS.Stats()
+			total.Add(&s)
+		}
+		return nil
+	})
+	return total
+}
+
+// SetAggPushdown toggles the storage-level aggregate pushdown on every
+// live copy's engine (operator/bench knob; default on).
+func (c *Cluster) SetAggPushdown(on bool) {
+	c.forEachCopy(func(cp *shardCopy) error {
+		if n := cp.n.Load(); n != nil {
+			n.Engine.SetAggPushdown(on)
+		}
+		return nil
+	})
 }
 
 // CopyStatus is the liveness view of one shard copy.

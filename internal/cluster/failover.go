@@ -1,19 +1,25 @@
-// Scatter-query failover and the cross-shard aggregate gather. A query
-// scatters per shard (not per node): each shard is answered by its first
+// Scatter-query failover and the cross-shard gather. A query scatters
+// per shard (not per node): each shard is answered by its first
 // readable, caught-up copy, retrying the remaining copies with bounded
 // jittered exponential backoff on retryable errors. A shard with zero
 // live fresh copies degrades the query to an explicit partial result; a
 // non-retryable error (parse error, unknown table) fails the query
 // outright, since every replica would reject it identically.
+//
+// Aggregation composes through a sqlexec.GatherPlan: each shard runs a
+// partial-aggregate rewrite (AVG decomposed into SUM+COUNT) that still
+// rides the storage-level summary pushdown, and the coordinator re-folds
+// the partials, applies HAVING over the folded groups, and runs ORDER
+// BY/LIMIT through a bounded top-k merge. Cancellation and deadlines
+// flow from QueryContext through every shard sub-query.
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
-	"odh/internal/relational"
 	"odh/internal/sqlexec"
 	"odh/internal/sqlparse"
 )
@@ -37,45 +43,71 @@ type copyResult struct {
 	bb   int64
 }
 
-// Query scatters a SELECT across the shards and gathers the results.
-// Plain selections and joins concatenate; COUNT/SUM/MIN/MAX aggregates
-// (optionally grouped by plain columns or TIME_BUCKET) are re-folded at
-// the coordinator from the per-shard partials, composing with the
-// storage-level aggregate pushdown. AVG does not decompose into
-// per-shard partials and is rejected with a clear error.
+// Query scatters a SELECT across the shards and gathers the results
+// with no cancellation beyond Options.QueryTimeout.
+func (c *Cluster) Query(sql string) (*QueryResult, error) {
+	return c.QueryContext(context.Background(), sql)
+}
+
+// QueryContext scatters a SELECT across the shards and gathers the
+// results. Plain selections and joins concatenate; aggregates
+// (COUNT/SUM/MIN/MAX/AVG, optionally grouped by plain columns or
+// TIME_BUCKET, with HAVING/ORDER BY/LIMIT) are re-folded at the
+// coordinator from per-shard partials; non-aggregate ORDER BY/LIMIT
+// re-sorts the concatenated rows so the global order and bound hold.
 //
 // On node failure the shard fails over to another replica; a shard with
-// no live fresh replica is dropped from the answer and reported in a
-// *sqlexec.PartialResultError alongside the rows that ARE complete —
-// degraded, never silently short. Queries over purely relational tables
-// (replicated everywhere) are answered by a single shard.
-func (c *Cluster) Query(sql string) (*QueryResult, error) {
+// no live fresh replica degrades the query to a
+// *sqlexec.PartialResultError. For row queries the surviving shards'
+// rows accompany the error (complete for every shard not listed); for
+// aggregate queries Rows is nil — a fold over the survivors would be a
+// wrong total presented as the answer, so it is withheld. Queries over
+// purely relational tables (replicated everywhere) are answered by the
+// first shard that responds.
+//
+// Cancelling ctx aborts the scatter: in-flight shard queries stop at the
+// engine's next cancellation check and QueryContext returns ctx's error.
+// When ctx carries no deadline and Options.QueryTimeout is set, the
+// scatter runs under that timeout.
+func (c *Cluster) QueryContext(ctx context.Context, sql string) (*QueryResult, error) {
 	c.stats.queries.Add(1)
+	if d := c.opts.QueryTimeout; d > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+	}
 	plan, err := c.classifyScatter(sql)
 	if err != nil {
 		return nil, err
 	}
-	targets := make([]int, 0, len(c.shards))
 	if plan != nil && plan.relationalOnly {
-		// Replicated data: any one shard answers; scattering would count
-		// every row once per shard.
-		targets = append(targets, 0)
-	} else {
-		for s := range c.shards {
-			targets = append(targets, s)
-		}
+		return c.queryRelational(ctx, sql)
 	}
+
 	out := &QueryResult{}
-	var acc *aggAccum
-	if plan != nil && plan.agg != nil {
-		acc = newAggAccum(plan.agg)
-		c.stats.aggGathers.Add(1)
+	var acc *sqlexec.GatherAccum
+	shardSQL := sql
+	if plan != nil && plan.gather != nil {
+		acc = sqlexec.NewGatherAccum(plan.gather)
+		if plan.gather.Aggregate() {
+			c.stats.aggGathers.Add(1)
+			shardSQL = plan.gather.ShardSQL
+			out.Columns = plan.gather.Columns
+		}
 	}
 	var unavailable []int
 	var shardErrs []error
-	for _, s := range targets {
-		res, err := c.queryShard(s, sql)
+	for s := range c.shards {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := c.queryShard(ctx, s, shardSQL)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			if !Retryable(err) {
 				return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
 			}
@@ -89,7 +121,7 @@ func (c *Cluster) Query(sql string) (*QueryResult, error) {
 		out.DataPoints += res.dp
 		out.BlobBytes += res.bb
 		if acc != nil {
-			if err := acc.fold(res.rows); err != nil {
+			if err := acc.Fold(res.cols, res.rows); err != nil {
 				return nil, err
 			}
 			continue
@@ -97,21 +129,57 @@ func (c *Cluster) Query(sql string) (*QueryResult, error) {
 		out.Rows = append(out.Rows, res.rows...)
 	}
 	if acc != nil {
-		out.Rows = acc.result()
+		rows, err := acc.Result()
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = rows
 	}
 	if len(unavailable) > 0 {
 		sort.Ints(unavailable)
 		out.Unavailable = unavailable
 		c.stats.partialQueries.Add(1)
+		if plan != nil && plan.gather != nil && plan.gather.Aggregate() {
+			// A fold missing a shard's partials is a plausible-looking
+			// wrong answer, not a partial one. Withhold it.
+			out.Rows = nil
+		}
 		return out, &sqlexec.PartialResultError{Shards: unavailable, Errs: shardErrs}
 	}
 	return out, nil
 }
 
+// queryRelational answers a query over fully replicated relational
+// tables: every shard holds the complete data, so the first shard that
+// responds has the whole answer, and a retryable failure falls through
+// to the next shard instead of degrading to a partial result.
+func (c *Cluster) queryRelational(ctx context.Context, sql string) (*QueryResult, error) {
+	var lastErr error
+	for s := range c.shards {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := c.queryShard(ctx, s, sql)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			if !Retryable(err) {
+				return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+			}
+			lastErr = err
+			continue
+		}
+		return &QueryResult{Columns: res.cols, Rows: res.rows, DataPoints: res.dp, BlobBytes: res.bb}, nil
+	}
+	return nil, lastErr
+}
+
 // queryShard answers one shard's sub-query from its first readable copy,
 // cycling the copies with jittered backoff between rounds. It returns a
-// retryable error only after exhausting every copy in every round.
-func (c *Cluster) queryShard(s int, sql string) (*copyResult, error) {
+// retryable error only after exhausting every copy in every round, or
+// ctx's error as soon as the deadline expires.
+func (c *Cluster) queryShard(ctx context.Context, s int, sql string) (*copyResult, error) {
 	copies := c.shards[s]
 	attempts := c.opts.Retry.MaxAttempts
 	if attempts < 1 {
@@ -124,21 +192,27 @@ func (c *Cluster) queryShard(s int, sql string) (*copyResult, error) {
 			d := c.opts.Retry.Delay(round, c.rng)
 			c.rngMu.Unlock()
 			c.stats.backoffs.Add(1)
-			if d > 0 {
-				sleep(d)
+			if err := sleepCtx(ctx, d); err != nil {
+				return nil, err
 			}
 		}
 		for k, cp := range copies {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if rerr := c.readable(cp); rerr != nil {
 				lastErr = &NodeError{Node: cp.host, Err: rerr}
 				continue
 			}
-			res, err := c.execOnCopy(cp, sql)
+			res, err := c.execOnCopy(ctx, cp, sql)
 			if err == nil {
 				if k > 0 || round > 0 {
 					c.stats.failovers.Add(1)
 				}
 				return res, nil
+			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
 			}
 			if !Retryable(err) {
 				return nil, err
@@ -152,21 +226,46 @@ func (c *Cluster) queryShard(s int, sql string) (*copyResult, error) {
 	return nil, lastErr
 }
 
-// sleep is swappable in tests.
-var sleep = time.Sleep
+// sleepCtx sleeps d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
-// execOnCopy runs the sub-query on one copy under the stall gate and the
-// per-replica timeout. Results cross the timeout boundary through a
-// channel, so an abandoned slow query can never race its caller.
-func (c *Cluster) execOnCopy(cp *shardCopy, sql string) (*copyResult, error) {
+// execOnCopy runs the sub-query on one copy under the stall gate, the
+// per-replica timeout, and the caller's ctx. Results cross the timeout
+// boundary through a channel, so an abandoned slow query can never race
+// its caller — and the abandoned engine query itself runs under a
+// cancelled context, so it stops at its next cancellation check instead
+// of scanning to completion.
+func (c *Cluster) execOnCopy(ctx context.Context, cp *shardCopy, sql string) (*copyResult, error) {
 	ns := c.nodes[cp.host]
 	n := cp.n.Load()
 	if n == nil {
 		return nil, ErrNodeDown
 	}
+	var runCtx context.Context
+	var cancel context.CancelFunc
+	if c.opts.ReplicaTimeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, c.opts.ReplicaTimeout)
+	} else {
+		runCtx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
 	run := func() (*copyResult, error) {
-		c.stallGate(ns)
-		res, err := n.Engine.Query(sql)
+		if err := c.stallGateCtx(runCtx, ns); err != nil {
+			return nil, err
+		}
+		res, err := n.Engine.QueryCtx(runCtx, sql)
 		if err != nil {
 			return nil, err
 		}
@@ -188,42 +287,27 @@ func (c *Cluster) execOnCopy(cp *shardCopy, sql string) (*copyResult, error) {
 		r, err := run()
 		done <- outcome{r, err}
 	}()
-	t := time.NewTimer(c.opts.ReplicaTimeout)
-	defer t.Stop()
 	select {
 	case o := <-done:
 		return o.r, o.err
-	case <-t.C:
+	case <-runCtx.Done():
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, ErrReplicaTimeout
 	}
 }
 
-// --- aggregate gather ---
-
-type aggKind int
-
-const (
-	aggKey aggKind = iota // group key column
-	aggCount
-	aggSum
-	aggMin
-	aggMax
-)
-
-// aggPlan describes how to re-fold per-shard rows at the coordinator.
-type aggPlan struct {
-	kinds  []aggKind
-	keyIdx []int
-}
-
 // scatterPlan classifies a scatter query: nil means plain concatenation.
 type scatterPlan struct {
-	agg            *aggPlan
+	gather         *sqlexec.GatherPlan
 	relationalOnly bool
 }
 
 // classifyScatter decides how a SELECT composes across shards. Parse
 // failures return a nil plan — the engines surface the identical error.
+// Gather planning (and its rejections, which mirror the single-node
+// engine's) is delegated to sqlexec.PlanGather.
 func (c *Cluster) classifyScatter(sql string) (*scatterPlan, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
@@ -240,58 +324,20 @@ func (c *Cluster) classifyScatter(sql string) (*scatterPlan, error) {
 			break
 		}
 	}
-	hasAgg := false
-	for _, item := range sel.Items {
-		if fe, ok := item.Expr.(*sqlparse.FuncExpr); ok && fe.IsAggregate() {
-			hasAgg = true
-			break
-		}
-	}
-	if !hasAgg {
-		if relOnly {
-			return &scatterPlan{relationalOnly: true}, nil
-		}
-		return nil, nil
-	}
 	if relOnly {
-		// Aggregates over replicated tables: one shard has the full
-		// answer; no re-fold needed.
+		// Replicated data: any one shard computes the complete answer,
+		// post-aggregate clauses included; scattering would count every
+		// row once per shard.
 		return &scatterPlan{relationalOnly: true}, nil
 	}
-	if sel.Having != nil || len(sel.OrderBy) > 0 || sel.Limit >= 0 {
-		return nil, fmt.Errorf("cluster: HAVING/ORDER BY/LIMIT do not compose across shards; apply them client-side")
+	gather, err := sqlexec.PlanGather(sel)
+	if err != nil {
+		return nil, err
 	}
-	groupKeys := make(map[string]bool, len(sel.GroupBy))
-	for _, g := range sel.GroupBy {
-		groupKeys[g.String()] = true
+	if gather == nil {
+		return nil, nil
 	}
-	plan := &aggPlan{kinds: make([]aggKind, len(sel.Items))}
-	for i, item := range sel.Items {
-		if item.Star {
-			return nil, fmt.Errorf("cluster: SELECT * does not mix with aggregates across shards")
-		}
-		if fe, ok := item.Expr.(*sqlparse.FuncExpr); ok && fe.IsAggregate() {
-			switch fe.Name {
-			case "COUNT":
-				plan.kinds[i] = aggCount
-			case "SUM":
-				plan.kinds[i] = aggSum
-			case "MIN":
-				plan.kinds[i] = aggMin
-			case "MAX":
-				plan.kinds[i] = aggMax
-			default: // AVG
-				return nil, fmt.Errorf("cluster: AVG does not compose across shards; gather SUM and COUNT and divide client-side")
-			}
-			continue
-		}
-		if !groupKeys[item.Expr.String()] {
-			return nil, fmt.Errorf("cluster: select item %q is neither an aggregate nor a GROUP BY key", item.Expr)
-		}
-		plan.kinds[i] = aggKey
-		plan.keyIdx = append(plan.keyIdx, i)
-	}
-	return &scatterPlan{agg: plan}, nil
+	return &scatterPlan{gather: gather}, nil
 }
 
 // isVirtualTable checks the name against any live copy's catalog.
@@ -309,110 +355,4 @@ func (c *Cluster) isVirtualTable(name string) bool {
 		return nil
 	})
 	return found
-}
-
-// aggAccum merges per-shard partial aggregate rows by group key.
-type aggAccum struct {
-	plan   *aggPlan
-	groups map[string]*aggGroup
-}
-
-type aggGroup struct {
-	keys  []relational.Value // the full row's key cells (for ordering)
-	cells []relational.Value
-}
-
-func newAggAccum(plan *aggPlan) *aggAccum {
-	return &aggAccum{plan: plan, groups: map[string]*aggGroup{}}
-}
-
-func (a *aggAccum) fold(rows []sqlexec.Row) error {
-	for _, row := range rows {
-		if len(row) != len(a.plan.kinds) {
-			return fmt.Errorf("cluster: aggregate gather: shard row has %d columns, plan has %d", len(row), len(a.plan.kinds))
-		}
-		var kb strings.Builder
-		for _, i := range a.plan.keyIdx {
-			kb.WriteString(row[i].String())
-			kb.WriteByte('\x00')
-		}
-		key := kb.String()
-		g, ok := a.groups[key]
-		if !ok {
-			g = &aggGroup{cells: make([]relational.Value, len(row))}
-			copy(g.cells, row)
-			for _, i := range a.plan.keyIdx {
-				g.keys = append(g.keys, row[i])
-			}
-			a.groups[key] = g
-			continue
-		}
-		for i, kind := range a.plan.kinds {
-			g.cells[i] = mergeCell(kind, g.cells[i], row[i])
-		}
-	}
-	return nil
-}
-
-// mergeCell folds one shard's partial aggregate cell into the running
-// one. NULL partials (an aggregate over an empty shard subset) are
-// skipped; COUNT partials sum, SUM partials add kind-aware, MIN/MAX
-// compare with the relational ordering.
-func mergeCell(kind aggKind, acc, next relational.Value) relational.Value {
-	switch kind {
-	case aggKey:
-		return acc
-	case aggCount:
-		return relational.Int(acc.AsInt() + next.AsInt())
-	case aggSum:
-		if next.IsNull() {
-			return acc
-		}
-		if acc.IsNull() {
-			return next
-		}
-		if acc.Kind == relational.KindFloat || next.Kind == relational.KindFloat {
-			return relational.Float(acc.AsFloat() + next.AsFloat())
-		}
-		return relational.Int(acc.AsInt() + next.AsInt())
-	case aggMin:
-		if next.IsNull() {
-			return acc
-		}
-		if acc.IsNull() || relational.Compare(next, acc) < 0 {
-			return next
-		}
-		return acc
-	default: // aggMax
-		if next.IsNull() {
-			return acc
-		}
-		if acc.IsNull() || relational.Compare(next, acc) > 0 {
-			return next
-		}
-		return acc
-	}
-}
-
-// result emits the merged rows ordered by group key (deterministic across
-// shard arrival order).
-func (a *aggAccum) result() []sqlexec.Row {
-	groups := make([]*aggGroup, 0, len(a.groups))
-	for _, g := range a.groups {
-		groups = append(groups, g)
-	}
-	sort.Slice(groups, func(i, j int) bool {
-		gi, gj := groups[i], groups[j]
-		for k := range gi.keys {
-			if cmp := relational.Compare(gi.keys[k], gj.keys[k]); cmp != 0 {
-				return cmp < 0
-			}
-		}
-		return false
-	})
-	out := make([]sqlexec.Row, len(groups))
-	for i, g := range groups {
-		out[i] = g.cells
-	}
-	return out
 }

@@ -406,17 +406,17 @@ func TestNodeLossMidQuery(t *testing.T) {
 }
 
 // TestAggGatherRejectsNonComposable pins the error surface of the
-// aggregate gather: AVG and post-aggregate clauses need client-side
-// handling, and the errors must say so rather than silently mis-merging.
+// aggregate gather: shapes the single-node engine itself rejects (a
+// select item that is neither an aggregate nor a GROUP BY key, HAVING
+// referencing an aggregate outside the select list) must fail with the
+// engine's own non-retryable error rather than silently mis-merging.
 func TestAggGatherRejectsNonComposable(t *testing.T) {
 	c := newReplicatedCluster(t, 2, 1, 1)
 	seedReplicated(t, c, 4, 3)
 	for _, q := range []string{
-		`SELECT id, AVG(speed) FROM vehicle_v GROUP BY id`,
-		`SELECT id, COUNT(*) FROM vehicle_v GROUP BY id HAVING COUNT(*) > 1`,
-		`SELECT id, COUNT(*) FROM vehicle_v GROUP BY id ORDER BY id`,
-		`SELECT id, COUNT(*) FROM vehicle_v GROUP BY id LIMIT 2`,
 		`SELECT speed, COUNT(*) FROM vehicle_v GROUP BY id`,
+		`SELECT id FROM vehicle_v GROUP BY id HAVING COUNT(*) > 1`,
+		`SELECT id, COUNT(*) FROM vehicle_v GROUP BY id ORDER BY SUM(speed)`,
 	} {
 		if _, err := c.Query(q); err == nil {
 			t.Fatalf("non-composable %q accepted", q)

@@ -4,6 +4,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -117,6 +118,15 @@ func (c *Cluster) stallGate(ns *nodeState) {
 	if d := ns.stallNs.Load(); d > 0 {
 		time.Sleep(time.Duration(d))
 	}
+}
+
+// stallGateCtx is stallGate for the read path: a cancelled query must
+// not sit out a hung node's stall, so the sleep races ctx.
+func (c *Cluster) stallGateCtx(ctx context.Context, ns *nodeState) error {
+	if d := ns.stallNs.Load(); d > 0 {
+		return sleepCtx(ctx, time.Duration(d))
+	}
+	return ctx.Err()
 }
 
 // withTimeout bounds op by ReplicaTimeout. On timeout the operation keeps

@@ -1,0 +1,587 @@
+// Distributed-aggregation planning and folding for scatter/gather
+// queries. The cluster router hands PlanGather a parsed SELECT; the plan
+// rewrites it into a per-shard partial-aggregate query (AVG decomposes
+// into a SUM+COUNT pair so it composes exactly), and GatherAccum re-folds
+// the shards' partial rows at the coordinator with SQL-parity NULL
+// semantics, applies HAVING over the folded groups, and runs ORDER BY /
+// LIMIT through a bounded top-k merge. It lives in this package so the
+// coordinator binds HAVING and ORDER BY with the exact same resolver the
+// single-node engine uses — a query that errors on one node errors
+// identically on the cluster, and one that answers answers identically.
+package sqlexec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"odh/internal/relational"
+	"odh/internal/sqlparse"
+)
+
+// foldKind says how one scatter column folds across shards.
+type foldKind int
+
+const (
+	foldKey   foldKind = iota // group-by key: defines the group
+	foldCount                 // partial counts sum
+	foldSum                   // partial sums add, NULL partials skipped
+	foldMin                   // relational minimum, NULL partials skipped
+	foldMax                   // relational maximum, NULL partials skipped
+)
+
+// finalItem produces one output column of the gathered result from the
+// folded scatter columns.
+type finalItem struct {
+	name string
+	kind relational.Kind
+	// src is the scatter column this item passes through; avg items use
+	// the avgSum/avgCount pair instead and finalize as ΣSUM / ΣCOUNT.
+	src              int
+	avg              bool
+	avgSum, avgCount int
+}
+
+// GatherPlan is a compiled scatter/gather strategy for one SELECT.
+//
+// Aggregate queries scatter ShardSQL — the original query stripped of
+// HAVING/ORDER BY/LIMIT, its AVG items decomposed into SUM+COUNT
+// partials, and every GROUP BY key included as a (possibly hidden)
+// select column so the coordinator never collapses distinct groups. The
+// per-shard query keeps the aggregate-only shape, so it still rides the
+// storage-level summary pushdown on each node.
+//
+// Non-aggregate queries with ORDER BY/LIMIT keep their original text
+// (ShardSQL == ""): each shard returns its local top rows, which always
+// contain the global top-k, and the coordinator re-sorts and truncates.
+type GatherPlan struct {
+	// ShardSQL is the rewritten per-shard query; empty means "send the
+	// original query text" (concatenate-and-resort mode).
+	ShardSQL string
+	// Columns names the final (visible) output columns.
+	Columns []string
+
+	aggregate bool
+	kinds     []foldKind // per scatter column
+	keyIdx    []int      // scatter columns that are group keys
+	finals    []finalItem
+	visible   int // finals[:visible] are the query's output columns
+
+	having    boundExpr // bound against the visible output columns
+	orderKeys []boundExpr
+	orderDesc []bool
+	limit     int // -1 when absent
+
+	// concat-mode ORDER BY: bound lazily against the shard-reported
+	// column names at first fold.
+	orderItems []sqlparse.OrderItem
+}
+
+// Aggregate reports whether the plan re-folds partial aggregates (as
+// opposed to concatenating and re-sorting complete rows).
+func (p *GatherPlan) Aggregate() bool { return p.aggregate }
+
+// Sorted reports whether the coordinator applies ORDER BY or LIMIT.
+func (p *GatherPlan) Sorted() bool {
+	return len(p.orderKeys) > 0 || len(p.orderItems) > 0 || p.limit >= 0
+}
+
+// PlanGather decides how sel composes across shards. A nil plan (with
+// nil error) means plain row concatenation is already correct. An error
+// means the shape does not compose and must be rejected — the message
+// mirrors the single-node engine's own rejection wherever one exists, so
+// cluster and single node fail identically.
+func PlanGather(sel *sqlparse.SelectStmt) (*GatherPlan, error) {
+	aggregated := hasAggregates(sel.Items) || len(sel.GroupBy) > 0
+	if !aggregated {
+		if len(sel.OrderBy) == 0 && sel.Limit < 0 {
+			return nil, nil
+		}
+		// Complete rows concatenate; only the global ordering and bound
+		// need coordinator work.
+		return &GatherPlan{limit: sel.Limit, orderItems: sel.OrderBy}, nil
+	}
+
+	p := &GatherPlan{aggregate: true, limit: sel.Limit}
+	groupStrs := make([]string, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		groupStrs[i] = strings.ToUpper(g.String())
+	}
+	keyCols := map[string]bool{} // uppercase group exprs present as scatter keys
+	var scatterItems []string
+
+	addScatter := func(item string, kind foldKind) int {
+		scatterItems = append(scatterItems, item)
+		p.kinds = append(p.kinds, kind)
+		idx := len(p.kinds) - 1
+		if kind == foldKey {
+			p.keyIdx = append(p.keyIdx, idx)
+		}
+		return idx
+	}
+
+	for _, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sqlexec: SELECT * cannot be combined with aggregation")
+		}
+		name := item.Alias
+		if name == "" {
+			name = item.Expr.String()
+		}
+		if fe, ok := item.Expr.(*sqlparse.FuncExpr); ok && fe.IsAggregate() {
+			switch fe.Name {
+			case "COUNT":
+				src := addScatter(fe.String(), foldCount)
+				p.finals = append(p.finals, finalItem{name: name, kind: relational.KindInt, src: src})
+			case "SUM":
+				src := addScatter(fe.String(), foldSum)
+				p.finals = append(p.finals, finalItem{name: name, kind: relational.KindFloat, src: src})
+			case "MIN":
+				src := addScatter(fe.String(), foldMin)
+				p.finals = append(p.finals, finalItem{name: name, kind: relational.KindFloat, src: src})
+			case "MAX":
+				src := addScatter(fe.String(), foldMax)
+				p.finals = append(p.finals, finalItem{name: name, kind: relational.KindFloat, src: src})
+			default: // AVG
+				if fe.Star {
+					return nil, fmt.Errorf("cluster: AVG(*) does not compose across shards")
+				}
+				arg := fe.Args[0].String()
+				sumIdx := addScatter("SUM("+arg+")", foldSum)
+				cntIdx := addScatter("COUNT("+arg+")", foldCount)
+				p.finals = append(p.finals, finalItem{
+					name: name, kind: relational.KindFloat,
+					avg: true, avgSum: sumIdx, avgCount: cntIdx,
+				})
+			}
+			continue
+		}
+		// Non-aggregate item must match a GROUP BY expression — the same
+		// rule (and message) the single-node aggregate builder enforces.
+		upper := strings.ToUpper(item.Expr.String())
+		matched := false
+		for _, gs := range groupStrs {
+			if upper == gs {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("sqlexec: %s must appear in GROUP BY or an aggregate", item.Expr)
+		}
+		src := addScatter(item.Expr.String(), foldKey)
+		keyCols[upper] = true
+		kind := relational.KindNull
+		if fe, ok := item.Expr.(*sqlparse.FuncExpr); ok && fe.Name == "TIME_BUCKET" {
+			kind = relational.KindTime
+		}
+		p.finals = append(p.finals, finalItem{name: name, kind: kind, src: src})
+	}
+	p.visible = len(p.finals)
+
+	// GROUP BY keys absent from the select list still define groups: ship
+	// them as hidden scatter columns so the fold keeps distinct groups
+	// distinct, then project them away at the end.
+	for i, g := range sel.GroupBy {
+		if keyCols[groupStrs[i]] {
+			continue
+		}
+		src := addScatter(g.String(), foldKey)
+		p.finals = append(p.finals, finalItem{name: g.String(), src: src})
+	}
+
+	visibleCols := make([]ColMeta, p.visible)
+	p.Columns = make([]string, p.visible)
+	for i, fi := range p.finals[:p.visible] {
+		visibleCols[i] = ColMeta{Name: fi.name, Kind: fi.kind}
+		p.Columns[i] = fi.name
+	}
+
+	// HAVING and ORDER BY bind against the visible output columns with
+	// the single-node resolver: a reference the engine would reject (an
+	// aggregate not in the select list, an unknown column) is rejected
+	// here with the same error instead of silently widening the dialect.
+	if sel.Having != nil {
+		bound, err := bind(rewriteAggRefs(sel.Having, visibleCols), visibleCols)
+		if err != nil {
+			return nil, err
+		}
+		p.having = bound
+	}
+	for _, o := range sel.OrderBy {
+		bound, err := bind(rewriteAggRefs(o.Expr, visibleCols), visibleCols)
+		if err != nil {
+			return nil, err
+		}
+		p.orderKeys = append(p.orderKeys, bound)
+		p.orderDesc = append(p.orderDesc, o.Desc)
+	}
+
+	p.ShardSQL = renderShardSQL(sel, scatterItems)
+	return p, nil
+}
+
+// renderShardSQL renders the per-shard partial-aggregate query: the
+// rewritten select list over the original FROM/WHERE/GROUP BY, with the
+// post-aggregate clauses stripped (they apply to folded groups only).
+func renderShardSQL(sel *sqlparse.SelectStmt, items []string) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	sb.WriteString(strings.Join(items, ", "))
+	sb.WriteString(" FROM ")
+	for i, tr := range sel.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(tr.Name)
+		if tr.Alias != "" {
+			sb.WriteString(" ")
+			sb.WriteString(tr.Alias)
+		}
+	}
+	if sel.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(sel.Where.String())
+	}
+	if len(sel.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range sel.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	return sb.String()
+}
+
+// gatherGroup is one group's folded state at the coordinator.
+type gatherGroup struct {
+	keys  []relational.Value
+	cells []relational.Value
+}
+
+// GatherAccum folds per-shard partial rows under a GatherPlan. Fold may
+// be called once per shard in any order; Result finalizes.
+type GatherAccum struct {
+	plan   *GatherPlan
+	groups map[string]*gatherGroup
+	order  []string // group keys in first-arrival order (for determinism)
+
+	// concat mode
+	rows        []Row
+	concatKeys  []boundExpr
+	concatDesc  []bool
+	concatBound bool
+}
+
+// NewGatherAccum builds an accumulator for plan.
+func NewGatherAccum(plan *GatherPlan) *GatherAccum {
+	return &GatherAccum{plan: plan, groups: map[string]*gatherGroup{}}
+}
+
+// Fold merges one shard's rows. cols is the shard-reported column list;
+// aggregate plans fold positionally and ignore it, concat plans use it
+// to bind ORDER BY once.
+func (a *GatherAccum) Fold(cols []string, rows []Row) error {
+	if !a.plan.aggregate {
+		return a.foldConcat(cols, rows)
+	}
+	for _, row := range rows {
+		if len(row) != len(a.plan.kinds) {
+			return fmt.Errorf("cluster: aggregate gather: shard row has %d columns, plan has %d", len(row), len(a.plan.kinds))
+		}
+		var kb strings.Builder
+		for _, i := range a.plan.keyIdx {
+			kb.WriteString(row[i].String())
+			kb.WriteByte('\x00')
+			fmt.Fprint(&kb, row[i].Kind)
+			kb.WriteByte('\x01')
+		}
+		key := kb.String()
+		g, ok := a.groups[key]
+		if !ok {
+			g = &gatherGroup{cells: make([]relational.Value, len(row))}
+			copy(g.cells, row)
+			for _, i := range a.plan.keyIdx {
+				g.keys = append(g.keys, row[i])
+			}
+			a.groups[key] = g
+			a.order = append(a.order, key)
+			continue
+		}
+		for i, kind := range a.plan.kinds {
+			g.cells[i] = mergeCell(kind, g.cells[i], row[i])
+		}
+	}
+	return nil
+}
+
+func (a *GatherAccum) foldConcat(cols []string, rows []Row) error {
+	if !a.concatBound && len(a.plan.orderItems) > 0 {
+		meta := make([]ColMeta, len(cols))
+		for i, c := range cols {
+			meta[i] = ColMeta{Name: c}
+		}
+		for _, o := range a.plan.orderItems {
+			b, err := bind(o.Expr, meta)
+			if err != nil {
+				return fmt.Errorf("cluster: ORDER BY %s does not compose across shards: %w", o.Expr, err)
+			}
+			a.concatKeys = append(a.concatKeys, b)
+			a.concatDesc = append(a.concatDesc, o.Desc)
+		}
+		a.concatBound = true
+	}
+	a.rows = append(a.rows, rows...)
+	return nil
+}
+
+// mergeCell folds one shard's partial aggregate cell into the running
+// one. NULL partials (an aggregate over an empty shard subset) are
+// skipped; COUNT partials sum, SUM partials add kind-aware, MIN/MAX
+// compare with the relational ordering.
+func mergeCell(kind foldKind, acc, next relational.Value) relational.Value {
+	switch kind {
+	case foldKey:
+		return acc
+	case foldCount:
+		return relational.Int(acc.AsInt() + next.AsInt())
+	case foldSum:
+		if next.IsNull() {
+			return acc
+		}
+		if acc.IsNull() {
+			return next
+		}
+		if acc.Kind == relational.KindFloat || next.Kind == relational.KindFloat {
+			return relational.Float(acc.AsFloat() + next.AsFloat())
+		}
+		return relational.Int(acc.AsInt() + next.AsInt())
+	case foldMin:
+		if next.IsNull() {
+			return acc
+		}
+		if acc.IsNull() || relational.Compare(next, acc) < 0 {
+			return next
+		}
+		return acc
+	default: // foldMax
+		if next.IsNull() {
+			return acc
+		}
+		if acc.IsNull() || relational.Compare(next, acc) > 0 {
+			return next
+		}
+		return acc
+	}
+}
+
+// defaultCell is the SQL zero-shard answer for one scatter column: COUNT
+// of nothing is 0, every other aggregate of nothing is NULL.
+func defaultCell(kind foldKind) relational.Value {
+	if kind == foldCount {
+		return relational.Int(0)
+	}
+	return relational.Null
+}
+
+// Result finalizes the gather: AVG pairs divide (NULL when the fold saw
+// zero non-NULL values), HAVING filters the folded groups, ORDER BY runs
+// over the final values with a bounded top-k merge when LIMIT is set,
+// and hidden columns are projected away.
+func (a *GatherAccum) Result() ([]Row, error) {
+	if !a.plan.aggregate {
+		return a.resultConcat()
+	}
+	// Grand-total aggregation yields one row even when no shard
+	// contributed one (every shard empty, or all unavailable rows were
+	// withheld by the caller before folding).
+	if len(a.plan.keyIdx) == 0 && len(a.groups) == 0 {
+		cells := make([]relational.Value, len(a.plan.kinds))
+		for i, k := range a.plan.kinds {
+			cells[i] = defaultCell(k)
+		}
+		a.groups[""] = &gatherGroup{cells: cells}
+		a.order = append(a.order, "")
+	}
+
+	type finalRow struct {
+		keys []relational.Value
+		row  Row
+		sort []relational.Value // pre-evaluated ORDER BY key values
+	}
+	finals := make([]*finalRow, 0, len(a.groups))
+	for _, key := range a.order {
+		g := a.groups[key]
+		row := make(Row, len(a.plan.finals))
+		for i, fi := range a.plan.finals {
+			if !fi.avg {
+				row[i] = g.cells[fi.src]
+				continue
+			}
+			cnt := g.cells[fi.avgCount].AsInt()
+			sum := g.cells[fi.avgSum]
+			if cnt <= 0 || sum.IsNull() {
+				row[i] = relational.Null
+			} else {
+				row[i] = relational.Float(sum.AsFloat() / float64(cnt))
+			}
+		}
+		if a.plan.having != nil {
+			v, err := a.plan.having.eval(row)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		fr := &finalRow{keys: g.keys, row: row}
+		for _, k := range a.plan.orderKeys {
+			v, err := k.eval(row)
+			if err != nil {
+				return nil, err
+			}
+			fr.sort = append(fr.sort, v)
+		}
+		finals = append(finals, fr)
+	}
+
+	// Total order: the ORDER BY keys, then the group key as tiebreak (so
+	// ties at a LIMIT cutoff resolve deterministically regardless of
+	// shard arrival order). Without ORDER BY, group-key order alone.
+	less := func(x, y *finalRow) bool {
+		for k := range a.plan.orderKeys {
+			cmp := compareCoerced(x.sort[k], y.sort[k])
+			if cmp == 0 {
+				continue
+			}
+			if a.plan.orderDesc[k] {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		for k := range x.keys {
+			if cmp := relational.Compare(x.keys[k], y.keys[k]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	}
+
+	if a.plan.limit >= 0 && a.plan.limit < len(finals) && len(a.plan.orderKeys) > 0 {
+		finals = topK(finals, a.plan.limit, less)
+	} else {
+		sort.SliceStable(finals, func(i, j int) bool { return less(finals[i], finals[j]) })
+		if a.plan.limit >= 0 && a.plan.limit < len(finals) {
+			finals = finals[:a.plan.limit]
+		}
+	}
+
+	out := make([]Row, len(finals))
+	for i, fr := range finals {
+		out[i] = fr.row[:a.plan.visible]
+	}
+	return out, nil
+}
+
+func (a *GatherAccum) resultConcat() ([]Row, error) {
+	rows := a.rows
+	if len(a.concatKeys) > 0 {
+		var evalErr error
+		sortVals := make([][]relational.Value, len(rows))
+		for i, row := range rows {
+			sortVals[i] = make([]relational.Value, len(a.concatKeys))
+			for k, key := range a.concatKeys {
+				v, err := key.eval(row)
+				if err != nil {
+					return nil, err
+				}
+				sortVals[i][k] = v
+			}
+		}
+		idx := make([]int, len(rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(x, y int) bool {
+			for k := range a.concatKeys {
+				cmp := compareCoerced(sortVals[idx[x]][k], sortVals[idx[y]][k])
+				if cmp == 0 {
+					continue
+				}
+				if a.concatDesc[k] {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		sorted := make([]Row, len(rows))
+		for i, j := range idx {
+			sorted[i] = rows[j]
+		}
+		rows = sorted
+	}
+	if a.plan.limit >= 0 && a.plan.limit < len(rows) {
+		rows = rows[:a.plan.limit]
+	}
+	return rows, nil
+}
+
+// topK keeps the k least rows under less without sorting the full set: a
+// max-heap of the current survivors whose root is the worst kept row.
+// The result comes back fully sorted.
+func topK[T any](items []*T, k int, less func(x, y *T) bool) []*T {
+	if k <= 0 {
+		return nil
+	}
+	heap := make([]*T, 0, k)
+	// heap property: heap[parent] is NOT less than heap[child] (max-heap
+	// under less), so heap[0] is the worst survivor.
+	siftUp := func(i int) {
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(heap[parent], heap[i]) {
+				return
+			}
+			heap[parent], heap[i] = heap[i], heap[parent]
+			i = parent
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			big := i
+			if l < len(heap) && less(heap[big], heap[l]) {
+				big = l
+			}
+			if r < len(heap) && less(heap[big], heap[r]) {
+				big = r
+			}
+			if big == i {
+				return
+			}
+			heap[i], heap[big] = heap[big], heap[i]
+			i = big
+		}
+	}
+	for _, it := range items {
+		if len(heap) < k {
+			heap = append(heap, it)
+			siftUp(len(heap) - 1)
+			continue
+		}
+		if less(it, heap[0]) {
+			heap[0] = it
+			siftDown()
+		}
+	}
+	sort.SliceStable(heap, func(i, j int) bool { return less(heap[i], heap[j]) })
+	return heap
+}

@@ -14,9 +14,12 @@ import (
 
 // PartialResultError reports that a distributed query's answer covers
 // only part of the data: every shard listed in Shards was unavailable
-// (zero live, caught-up replicas after retries). The rows accompanying
-// the error are complete for every shard NOT listed. It unwraps to the
-// per-shard causes so errors.Is/As see through it.
+// (zero live, caught-up replicas after retries). For plain row queries
+// the rows accompanying the error are complete for every shard NOT
+// listed; for aggregate queries no rows accompany it at all — a fold
+// over the surviving shards would be a wrong total masquerading as the
+// answer, so the router withholds it. It unwraps to the per-shard
+// causes so errors.Is/As see through it.
 type PartialResultError struct {
 	// Shards lists the unavailable shard indices, ascending.
 	Shards []int

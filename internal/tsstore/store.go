@@ -98,6 +98,19 @@ func (st *Stats) add(other Stats) {
 	st.CorruptBlobsSkipped += other.CorruptBlobsSkipped
 }
 
+// Add accumulates every counter of other into st — multi-store
+// aggregation, e.g. a cluster summing its shard copies' snapshots.
+func (st *Stats) Add(other *Stats) {
+	st.add(*other)
+	st.ParallelScans += other.ParallelScans
+	st.ParallelParts += other.ParallelParts
+	st.SummaryHits += other.SummaryHits
+	st.BytesNotDecoded += other.BytesNotDecoded
+	st.ColdCompactions += other.ColdCompactions
+	st.StubTransitions += other.StubTransitions
+	st.TierBytesReclaimed += other.TierBytesReclaimed
+}
+
 // maxShards caps the ingest shard count.
 const maxShards = 64
 
