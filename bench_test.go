@@ -602,6 +602,59 @@ func BenchmarkAggDecodeFallback(b *testing.B) {
 	b.ReportMetric(float64(decoded)/float64(max64(int64(b.N), 1)), "decodedB/op")
 }
 
+// BenchmarkAggSubBucket measures the sub-bucket summary path on the shape
+// the whole-blob summary can never answer: TIME_BUCKET widths smaller
+// than a blob's span (128 points at 10 ms = 1280 ms) over an unaligned
+// window, so every interior blob straddles bucket edges. The sub-1000ms
+// run folds the straddlers from per-sub-bucket mini-summaries — only the
+// two window-cut blobs decode — while the v2 run (sub blocks disabled)
+// must decode every blob. The decoded-byte gap between the two runs is
+// the headline; the issue targets >= 10x.
+func BenchmarkAggSubBucket(b *testing.B) {
+	queries := func(src, maxTS int64) []string {
+		lo, hi := int64(15), maxTS-5 // deliberately off the bucket grid
+		w := func(q, grp string) string {
+			return q + ` FROM V WHERE id = ` + strconv.FormatInt(src, 10) +
+				` AND ts >= ` + strconv.FormatInt(lo, 10) +
+				` AND ts < ` + strconv.FormatInt(hi, 10) + grp
+		}
+		return []string{
+			w(`SELECT TIME_BUCKET(1000, ts), COUNT(*), SUM(t1), MIN(t0), MAX(t0)`, ` GROUP BY TIME_BUCKET(1000, ts)`),
+			w(`SELECT TIME_BUCKET(5000, ts), COUNT(*), AVG(t2), MAX(t1)`, ` GROUP BY TIME_BUCKET(5000, ts)`),
+		}
+	}
+	run := func(b *testing.B, subMs int64) {
+		h, src, maxTS := benchQueryFixture(b, Options{SubBucketMs: subMs})
+		qs := queries(src, maxTS)
+		var decoded int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range qs {
+				res, err := h.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := res.FetchAll(); err != nil {
+					b.Fatal(err)
+				}
+				decoded += res.BlobBytes()
+			}
+		}
+		b.StopTimer()
+		st := h.TotalStats()
+		n := max64(int64(b.N), 1)
+		folded := st.SubBucketBytesNotDecoded + st.BytesNotDecoded
+		b.ReportMetric(float64(decoded)/float64(n), "decodedB/op")
+		b.ReportMetric(float64(folded+decoded)/float64(n), "sweptB/op")
+		if decoded > 0 {
+			b.ReportMetric(float64(folded+decoded)/float64(decoded), "reduction-x")
+		}
+		b.ReportMetric(float64(st.SubBucketFolds)/float64(n), "subFolds/op")
+	}
+	b.Run("sub-1000ms", func(b *testing.B) { run(b, 1000) })
+	b.Run("v2", func(b *testing.B) { run(b, -1) })
+}
+
 func max64(a, b int64) int64 {
 	if a > b {
 		return a

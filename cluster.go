@@ -168,6 +168,10 @@ type ClusterTotalStats struct {
 	ParallelScans   int64
 	SummaryHits     int64
 	BytesNotDecoded int64
+	// Sub-bucket fold counters (disjoint from SummaryHits/BytesNotDecoded):
+	// straddling blobs folded entirely from per-sub-bucket mini-summaries.
+	SubBucketFolds           int64
+	SubBucketBytesNotDecoded int64
 }
 
 // TotalStats sums storage counters over live replicas. Down nodes
@@ -175,12 +179,14 @@ type ClusterTotalStats struct {
 func (c *Cluster) TotalStats() ClusterTotalStats {
 	ts := c.c.TotalTSStats()
 	return ClusterTotalStats{
-		PointsWritten:   ts.PointsWritten,
-		BatchesFlushed:  ts.BatchesFlushed,
-		BlobBytes:       ts.BlobBytes,
-		ParallelScans:   ts.ParallelScans,
-		SummaryHits:     ts.SummaryHits,
-		BytesNotDecoded: ts.BytesNotDecoded,
+		PointsWritten:            ts.PointsWritten,
+		BatchesFlushed:           ts.BatchesFlushed,
+		BlobBytes:                ts.BlobBytes,
+		ParallelScans:            ts.ParallelScans,
+		SummaryHits:              ts.SummaryHits,
+		BytesNotDecoded:          ts.BytesNotDecoded,
+		SubBucketFolds:           ts.SubBucketFolds,
+		SubBucketBytesNotDecoded: ts.SubBucketBytesNotDecoded,
 	}
 }
 

@@ -1,0 +1,320 @@
+// benchdiff turns `go test -bench` output into the repo's BENCH_RESULTS.json
+// shape and gates it against BENCH_BASELINE.json.
+//
+//	benchdiff parse [-out BENCH_RESULTS.json] bench-agg.txt [more.txt...]
+//	benchdiff gate [-baseline BENCH_BASELINE.json] [-results BENCH_RESULTS.json] [-max-regress 0.30]
+//
+// The gate is deliberately narrow: decoded-byte and fold-count metrics are
+// deterministic per op, so a >max-regress drift there is a real behavior
+// regression and fails the run. Wall-clock (ns/op) is advisory — CI hosts
+// are noisy — and everything else is reported without judgement.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// results mirrors the "benchmarks" object of BENCH_BASELINE.json: per
+// benchmark, per normalized metric name, the observed values in order.
+type results map[string]map[string][]float64
+
+type resultsFile struct {
+	Captured   string  `json:"captured,omitempty"`
+	Command    string  `json:"command,omitempty"`
+	Note       string  `json:"note,omitempty"`
+	Benchmarks results `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		runParse(os.Args[2:])
+	case "gate":
+		runGate(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchdiff parse [-out FILE] bench.txt...")
+	fmt.Fprintln(os.Stderr, "       benchdiff gate [-baseline FILE] [-results FILE] [-max-regress F]")
+	os.Exit(2)
+}
+
+func runParse(args []string) {
+	out := "BENCH_RESULTS.json"
+	var files []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-out" && i+1 < len(args) {
+			out = args[i+1]
+			i++
+			continue
+		}
+		files = append(files, args[i])
+	}
+	if len(files) == 0 {
+		usage()
+	}
+	all := results{}
+	for _, f := range files {
+		if err := parseFile(f, all); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", f, err)
+			os.Exit(1)
+		}
+	}
+	if len(all) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines found")
+		os.Exit(1)
+	}
+	rf := resultsFile{
+		Captured:   time.Now().UTC().Format("2006-01-02"),
+		Command:    "benchdiff parse " + strings.Join(files, " "),
+		Benchmarks: all,
+	}
+	buf, err := json.MarshalIndent(rf, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(all), out)
+}
+
+func parseFile(path string, into results) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, metrics, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		m, exists := into[name]
+		if !exists {
+			m = map[string][]float64{}
+			into[name] = m
+		}
+		for k, v := range metrics {
+			m[k] = append(m[k], v)
+		}
+	}
+	return sc.Err()
+}
+
+// parseBenchLine decodes one `go test -bench` result line:
+//
+//	BenchmarkAggSubBucket/sub-1000ms-4   3   11499160 ns/op   1982 decodedB/op ...
+//
+// The trailing -N GOMAXPROCS suffix is stripped so names match the
+// baseline, and units are normalized to the baseline's snake_case keys.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", nil, false
+	}
+	name := stripProcSuffix(fields[0])
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		metrics[normalizeUnit(fields[i+1])] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
+}
+
+// stripProcSuffix removes the -GOMAXPROCS suffix go test appends to the
+// last path element of a benchmark name when -cpu is not 1.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// normalizeUnit maps a go-bench unit to the baseline's snake_case metric
+// key: B/op → bytes_per_op, decodedB/op → decoded_B_per_op, hit% →
+// hit_pct, reduction-x → reduction_x.
+func normalizeUnit(unit string) string {
+	switch unit {
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	}
+	unit = strings.ReplaceAll(unit, "%", "_pct")
+	parts := strings.Split(unit, "/")
+	for i, p := range parts {
+		if len(p) > 1 && strings.HasSuffix(p, "B") && !strings.HasSuffix(p, "_B") {
+			parts[i] = p[:len(p)-1] + "_B"
+		}
+	}
+	unit = strings.Join(parts, "_per_")
+	return strings.ReplaceAll(unit, "-", "_")
+}
+
+// Gate classification. Deterministic byte/fold metrics fail the run on
+// drift past the threshold; ns_per_op warns; everything else is printed.
+func gateClass(metric string) (gated, lowerBetter bool) {
+	switch metric {
+	case "decoded_B_per_op", "swept_B_per_op", "folded_B_per_op":
+		return true, true
+	case "folds_per_op", "subFolds_per_op", "reduction_x":
+		return true, false
+	}
+	return false, false
+}
+
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func runGate(args []string) {
+	baselinePath := "BENCH_BASELINE.json"
+	resultsPath := "BENCH_RESULTS.json"
+	maxRegress := 0.30
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-baseline":
+			baselinePath, i = args[i+1], i+1
+		case "-results":
+			resultsPath, i = args[i+1], i+1
+		case "-max-regress":
+			f, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil {
+				usage()
+			}
+			maxRegress, i = f, i+1
+		default:
+			usage()
+		}
+	}
+	baseline, err := loadBenchmarks(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	current, err := loadBenchmarks(resultsPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	var failures, warnings, checked int
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Printf("new  %s (no baseline)\n", name)
+			continue
+		}
+		metrics := make([]string, 0, len(current[name]))
+		for m := range current[name] {
+			metrics = append(metrics, m)
+		}
+		sort.Strings(metrics)
+		for _, m := range metrics {
+			baseVals, ok := base[m]
+			if !ok || len(baseVals) == 0 {
+				continue
+			}
+			got := median(current[name][m])
+			want := median(baseVals)
+			gated, lowerBetter := gateClass(m)
+			switch {
+			case gated && want != 0:
+				checked++
+				drift := got/want - 1
+				if !lowerBetter {
+					drift = -drift
+				}
+				if drift > maxRegress {
+					failures++
+					fmt.Printf("FAIL %s %s: %.6g vs baseline %.6g (%.0f%% past the %.0f%% budget)\n",
+						name, m, got, want, 100*drift, 100*maxRegress)
+				} else {
+					fmt.Printf("ok   %s %s: %.6g vs baseline %.6g\n", name, m, got, want)
+				}
+			case m == "ns_per_op" && want != 0:
+				if got > want*(1+maxRegress) {
+					warnings++
+					fmt.Printf("warn %s ns/op: %.6g vs baseline %.6g (advisory: wall-clock is host-dependent)\n", name, got, want)
+				}
+			}
+		}
+	}
+	fmt.Printf("benchdiff: %d gated metrics checked, %d failures, %d wall-clock warnings\n", checked, failures, warnings)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func loadBenchmarks(path string) (results, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rf struct {
+		Benchmarks map[string]map[string]json.RawMessage `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(buf, &rf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := results{}
+	for name, metrics := range rf.Benchmarks {
+		m := map[string][]float64{}
+		for key, raw := range metrics {
+			// Baseline entries mix metric arrays with annotation strings
+			// (captured, note); keep whatever parses as numbers.
+			var vals []float64
+			if err := json.Unmarshal(raw, &vals); err == nil {
+				m[key] = vals
+				continue
+			}
+			var one float64
+			if err := json.Unmarshal(raw, &one); err == nil {
+				m[key] = []float64{one}
+			}
+		}
+		out[name] = m
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	name, metrics, ok := parseBenchLine(
+		"BenchmarkAggSubBucket/sub-1000ms-4   \t       3\t  11499160 ns/op\t      1982 decodedB/op\t      1593 reduction-x\t      1962 subFolds/op\t   3157436 sweptB/op\t  744524 B/op\t    2301 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if name != "BenchmarkAggSubBucket/sub-1000ms" {
+		t.Fatalf("name = %q", name)
+	}
+	want := map[string]float64{
+		"ns_per_op":        11499160,
+		"decoded_B_per_op": 1982,
+		"reduction_x":      1593,
+		"subFolds_per_op":  1962,
+		"swept_B_per_op":   3157436,
+		"bytes_per_op":     744524,
+		"allocs_per_op":    2301,
+	}
+	if !reflect.DeepEqual(metrics, want) {
+		t.Fatalf("metrics = %v, want %v", metrics, want)
+	}
+
+	for _, junk := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \todh\t12.3s",
+		"BenchmarkNoMetrics-4",
+		"--- BENCH: BenchmarkX",
+	} {
+		if _, _, ok := parseBenchLine(junk); ok {
+			t.Fatalf("junk line parsed: %q", junk)
+		}
+	}
+}
+
+func TestNormalizeUnit(t *testing.T) {
+	cases := map[string]string{
+		"ns/op":       "ns_per_op",
+		"B/op":        "bytes_per_op",
+		"allocs/op":   "allocs_per_op",
+		"decodedB/op": "decoded_B_per_op",
+		"foldedB/op":  "folded_B_per_op",
+		"savedB/op":   "saved_B_per_op",
+		"sweptB/op":   "swept_B_per_op",
+		"reduction-x": "reduction_x",
+		"hit%":        "hit_pct",
+		"rows/s":      "rows_per_s",
+		"folds/op":    "folds_per_op",
+		"fanout":      "fanout",
+	}
+	for unit, want := range cases {
+		if got := normalizeUnit(unit); got != want {
+			t.Errorf("normalizeUnit(%q) = %q, want %q", unit, got, want)
+		}
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkAggPushdown-4":             "BenchmarkAggPushdown",
+		"BenchmarkAggSubBucket/sub-1000ms":   "BenchmarkAggSubBucket/sub-1000ms",
+		"BenchmarkAggSubBucket/v2-16":        "BenchmarkAggSubBucket/v2",
+		"BenchmarkX":                         "BenchmarkX",
+		"BenchmarkAggSubBucket/sub-1000ms-4": "BenchmarkAggSubBucket/sub-1000ms",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGateClass(t *testing.T) {
+	// Deterministic byte/fold metrics are gated; wall-clock and allocation
+	// metrics must never be (they are host-dependent).
+	for _, m := range []string{"decoded_B_per_op", "swept_B_per_op", "folded_B_per_op", "folds_per_op", "subFolds_per_op", "reduction_x"} {
+		if gated, _ := gateClass(m); !gated {
+			t.Errorf("%s should be gated", m)
+		}
+	}
+	for _, m := range []string{"ns_per_op", "bytes_per_op", "allocs_per_op", "rows_per_s", "hit_pct"} {
+		if gated, _ := gateClass(m); gated {
+			t.Errorf("%s must not be gated", m)
+		}
+	}
+	if _, lower := gateClass("decoded_B_per_op"); !lower {
+		t.Error("decoded_B_per_op is lower-is-better")
+	}
+	if _, lower := gateClass("reduction_x"); lower {
+		t.Error("reduction_x is higher-is-better")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Fatalf("median(nil) = %v", got)
+	}
+}

@@ -105,9 +105,10 @@ func clusterDot(c *odh.Cluster, line string) bool {
 		total := c.TotalStats()
 		fmt.Printf("storage: points=%d batches=%d blobBytes=%d parallelScans=%d\n",
 			total.PointsWritten, total.BatchesFlushed, total.BlobBytes, total.ParallelScans)
-		if total.SummaryHits > 0 {
-			fmt.Printf("aggPushdown: summaryHits=%d bytesNotDecoded=%d\n",
-				total.SummaryHits, total.BytesNotDecoded)
+		if total.SummaryHits > 0 || total.SubBucketFolds > 0 {
+			fmt.Printf("aggPushdown: summaryHits=%d bytesNotDecoded=%d subBucketFolds=%d subBucketBytesNotDecoded=%d\n",
+				total.SummaryHits, total.BytesNotDecoded,
+				total.SubBucketFolds, total.SubBucketBytesNotDecoded)
 		}
 	case ".flush":
 		if err := c.Flush(); err != nil {

@@ -160,9 +160,10 @@ func dotCommand(h *odh.Historian, line string) bool {
 					total.ParallelScans, total.ParallelParts,
 					float64(total.ParallelParts)/float64(total.ParallelScans))
 			}
-			if total.SummaryHits > 0 {
-				fmt.Printf("aggPushdown: summaryHits=%d bytesNotDecoded=%d\n",
-					total.SummaryHits, total.BytesNotDecoded)
+			if total.SummaryHits > 0 || total.SubBucketFolds > 0 {
+				fmt.Printf("aggPushdown: summaryHits=%d bytesNotDecoded=%d subBucketFolds=%d subBucketBytesNotDecoded=%d\n",
+					total.SummaryHits, total.BytesNotDecoded,
+					total.SubBucketFolds, total.SubBucketBytesNotDecoded)
 			}
 			if tiers, err := h.TierStats(); err == nil {
 				fmt.Printf("tiers: hot=%d (%d bytes) cold=%d (%d bytes) stub=%d (%d bytes) reclaimed=%d bytes\n",

@@ -13,13 +13,16 @@ import (
 )
 
 // Differential harness: the same randomized IoT workload is driven into
-// four ODH historians — {serial, parallel} × {cache off, cache on} — and
-// mirrored into a plain relational table. Every query template must
-// return byte-identical rows across the four ODH configurations (same
-// engine, same data, so even row order must match) and the same multiset
-// of rows as the relational baseline. Maintenance passes (flush,
-// reorganize, coalesce, retention) are interleaved so the comparisons
-// cover every on-disk layout the store can be in.
+// four ODH historians — {serial, parallel} × {cache off, cache on}, with
+// sub-bucket summaries disabled on the serial pair and enabled (100 ms
+// base) on the parallel pair — and mirrored into a plain relational
+// table. Every query template must return byte-identical rows across the
+// four ODH configurations (same engine, same data, so even row order must
+// match) and the same multiset of rows as the relational baseline.
+// Maintenance passes (flush, reorganize, coalesce, retention) are
+// interleaved so the comparisons cover every on-disk layout the store can
+// be in — including v2 (no sub block) and v3 blobs folding the same
+// TIME_BUCKET queries through entirely different code paths.
 
 type diffConfig struct {
 	name string
@@ -28,17 +31,22 @@ type diffConfig struct {
 
 func diffConfigs() []diffConfig {
 	base := Options{BatchSize: 16, GroupSize: 4}
-	mk := func(name string, workers int, cache int64) diffConfig {
+	mk := func(name string, workers int, cache, subMs int64) diffConfig {
 		o := base
 		o.QueryWorkers = workers
 		o.BlobCacheBytes = cache
+		o.SubBucketMs = subMs
 		return diffConfig{name: name, opts: o}
 	}
+	// The serial pair writes v2 blobs (sub-bucket summaries disabled), the
+	// parallel pair writes v3 at a 100 ms base — small enough that every
+	// RTS blob straddles bucket edges, so the bucketed templates fold from
+	// sub-summaries on one side and decode on the other.
 	return []diffConfig{
-		mk("serial", 0, 0),
-		mk("serial+cache", 0, 16<<20),
-		mk("parallel", 4, 0),
-		mk("parallel+cache", 4, 16<<20),
+		mk("serial", 0, 0, -1),
+		mk("serial+cache", 0, 16<<20, -1),
+		mk("parallel+sub", 4, 0, 100),
+		mk("parallel+cache+sub", 4, 16<<20, 100),
 	}
 }
 
@@ -256,6 +264,15 @@ func TestDifferentialODHvsRelational(t *testing.T) {
 			w := []int64{100, 1000, 20_000}[rng.Intn(3)]
 			return fmt.Sprintf(`SELECT TIME_BUCKET(%d, ts), COUNT(*), MIN(a) FROM %%s WHERE id = %d GROUP BY TIME_BUCKET(%d, ts)`, w, src.id, w)
 		},
+		func() string { // unaligned-window TIME_BUCKET at sub-bucket base
+			// multiples: straddling blobs fold from sub-summaries on the
+			// sub-enabled configurations and decode on the others — the
+			// rows must still match byte for byte.
+			w := []int64{100, 300, 1500}[rng.Intn(3)]
+			t1 := rng.Int63n(maxTS + 1)
+			t2 := t1 + rng.Int63n(maxTS)
+			return fmt.Sprintf(`SELECT TIME_BUCKET(%d, ts), COUNT(*), COUNT(a), SUM(a), MIN(a), MAX(b) FROM %%s WHERE ts >= %d AND ts < %d GROUP BY TIME_BUCKET(%d, ts)`, w, t1, t2, w)
+		},
 	}
 
 	compare := func(round int, tmpl string) {
@@ -401,6 +418,14 @@ func TestDifferentialODHvsRelational(t *testing.T) {
 	}
 	if st := hs[0].TotalStats(); st.SummaryHits == 0 || st.BytesNotDecoded == 0 {
 		t.Fatalf("aggregate templates never folded a summary: %+v", st)
+	}
+	if st := hs[0].TotalStats(); st.SubBucketFolds != 0 {
+		t.Fatalf("sub-bucket-disabled config reported sub folds: %+v", st)
+	}
+	for _, i := range []int{2, 3} {
+		if st := hs[i].TotalStats(); st.SubBucketFolds == 0 || st.SubBucketBytesNotDecoded == 0 {
+			t.Fatalf("%s config never folded a sub-bucket summary: %+v", configs[i].name, st)
+		}
 	}
 
 	// Stub epilogue: summary-only stubs must answer full-window

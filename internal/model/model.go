@@ -193,6 +193,21 @@ type SourceStats struct {
 	MaxSpanMs int64
 }
 
+// BucketFloor floor-aligns ts to the bucket grid of the given width: the
+// result is the largest multiple of width that is <= ts, correct for
+// negative timestamps (Go's % truncates toward zero, so -1 % 10 == -1,
+// not 9). Both TIME_BUCKET evaluation in sqlexec and summary-fold
+// classification in tsstore call this; they must agree bit-for-bit or a
+// folded aggregate lands in a different bucket than a decoded one.
+// width must be positive.
+func BucketFloor(ts, width int64) int64 {
+	r := ts % width
+	if r < 0 {
+		r += width
+	}
+	return ts - r
+}
+
 // Merge folds other into s.
 func (s *SourceStats) Merge(other SourceStats) {
 	if s.PointCount == 0 {

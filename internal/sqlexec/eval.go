@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"odh/internal/model"
 	"odh/internal/relational"
 	"odh/internal/sqlparse"
 )
@@ -351,11 +352,7 @@ func (b boundScalar) eval(row Row) (relational.Value, error) {
 			return relational.Null, fmt.Errorf("sqlexec: TIME_BUCKET width must be positive")
 		}
 		ts := vals[1].AsInt()
-		b := ts % width
-		if b < 0 {
-			b += width
-		}
-		return relational.Time(ts - b), nil
+		return relational.Time(model.BucketFloor(ts, width)), nil
 	case "ABS":
 		if vals[0].IsNull() {
 			return relational.Null, nil

@@ -147,12 +147,31 @@ func (pc *planContext) tryAggPushdown() (Operator, bool) {
 		streams = nSources
 	}
 	estDecoded := math.Min(estSwept, 2*streams*avgBlob)
+	subNote := ""
+	if spec.BucketMs > 0 {
+		// A TIME_BUCKET grid adds an interior bucket edge every BucketMs
+		// across the effective window, and every edge cuts one straddling
+		// blob per stream that must be decoded — unless the store writes
+		// sub-bucket summaries at a base this width is a multiple of, in
+		// which case straddlers fold from the mini-summaries and only the
+		// two window edges remain decoded.
+		if base := pc.e.ts.SubBucketMs(); base > 0 && spec.BucketMs%base == 0 {
+			subNote = fmt.Sprintf(", sub-bucket foldable @%dms", base)
+		} else if stats.PointCount > 0 {
+			lo := math.Max(float64(spec.T1), float64(stats.FirstTS))
+			hi := math.Min(float64(spec.T2), float64(stats.LastTS))
+			if hi > lo {
+				edges := (hi - lo) / float64(spec.BucketMs)
+				estDecoded = math.Min(estSwept, estDecoded+edges*streams*avgBlob)
+			}
+		}
+	}
 	pct := 0.0
 	if estSwept > 0 {
 		pct = 100 * (1 - estDecoded/estSwept)
 	}
-	note := fmt.Sprintf("agg-pushdown est-decoded=%.0fB of %.0fB swept blob bytes (%.0f%% summary-folded)",
-		estDecoded, estSwept, pct)
+	note := fmt.Sprintf("agg-pushdown est-decoded=%.0fB of %.0fB swept blob bytes (%.0f%% summary-folded%s)",
+		estDecoded, estSwept, pct, subNote)
 	if pc.planNote == "" {
 		pc.planNote = note
 	} else {

@@ -21,6 +21,12 @@ import (
 //   - fully covered: every row provably lies inside the window, inside one
 //     time bucket (when bucketing), and satisfies every predicate — the
 //     header summary is folded into the group, zero decode;
+//   - sub-bucket foldable: predicates are provable but the blob straddles
+//     the bucket grid (or a window edge that lands on the sub-bucket base
+//     grid) — when the query grid is a positive integral multiple of the
+//     base width, the blob folds from its per-sub-bucket mini-summaries
+//     (v3 header block, or lazily computed and cached for v1/v2 blobs),
+//     still zero decode;
 //   - boundary: anything unprovable — the blob is decoded (through the
 //     decoded-blob cache when enabled) and its rows folded one by one.
 //
@@ -85,6 +91,12 @@ type AggResult struct {
 	// the decode work the pushdown avoided.
 	SummaryHits     int64
 	BytesNotDecoded int64
+	// SubBucketFolds counts records that straddled the bucket grid (or a
+	// window edge) and folded from per-sub-bucket mini-summaries instead
+	// of a boundary decode; SubBucketBytesNotDecoded totals their encoded
+	// bytes. Disjoint from SummaryHits/BytesNotDecoded.
+	SubBucketFolds           int64
+	SubBucketBytesNotDecoded int64
 	// BlobBytesRead totals bytes actually decoded (boundary blobs) plus
 	// the estimated bytes of buffered points, matching scan accounting.
 	BlobBytesRead int64
@@ -93,17 +105,14 @@ type AggResult struct {
 }
 
 // bucketFloor floor-aligns ts to the bucket grid. It must match the
-// executor's TIME_BUCKET evaluation exactly (sqlexec/eval.go): a summary
-// fold replaces that evaluation for whole blobs.
+// executor's TIME_BUCKET evaluation exactly: both delegate to
+// model.BucketFloor, so a summary fold replaces that evaluation for
+// whole blobs without any grid drift.
 func bucketFloor(ts, width int64) int64 {
 	if width <= 0 {
 		return ts
 	}
-	b := ts % width
-	if b < 0 {
-		b += width
-	}
-	return ts - b
+	return model.BucketFloor(ts, width)
 }
 
 // matchPreds applies the conjunctive predicates to one row's tag values.
@@ -139,14 +148,15 @@ type aggSpecEx struct {
 	spec  *AggSpec
 	cache *blobCache
 	sig   string
-	tags  []int      // tags to fold (sorted, deduped, in [0, NTags))
-	zones []TagRange // inclusive hull of Preds for zone-map skipping
-	ntags int
-	ctx   context.Context // from Opts.Ctx; observed between records
+	tags    []int      // tags to fold (sorted, deduped, in [0, NTags))
+	zones   []TagRange // inclusive hull of Preds for zone-map skipping
+	ntags   int
+	subBase int64           // store's sub-bucket base width (0 = disabled)
+	ctx     context.Context // from Opts.Ctx; observed between records
 }
 
 func (s *Store) prepAggSpec(spec *AggSpec) *aggSpecEx {
-	sp := &aggSpecEx{spec: spec, ntags: spec.NTags, ctx: spec.Opts.Ctx}
+	sp := &aggSpecEx{spec: spec, ntags: spec.NTags, subBase: s.cfg.SubBucketMs, ctx: spec.Opts.Ctx}
 	sp.cache = s.scanCache(spec.Opts)
 	sp.sig = tagsSig(spec.WantTags)
 	if spec.WantTags == nil {
@@ -175,22 +185,28 @@ func (s *Store) prepAggSpec(spec *AggSpec) *aggSpecEx {
 type summaryClass int
 
 const (
-	classBoundary summaryClass = iota // must decode
-	classExcluded                     // contributes nothing, skip decode
-	classCovered                      // fold whole summary, skip decode
+	classBoundary    summaryClass = iota // must decode
+	classExcluded                        // contributes nothing, skip decode
+	classCovered                         // fold whole summary, skip decode
+	classSubFoldable                     // fold per-sub-bucket summaries, skip decode
 )
 
 // classifySummary decides how a record folds within one part range
-// [t1, t2). foldable gates full-coverage folding (false for MG records
-// whose rows need per-member attribution or filtering).
-func classifySummary(sum *blobSummary, t1, t2 int64, sp *aggSpecEx, foldable bool) summaryClass {
+// [t1, t2). foldable gates summary folding entirely (false for MG records
+// whose rows need per-member attribution or filtering); allowSub
+// additionally gates the sub-bucket outcome (false for MG records, whose
+// rows are slot-ordered and never carry sub-summaries).
+//
+// classSubFoldable means the whole-blob predicate proof held but the blob
+// straddles the bucket grid or a window edge: the record can fold from
+// per-sub-bucket mini-summaries PROVIDED the caller verifies the base
+// width of the summaries it actually has via subFoldAligned (a persisted
+// v3 block may carry a different base than the store's current config).
+func classifySummary(sum *blobSummary, t1, t2 int64, sp *aggSpecEx, foldable, allowSub bool) summaryClass {
 	if sum.rows == 0 || sum.lastTS < t1 || sum.firstTS >= t2 {
 		return classExcluded
 	}
-	if !foldable || sum.firstTS < t1 || sum.lastTS >= t2 {
-		return classBoundary
-	}
-	if w := sp.spec.BucketMs; w > 0 && bucketFloor(sum.firstTS, w) != bucketFloor(sum.lastTS, w) {
+	if !foldable {
 		return classBoundary
 	}
 	for _, tag := range sp.tags {
@@ -226,7 +242,37 @@ func classifySummary(sum *blobSummary, t1, t2 int64, sp *aggSpecEx, foldable boo
 			return classBoundary
 		}
 	}
-	return classCovered
+	if sum.firstTS >= t1 && sum.lastTS < t2 {
+		if w := sp.spec.BucketMs; w <= 0 || bucketFloor(sum.firstTS, w) == bucketFloor(sum.lastTS, w) {
+			return classCovered
+		}
+	}
+	if allowSub {
+		return classSubFoldable
+	}
+	return classBoundary
+}
+
+// subFoldAligned reports whether a sub-fold-candidate record may actually
+// fold from sub-summaries of the given base width: the query's bucket
+// grid (if any) must be a positive integral multiple of the base, and any
+// window edge that cuts into the blob's span must land on the base grid —
+// then every sub-bucket is provably either entirely inside or entirely
+// outside both the window and one query bucket.
+func subFoldAligned(sum *blobSummary, t1, t2, base int64, sp *aggSpecEx) bool {
+	if base <= 0 {
+		return false
+	}
+	if w := sp.spec.BucketMs; w > 0 && w%base != 0 {
+		return false
+	}
+	if sum.firstTS < t1 && model.BucketFloor(t1, base) != t1 {
+		return false
+	}
+	if sum.lastTS >= t2 && model.BucketFloor(t2, base) != t2 {
+		return false
+	}
+	return true
 }
 
 // aggKey identifies one output group.
@@ -237,10 +283,12 @@ type aggPartial struct {
 	groups map[aggKey]*AggGroup
 	order  []aggKey
 
-	summaryHits     int64
-	bytesNotDecoded int64
-	blobBytesRead   int64
-	blobsSkipped    int64
+	summaryHits              int64
+	bytesNotDecoded          int64
+	subBucketFolds           int64
+	subBucketBytesNotDecoded int64
+	blobBytesRead            int64
+	blobsSkipped             int64
 }
 
 func newAggPartial() *aggPartial {
@@ -296,6 +344,49 @@ func (pt *aggPartial) foldSummary(src int64, sum *blobSummary, sp *aggSpecEx) {
 			}
 			if sum.max[tag] > g.Max[tag] {
 				g.Max[tag] = sum.max[tag]
+			}
+		}
+	}
+}
+
+// foldSubSummaries folds the sub-buckets of one record that lie inside
+// [t1, t2) into their groups, in ascending bucket order — the same group
+// first-contribution order a row-by-row decode of the (time-ordered)
+// blob would produce. subFoldAligned proved each bucket lies entirely
+// inside or entirely outside the window, and that every bucket maps to a
+// single query bucket; classifySummary proved the predicates hold for
+// every row of the blob.
+func (pt *aggPartial) foldSubSummaries(src int64, sum *blobSummary, sub *subSummaries, t1, t2 int64, sp *aggSpecEx) {
+	for i := range sub.buckets {
+		b := &sub.buckets[i]
+		if b.rows == 0 {
+			continue
+		}
+		start := sub.start + int64(i)*sub.base
+		// In-window test per the alignment proof: an edge inside the blob's
+		// span sits on the base grid, so a bucket is out iff it starts
+		// before an aligned t1 or ends after an aligned t2.
+		if sum.firstTS < t1 && start < t1 {
+			continue
+		}
+		if sum.lastTS >= t2 && start+sub.base > t2 {
+			continue
+		}
+		g := pt.group(pt.keyFor(src, start, sp), sp)
+		g.Rows += b.rows
+		for _, tag := range sp.tags {
+			if tag >= len(b.nonNull) {
+				continue
+			}
+			g.NonNull[tag] += b.nonNull[tag]
+			g.Sum[tag] += b.sum[tag]
+			if b.nonNull[tag] > 0 {
+				if b.min[tag] < g.Min[tag] {
+					g.Min[tag] = b.min[tag]
+				}
+				if b.max[tag] > g.Max[tag] {
+					g.Max[tag] = b.max[tag]
+				}
 			}
 		}
 	}
@@ -420,7 +511,7 @@ func (s *Store) aggBatchPart(tree *btree.Tree, source int64, r scanRange, lookba
 						continue
 					}
 					if e.summary != nil {
-						switch classifySummary(e.summary, r.t1, r.t2, sp, true) {
+						switch classifySummary(e.summary, r.t1, r.t2, sp, true, true) {
 						case classExcluded:
 							continue
 						case classCovered:
@@ -428,6 +519,13 @@ func (s *Store) aggBatchPart(tree *btree.Tree, source int64, r scanRange, lookba
 							pt.bytesNotDecoded += e.blobLen
 							pt.foldSummary(source, e.summary, sp)
 							continue
+						case classSubFoldable:
+							if e.sub != nil && subFoldAligned(e.summary, r.t1, r.t2, e.sub.base, sp) {
+								pt.subBucketFolds++
+								pt.subBucketBytesNotDecoded += e.blobLen
+								pt.foldSubSummaries(source, e.summary, e.sub, r.t1, r.t2, sp)
+								continue
+							}
 						}
 					}
 					cache.noteSaved(e.blobLen)
@@ -457,7 +555,7 @@ func (s *Store) aggBatchPart(tree *btree.Tree, source int64, r scanRange, lookba
 			}
 			sum, haveSum := parseBlobSummary(blob, baseTS)
 			if haveSum {
-				switch classifySummary(sum, r.t1, r.t2, sp, true) {
+				switch classifySummary(sum, r.t1, r.t2, sp, true, true) {
 				case classExcluded:
 					pt.summaryHits++
 					pt.bytesNotDecoded += int64(len(blob))
@@ -467,6 +565,19 @@ func (s *Store) aggBatchPart(tree *btree.Tree, source int64, r scanRange, lookba
 					pt.bytesNotDecoded += int64(len(blob))
 					pt.foldSummary(source, sum, sp)
 					continue
+				case classSubFoldable:
+					// A v3 blob folds from its persisted mini-summaries
+					// with zero decode (stubs included: the block survives
+					// stubbing). v1/v2 blobs fall through to the decode,
+					// which computes and caches sub-summaries lazily.
+					if blob[0]&flagSubBuckets != 0 {
+						if sub, ok := parseBlobSubSummaries(blob, baseTS); ok && subFoldAligned(sum, r.t1, r.t2, sub.base, sp) {
+							pt.subBucketFolds++
+							pt.subBucketBytesNotDecoded += int64(len(blob))
+							pt.foldSubSummaries(source, sum, sub, r.t1, r.t2, sp)
+							continue
+						}
+					}
 				}
 			}
 			if IsStubBlob(blob) {
@@ -498,8 +609,18 @@ func (s *Store) aggBatchPart(tree *btree.Tree, source int64, r scanRange, lookba
 					// aggregate scans fold from the cache (lazy upgrade).
 					es = summaryFromBatch(batch, sp.ntags)
 				}
+				// Sub-summaries ride along the same way: parsed from v3
+				// headers, computed from the decoded rows for v1/v2 blobs
+				// (at the store's base width), so later aggregate scans
+				// sub-fold straddling records straight from the cache.
+				var sub *subSummaries
+				if blob[0]&flagSubBuckets != 0 {
+					sub, _ = parseBlobSubSummaries(blob, baseTS)
+				} else if sp.subBase > 0 {
+					sub = subSummariesFromBatch(batch, sp.ntags, sp.subBase)
+				}
 				zones, hasZones := blobZoneMaps(blob)
-				cache.put(bk, sp.sig, ver, batch, zones, hasZones, int64(len(blob)), es)
+				cache.put(bk, sp.sig, ver, batch, zones, hasZones, int64(len(blob)), es, sub)
 			}
 			pt.foldBatchRows(source, batch, r, sp)
 		}
@@ -552,7 +673,7 @@ func (s *Store) aggMGPart(group int64, r scanRange, onlySource int64, sp *aggSpe
 					}
 					if e.summary != nil {
 						foldable := mgFoldable && e.summary.members <= len(members)
-						switch classifySummary(e.summary, r.t1, r.t2, sp, foldable) {
+						switch classifySummary(e.summary, r.t1, r.t2, sp, foldable, false) {
 						case classExcluded:
 							continue
 						case classCovered:
@@ -588,7 +709,7 @@ func (s *Store) aggMGPart(group int64, r scanRange, onlySource int64, sp *aggSpe
 			sum, haveSum := parseBlobSummary(blob, ts)
 			if haveSum {
 				foldable := mgFoldable && sum.members <= len(members)
-				switch classifySummary(sum, r.t1, r.t2, sp, foldable) {
+				switch classifySummary(sum, r.t1, r.t2, sp, foldable, false) {
 				case classExcluded:
 					pt.summaryHits++
 					pt.bytesNotDecoded += int64(len(blob))
@@ -624,8 +745,11 @@ func (s *Store) aggMGPart(group int64, r scanRange, onlySource int64, sp *aggSpe
 				if !haveSum {
 					es = summaryFromBatch(batch, sp.ntags)
 				}
+				// No sub-summaries for MG: subSummariesFromBatch returns
+				// nil for slot-ordered batches, and MG blobs never carry
+				// the v3 block.
 				zones, hasZones := blobZoneMaps(blob)
-				cache.put(bk, sp.sig, ver, batch, zones, hasZones, int64(len(blob)), es)
+				cache.put(bk, sp.sig, ver, batch, zones, hasZones, int64(len(blob)), es, nil)
 			}
 			pt.foldMGRows(batch, members, onlySource, r, sp)
 		}
@@ -724,6 +848,8 @@ func (s *Store) runAggParts(parts []aggPart, sp *aggSpecEx, workers int) (*AggRe
 	for _, pt := range partials {
 		res.SummaryHits += pt.summaryHits
 		res.BytesNotDecoded += pt.bytesNotDecoded
+		res.SubBucketFolds += pt.subBucketFolds
+		res.SubBucketBytesNotDecoded += pt.subBucketBytesNotDecoded
 		res.BlobBytesRead += pt.blobBytesRead
 		res.BlobsSkipped += pt.blobsSkipped
 		for _, k := range pt.order {
@@ -750,6 +876,8 @@ func (s *Store) runAggParts(parts []aggPart, sp *aggSpecEx, workers int) (*AggRe
 	}
 	s.summaryHits.Add(res.SummaryHits)
 	s.bytesNotDecoded.Add(res.BytesNotDecoded)
+	s.subBucketFolds.Add(res.SubBucketFolds)
+	s.subBucketBytesNotDecoded.Add(res.SubBucketBytesNotDecoded)
 	return res, nil
 }
 

@@ -145,11 +145,16 @@ func TestAggregatePropertyVsDecodeReference(t *testing.T) {
 
 func runAggTrial(t *testing.T, seed int64, legacy bool) {
 	rng := rand.New(rand.NewSource(seed))
+	// Sub-bucket base varies per trial: disabled, a width no bucket list
+	// entry is a multiple of, and two bases that make several widths
+	// sub-bucket foldable (with legacy/v2 blobs exercising lazy folds).
+	subMs := []int64{-1, 13, 100, 1000}[rng.Intn(4)]
 	f := newFixture(t, Config{
 		BatchSize:        4 + rng.Intn(12),
 		MaxOpenMGRows:    1 + rng.Intn(4),
 		BlobCacheBytes:   1 << 20,
 		LegacyBlobFormat: legacy,
+		SubBucketMs:      subMs,
 	}, 2+rng.Intn(3))
 	ntags := 1 + rng.Intn(3)
 	schema := f.schema(t, "agg", ntags)
@@ -408,6 +413,168 @@ func TestLegacyBlobLazySummaryUpgrade(t *testing.T) {
 		t.Fatalf("second aggregate decoded %d bytes, want 0", second.BlobBytesRead)
 	}
 	sameAggResult(t, "legacy-upgrade", first, second)
+}
+
+// TestAggregateSubBucketFolds checks the sub-bucket path end to end: a
+// TIME_BUCKET aggregate whose width is a multiple of the store's base
+// width folds blobs that straddle bucket edges from their per-sub-bucket
+// mini-summaries, decoding nothing — the case the whole-blob summary can
+// never answer.
+func TestAggregateSubBucketFolds(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 32, SubBucketMs: 40}, 0)
+	schema := f.schema(t, "sb", 2)
+	ds := f.source(t, schema.ID, true, 10)
+	for i := 0; i < 32*64; i++ {
+		p := model.Point{Source: ds.ID, TS: int64(1000 + i*10), Values: []float64{float64(i % 97), float64(i % 13)}}
+		if err := f.store.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every 320 ms blob straddles several 40 ms buckets, so the whole-blob
+	// summary cannot answer; every record must fold from sub-summaries.
+	for _, w := range []int64{40, 120} {
+		spec := AggSpec{T1: math.MinInt64 / 2, T2: math.MaxInt64 / 2, NTags: 2, BucketMs: w}
+		it, err := f.store.HistoricalScan(ds.ID, spec.T1, spec.T2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refFold(collect(t, it), spec)
+		res, err := f.store.AggregateHistorical(ds.ID, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareAgg(t, "sub-bucket", res, want, spec)
+		if res.SubBucketFolds != 64 {
+			t.Fatalf("w=%d: SubBucketFolds = %d, want 64", w, res.SubBucketFolds)
+		}
+		if res.SummaryHits != 0 || res.BytesNotDecoded != 0 {
+			t.Fatalf("w=%d: sub-folds leaked into summary counters: %+v", w, res)
+		}
+		if res.BlobBytesRead != 0 {
+			t.Fatalf("w=%d: BlobBytesRead = %d, want 0 (all sub-folds)", w, res.BlobBytesRead)
+		}
+		if res.SubBucketBytesNotDecoded == 0 {
+			t.Fatalf("w=%d: SubBucketBytesNotDecoded = 0, want > 0", w)
+		}
+	}
+	st := f.store.Stats()
+	if st.SubBucketFolds != 128 || st.SubBucketBytesNotDecoded == 0 {
+		t.Fatalf("store stats not plumbed: %+v", st)
+	}
+
+	// A width that is not a multiple of the base cannot use sub-summaries:
+	// every straddling blob decodes.
+	res, err := f.store.AggregateHistorical(ds.ID, AggSpec{
+		T1: math.MinInt64 / 2, T2: math.MaxInt64 / 2, NTags: 2, BucketMs: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SubBucketFolds != 0 || res.BlobBytesRead == 0 {
+		t.Fatalf("non-multiple width must decode: %+v", res)
+	}
+
+	// Unaligned window edges cut the first and last blob mid-sub-bucket:
+	// those two decode, the 62 interior blobs still sub-fold.
+	lastTS := int64(1000 + (32*64-1)*10)
+	res, err = f.store.AggregateHistorical(ds.ID, AggSpec{T1: 1005, T2: lastTS, NTags: 2, BucketMs: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SubBucketFolds != 62 {
+		t.Fatalf("unaligned edges: SubBucketFolds = %d, want 62", res.SubBucketFolds)
+	}
+	if res.BlobBytesRead == 0 {
+		t.Fatalf("unaligned edge blobs were not decoded")
+	}
+
+	// Base-aligned window edges keep even the cut blobs folding.
+	spec := AggSpec{T1: 1040, T2: 21400, NTags: 2, BucketMs: 40}
+	it, err := f.store.HistoricalScan(ds.ID, spec.T1, spec.T2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refFold(collect(t, it), spec)
+	res, err = f.store.AggregateHistorical(ds.ID, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareAgg(t, "aligned-cut", res, want, spec)
+	if res.SubBucketFolds != 64 || res.BlobBytesRead != 0 {
+		t.Fatalf("aligned cuts should fold every blob: %+v", res)
+	}
+}
+
+// TestLegacyBlobLazySubBucketUpgrade verifies v1 blobs written before
+// sub-bucket summaries existed still ride the sub-bucket path: the first
+// bucketed aggregate decodes and caches computed sub-summaries, the
+// second folds from them without decoding.
+func TestLegacyBlobLazySubBucketUpgrade(t *testing.T) {
+	f := newFixture(t, Config{BatchSize: 16, LegacyBlobFormat: true, BlobCacheBytes: 1 << 20, SubBucketMs: 40}, 0)
+	schema := f.schema(t, "oldsb", 1)
+	ds := f.source(t, schema.ID, true, 10)
+	for i := 0; i < 16*8; i++ {
+		p := model.Point{Source: ds.ID, TS: int64(1000 + i*10), Values: []float64{float64(i)}}
+		if err := f.store.Write(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	spec := AggSpec{T1: math.MinInt64 / 2, T2: math.MaxInt64 / 2, NTags: 1, BucketMs: 40}
+	first, err := f.store.AggregateHistorical(ds.ID, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.SubBucketFolds != 0 || first.BlobBytesRead == 0 {
+		t.Fatalf("legacy blobs must decode on first aggregate: %+v", first)
+	}
+	second, err := f.store.AggregateHistorical(ds.ID, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.SubBucketFolds != 8 {
+		t.Fatalf("second aggregate SubBucketFolds = %d, want 8 (cached lazy sub-summaries)", second.SubBucketFolds)
+	}
+	if second.BlobBytesRead != 0 {
+		t.Fatalf("second aggregate decoded %d bytes, want 0", second.BlobBytesRead)
+	}
+	sameAggResult(t, "legacy-sub-upgrade", first, second)
+}
+
+// TestSubFoldAligned pins the alignment rules that make a sub-bucket fold
+// provably exact: width a multiple of the base, and any window edge that
+// cuts the blob landing on the base grid (negatives included).
+func TestSubFoldAligned(t *testing.T) {
+	sum := &blobSummary{firstTS: 100, lastTS: 199}
+	neg := &blobSummary{firstTS: -100, lastTS: -1}
+	for _, tc := range []struct {
+		name    string
+		sum     *blobSummary
+		t1, t2  int64
+		base, w int64
+		want    bool
+	}{
+		{"disabled-base", sum, 0, 1000, 0, 80, false},
+		{"non-multiple-width", sum, 0, 1000, 30, 80, false},
+		{"no-cut", sum, 100, 200, 40, 80, true},
+		{"no-bucketing", sum, 100, 200, 40, 0, true},
+		{"t1-cut-aligned", sum, 120, 1000, 40, 80, true},
+		{"t1-cut-unaligned", sum, 130, 1000, 40, 80, false},
+		{"t2-cut-aligned", sum, 0, 160, 40, 80, true},
+		{"t2-cut-unaligned", sum, 0, 170, 40, 80, false},
+		{"negative-aligned", neg, -80, 0, 40, 80, true},
+		{"negative-unaligned", neg, -70, 0, 40, 80, false},
+	} {
+		sp := &aggSpecEx{spec: &AggSpec{BucketMs: tc.w}}
+		if got := subFoldAligned(tc.sum, tc.t1, tc.t2, tc.base, sp); got != tc.want {
+			t.Fatalf("%s: subFoldAligned = %v, want %v", tc.name, got, tc.want)
+		}
+	}
 }
 
 // TestBucketFloorMatchesTimeBucket pins the fold's bucket arithmetic to

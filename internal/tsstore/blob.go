@@ -36,10 +36,15 @@ const (
 	// pre-tier readers (whose structure switch covers the whole 0x1F
 	// field) reject tiered blobs as unknown formats instead of silently
 	// misreading them.
-	flagStub   = 0x10 // summary-only stub: header kept, payload dropped
-	flagCold   = 0x08 // cold tier: recompacted at maximum codec effort
-	structMask = 0x07
-	formatMask = 0x1F // the full pre-tier field (error reporting only)
+	flagStub = 0x10 // summary-only stub: header kept, payload dropped
+	flagCold = 0x08 // cold tier: recompacted at maximum codec effort
+	// flagSubBuckets reuses the same carve-out trick: the structure values
+	// never exceeded 3, so bit 0x04 was always zero and pre-v3 readers
+	// (whose structure switch still covers it) reject sub-bucketed blobs
+	// as unknown formats rather than misparsing the extra block.
+	flagSubBuckets = 0x04 // v3: per-sub-bucket mini-summaries follow the summary block
+	structMask     = 0x03
+	formatMask     = 0x1F // the full pre-tier field (error reporting only)
 )
 
 // ErrStubbedBlob reports a payload decode attempted against a summary-only
@@ -247,11 +252,12 @@ const (
 
 // encodeOpts carries per-store encoding configuration into the blob codec.
 type encodeOpts struct {
-	layout   blobLayout
-	policies []compress.Policy // per tag; nil means lossless for all
-	disable  bool              // raw storage (compression ablation)
-	legacy   bool              // write the pre-summary format (compat tests)
-	cold     bool              // cold tier: max-effort lossless columns
+	layout      blobLayout
+	policies    []compress.Policy // per tag; nil means lossless for all
+	disable     bool              // raw storage (compression ablation)
+	legacy      bool              // write the pre-summary format (compat tests)
+	cold        bool              // cold tier: max-effort lossless columns
+	subBucketMs int64             // v3 sub-bucket base width; <=0 writes v2
 }
 
 func (o encodeOpts) policy(tag int) compress.Policy {
@@ -278,7 +284,12 @@ func getBit(bm []byte, i int) bool { return bm[i/8]&(1<<(i%8)) != 0 }
 // values a later decode will yield: for a lossy policy the freshly encoded
 // column is round-tripped so the stats (and the zone maps and summary
 // built from them) agree bit-for-bit with the decode path.
-func encodeColumns(rows [][]float64, ntags int, opts encodeOpts) ([]byte, []tagStat) {
+//
+// When opts.subBucketMs > 0 the third return value holds the effective
+// per-row values a decode will produce (the originals unless a lossy
+// policy adjusted a column) so the sub-bucket block is built from the same
+// values as the whole-blob summary; it is nil otherwise.
+func encodeColumns(rows [][]float64, ntags int, opts encodeOpts) ([]byte, []tagStat, [][]float64) {
 	count := len(rows)
 	bm := make([]byte, bitmapLen(count*ntags))
 	// Tag-major bit order so per-tag decode only needs its own stripe.
@@ -290,6 +301,10 @@ func encodeColumns(rows [][]float64, ntags int, opts encodeOpts) ([]byte, []tagS
 		}
 	}
 	stats := newTagStats(ntags)
+	var effRows [][]float64
+	if opts.subBucketMs > 0 {
+		effRows = rows // replaced lazily if a lossy policy adjusts values
+	}
 	dst := append([]byte(nil), bm...)
 	if opts.layout == layoutRowOriented {
 		// One interleaved column of all present values in row-major order.
@@ -318,7 +333,8 @@ func encodeColumns(rows [][]float64, ntags int, opts encodeOpts) ([]byte, []tagS
 				}
 			}
 		}
-		return dst, stats
+		// The interleaved column is lossless, so effRows stays the input.
+		return dst, stats, effRows
 	}
 	for tag := 0; tag < ntags; tag++ {
 		var vals []float64
@@ -330,6 +346,7 @@ func encodeColumns(rows [][]float64, ntags int, opts encodeOpts) ([]byte, []tagS
 		pol := opts.policy(tag)
 		var col []byte
 		eff := vals
+		adjusted := false
 		if opts.cold && !pol.Disable {
 			// Cold recompaction is always lossless at maximum effort; the
 			// inputs are already the round-tripped values earlier lossy
@@ -341,16 +358,43 @@ func encodeColumns(rows [][]float64, ntags int, opts encodeOpts) ([]byte, []tagS
 			if !pol.Lossless() && !pol.Disable {
 				if dec, err := compress.DecodeColumn(col); err == nil && len(dec) == len(vals) {
 					eff = dec
+					adjusted = true
 				}
 			}
 		}
 		for _, v := range eff {
 			stats[tag].note(v)
 		}
+		if adjusted && effRows != nil {
+			// Scatter the round-tripped column back into a private copy of
+			// the rows so sub-bucket stats see decode-identical values.
+			if sameRows(effRows, rows) {
+				backing := make([]float64, count*ntags)
+				cp := make([][]float64, count)
+				for i := 0; i < count; i++ {
+					cp[i] = backing[i*ntags : (i+1)*ntags]
+					copy(cp[i], rows[i][:ntags])
+				}
+				effRows = cp
+			}
+			vi := 0
+			for row := 0; row < count; row++ {
+				if getBit(bm, tag*count+row) {
+					effRows[row][tag] = eff[vi]
+					vi++
+				}
+			}
+		}
 		dst = binary.AppendUvarint(dst, uint64(len(col)))
 		dst = append(dst, col...)
 	}
-	return dst, stats
+	return dst, stats, effRows
+}
+
+// sameRows reports whether a is still the identical slice header as b
+// (used to detect whether effRows has already been copied).
+func sameRows(a, b [][]float64) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // --- summary block ---
@@ -415,14 +459,22 @@ type blobSummary struct {
 // It returns (nil, false) for legacy blobs (no flagSummaries) or damaged
 // headers — callers then fall back to decoding.
 func parseBlobSummary(b []byte, baseTS int64) (*blobSummary, bool) {
+	s, _, ok := parseBlobSummaryRest(b, baseTS)
+	return s, ok
+}
+
+// parseBlobSummaryRest parses the header summary and additionally returns
+// the bytes that follow the summary block (the sub-bucket block for v3
+// blobs, the payload otherwise).
+func parseBlobSummaryRest(b []byte, baseTS int64) (*blobSummary, []byte, bool) {
 	if len(b) < 1 || b[0]&flagSummaries == 0 || b[0]&flagZoneMaps == 0 {
-		return nil, false
+		return nil, nil, false
 	}
 	format := b[0] & structMask
 	rest := b[1:]
 	ntagsU, n := binary.Uvarint(rest)
 	if n <= 0 || ntagsU > 1<<16 {
-		return nil, false
+		return nil, nil, false
 	}
 	ntags := int(ntagsU)
 	rest = rest[n:]
@@ -432,46 +484,46 @@ func parseBlobSummary(b []byte, baseTS int64) (*blobSummary, bool) {
 		if _, n := binary.Uvarint(rest); n > 0 { // count
 			rest = rest[n:]
 		} else {
-			return nil, false
+			return nil, nil, false
 		}
 		if _, n := binary.Varint(rest); n > 0 { // interval
 			rest = rest[n:]
 		} else {
-			return nil, false
+			return nil, nil, false
 		}
 	case blobIRTS:
 		if _, n := binary.Uvarint(rest); n > 0 { // count
 			rest = rest[n:]
 		} else {
-			return nil, false
+			return nil, nil, false
 		}
 	case blobMG:
 		m, n := binary.Uvarint(rest)
 		if n <= 0 || m > 1<<20 {
-			return nil, false
+			return nil, nil, false
 		}
 		members = int(m)
 		rest = rest[n:]
 	default:
-		return nil, false
+		return nil, nil, false
 	}
 	zones, rest, err := readZoneMaps(rest, ntags)
 	if err != nil {
-		return nil, false
+		return nil, nil, false
 	}
 	rowsU, n := binary.Uvarint(rest)
 	if n <= 0 || rowsU > 1<<24 {
-		return nil, false
+		return nil, nil, false
 	}
 	rest = rest[n:]
 	firstDelta, n := binary.Varint(rest)
 	if n <= 0 {
-		return nil, false
+		return nil, nil, false
 	}
 	rest = rest[n:]
 	span, n := binary.Varint(rest)
 	if n <= 0 {
-		return nil, false
+		return nil, nil, false
 	}
 	rest = rest[n:]
 	s := &blobSummary{
@@ -487,7 +539,7 @@ func parseBlobSummary(b []byte, baseTS int64) (*blobSummary, bool) {
 	for tag := 0; tag < ntags; tag++ {
 		nn, n := binary.Uvarint(rest)
 		if n <= 0 || len(rest) < n+8 {
-			return nil, false
+			return nil, nil, false
 		}
 		s.nonNull[tag] = int64(nn)
 		s.sum[tag] = math.Float64frombits(binary.LittleEndian.Uint64(rest[n:]))
@@ -495,7 +547,7 @@ func parseBlobSummary(b []byte, baseTS int64) (*blobSummary, bool) {
 		s.min[tag] = zones[tag].min
 		s.max[tag] = zones[tag].max
 	}
-	return s, true
+	return s, rest, true
 }
 
 // summaryFromBatch rebuilds a summary from an already-decoded batch — the
@@ -584,6 +636,282 @@ func summaryMatches(s *blobSummary, batch *DecodedBatch) bool {
 			math.Float64bits(s.min[tag]) != math.Float64bits(ref.min[tag]) ||
 			math.Float64bits(s.max[tag]) != math.Float64bits(ref.max[tag]) {
 			return false
+		}
+	}
+	return true
+}
+
+// --- sub-bucket block (format v3) ---
+
+// The sub-bucket block sits between the summary block and the payload when
+// flagSubBuckets is set (which requires flagSummaries): varint base width
+// (ms), uvarint bucket count K, then for each of the K consecutive base
+// buckets starting at BucketFloor(firstTS, base): uvarint row count, and
+// per tag a uvarint non-NULL count followed — only when non-zero — by the
+// raw float64 bits of sum, min, max. Aggregate scans whose bucket grid is
+// a positive integral multiple of the base width fold blobs that straddle
+// bucket edges from these mini-summaries with zero payload decode.
+//
+// Sub-bucket stats are accumulated in row order, so for the time-ordered
+// structures (RTS, and IRTS whose persisted blobs are non-decreasing) a
+// fold is bit-identical to decoding and aggregating the rows. MG blobs
+// store rows in slot order, not time order, so they never carry the block.
+
+const (
+	// maxSubBucketsWrite caps how many sub-buckets a writer will emit: a
+	// blob whose span crosses more base buckets than this (sparse IRTS
+	// data against a narrow base width) skips the block and relies on the
+	// lazy decode-time path, keeping the header overhead bounded.
+	maxSubBucketsWrite = 512
+	// maxSubBucketsRead bounds what a parser will accept before declaring
+	// the header corrupt.
+	maxSubBucketsRead = 4096
+)
+
+// subBucketStat holds one base bucket's mini-summary.
+type subBucketStat struct {
+	rows     int64
+	nonNull  []int64
+	sum      []float64
+	min, max []float64 // empty sentinel (min > max) when nonNull == 0
+}
+
+// subSummaries is the decoded sub-bucket block of one blob: K consecutive
+// base buckets covering [start, start+K*base).
+type subSummaries struct {
+	base    int64 // base bucket width in ms
+	start   int64 // grid start of buckets[0]: BucketFloor(firstTS, base)
+	buckets []subBucketStat
+}
+
+// end returns the exclusive grid end of the last bucket.
+func (s *subSummaries) end() int64 { return s.start + int64(len(s.buckets))*s.base }
+
+// subSummariesFromRows builds per-sub-bucket stats from row-ordered
+// timestamps and (round-tripped) values. It returns nil when base is not
+// positive, there are no rows, or the span crosses more than max buckets.
+func subSummariesFromRows(ts []int64, rows [][]float64, ntags int, base int64, max int) *subSummaries {
+	if base <= 0 || len(ts) == 0 || len(ts) != len(rows) {
+		return nil
+	}
+	first, last := ts[0], ts[0]
+	for _, t := range ts[1:] {
+		if t < first {
+			first = t
+		}
+		if t > last {
+			last = t
+		}
+	}
+	start := model.BucketFloor(first, base)
+	k64 := (model.BucketFloor(last, base)-start)/base + 1
+	if k64 < 1 || k64 > int64(max) {
+		return nil
+	}
+	k := int(k64)
+	sub := &subSummaries{base: base, start: start, buckets: make([]subBucketStat, k)}
+	nn := make([]int64, k*ntags)
+	fl := make([]float64, 3*k*ntags)
+	for i := range sub.buckets {
+		b := &sub.buckets[i]
+		b.nonNull = nn[i*ntags : (i+1)*ntags]
+		b.sum = fl[i*3*ntags : i*3*ntags+ntags]
+		b.min = fl[i*3*ntags+ntags : i*3*ntags+2*ntags]
+		b.max = fl[i*3*ntags+2*ntags : i*3*ntags+3*ntags]
+		for tag := 0; tag < ntags; tag++ {
+			b.min[tag] = math.Inf(1)
+			b.max[tag] = math.Inf(-1)
+		}
+	}
+	for i, t := range ts {
+		b := &sub.buckets[(model.BucketFloor(t, base)-start)/base]
+		b.rows++
+		row := rows[i]
+		for tag := 0; tag < ntags && tag < len(row); tag++ {
+			v := row[tag]
+			if model.IsNull(v) {
+				continue
+			}
+			b.nonNull[tag]++
+			b.sum[tag] += v
+			if v < b.min[tag] {
+				b.min[tag] = v
+			}
+			if v > b.max[tag] {
+				b.max[tag] = v
+			}
+		}
+	}
+	return sub
+}
+
+// subSummariesFromBatch lazily rebuilds sub-bucket stats from a decoded
+// batch — the upgrade path for v1/v2 blobs: the first decode pays full
+// cost and the result rides in the blob cache next to the parsed zone
+// maps. MG batches return nil (slot order is not time order, so a fold
+// would emit groups in a different order than a row-by-row decode).
+func subSummariesFromBatch(batch *DecodedBatch, ntags int, base int64) *subSummaries {
+	if batch == nil || batch.Structure == model.MG {
+		return nil
+	}
+	return subSummariesFromRows(batch.Timestamps, batch.Rows, ntags, base, maxSubBucketsRead)
+}
+
+// appendSubBucketBlock writes the block for a non-nil subSummaries.
+func appendSubBucketBlock(dst []byte, sub *subSummaries) []byte {
+	dst = binary.AppendVarint(dst, sub.base)
+	dst = binary.AppendUvarint(dst, uint64(len(sub.buckets)))
+	for i := range sub.buckets {
+		b := &sub.buckets[i]
+		dst = binary.AppendUvarint(dst, uint64(b.rows))
+		for tag := range b.nonNull {
+			dst = binary.AppendUvarint(dst, uint64(b.nonNull[tag]))
+			if b.nonNull[tag] > 0 {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.sum[tag]))
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.min[tag]))
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.max[tag]))
+			}
+		}
+	}
+	return dst
+}
+
+// skipSubBucketBlock advances past a sub-bucket block (DecodeBlob and
+// stubHeaderLen reconstruct or preserve it without interpreting it). A
+// truncated or over-long block is a typed ErrCorruptBlob, never a panic.
+func skipSubBucketBlock(b []byte, ntags int) ([]byte, error) {
+	base, n := binary.Varint(b)
+	if n <= 0 || base <= 0 {
+		return nil, ErrCorruptBlob
+	}
+	b = b[n:]
+	kU, n := binary.Uvarint(b)
+	if n <= 0 || kU < 1 || kU > maxSubBucketsRead {
+		return nil, ErrCorruptBlob
+	}
+	b = b[n:]
+	for k := uint64(0); k < kU; k++ {
+		rows, n := binary.Uvarint(b)
+		if n <= 0 || rows > 1<<24 {
+			return nil, ErrCorruptBlob
+		}
+		b = b[n:]
+		for tag := 0; tag < ntags; tag++ {
+			nn, n := binary.Uvarint(b)
+			if n <= 0 || nn > rows {
+				return nil, ErrCorruptBlob
+			}
+			b = b[n:]
+			if nn > 0 {
+				if len(b) < 24 {
+					return nil, ErrCorruptBlob
+				}
+				b = b[24:]
+			}
+		}
+	}
+	return b, nil
+}
+
+// parseBlobSubSummaries peeks a v3 blob's sub-bucket block without
+// decoding columns. It returns (nil, false) for blobs without the flag or
+// with damaged headers — callers then fall back to the whole-blob summary
+// or a payload decode. The block is cross-validated against the summary
+// (bucket range covers [firstTS, lastTS]; row and non-NULL totals agree),
+// so a corrupt block can never mis-fold: it fails parse instead.
+func parseBlobSubSummaries(b []byte, baseTS int64) (*subSummaries, bool) {
+	if len(b) < 1 || b[0]&flagSubBuckets == 0 {
+		return nil, false
+	}
+	sum, rest, ok := parseBlobSummaryRest(b, baseTS)
+	if !ok {
+		return nil, false
+	}
+	ntags := len(sum.nonNull)
+	base, n := binary.Varint(rest)
+	if n <= 0 || base <= 0 {
+		return nil, false
+	}
+	rest = rest[n:]
+	kU, n := binary.Uvarint(rest)
+	if n <= 0 || kU < 1 || kU > maxSubBucketsRead {
+		return nil, false
+	}
+	rest = rest[n:]
+	start := model.BucketFloor(sum.firstTS, base)
+	if wantK := (model.BucketFloor(sum.lastTS, base)-start)/base + 1; sum.rows == 0 || wantK != int64(kU) {
+		return nil, false
+	}
+	k := int(kU)
+	sub := &subSummaries{base: base, start: start, buckets: make([]subBucketStat, k)}
+	var totalRows int64
+	totalNN := make([]int64, ntags)
+	for i := range sub.buckets {
+		bk := &sub.buckets[i]
+		rowsU, n := binary.Uvarint(rest)
+		if n <= 0 || rowsU > 1<<24 {
+			return nil, false
+		}
+		rest = rest[n:]
+		bk.rows = int64(rowsU)
+		totalRows += bk.rows
+		bk.nonNull = make([]int64, ntags)
+		bk.sum = make([]float64, ntags)
+		bk.min = make([]float64, ntags)
+		bk.max = make([]float64, ntags)
+		for tag := 0; tag < ntags; tag++ {
+			nn, n := binary.Uvarint(rest)
+			if n <= 0 || int64(nn) > bk.rows {
+				return nil, false
+			}
+			rest = rest[n:]
+			bk.nonNull[tag] = int64(nn)
+			totalNN[tag] += int64(nn)
+			if nn > 0 {
+				if len(rest) < 24 {
+					return nil, false
+				}
+				bk.sum[tag] = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+				bk.min[tag] = math.Float64frombits(binary.LittleEndian.Uint64(rest[8:]))
+				bk.max[tag] = math.Float64frombits(binary.LittleEndian.Uint64(rest[16:]))
+				rest = rest[24:]
+			} else {
+				bk.min[tag] = math.Inf(1)
+				bk.max[tag] = math.Inf(-1)
+			}
+		}
+	}
+	if totalRows != sum.rows {
+		return nil, false
+	}
+	for tag := 0; tag < ntags; tag++ {
+		if totalNN[tag] != sum.nonNull[tag] {
+			return nil, false
+		}
+	}
+	return sub, true
+}
+
+// subSummariesMatch reports whether a parsed sub-bucket block agrees with
+// a full decode of the same blob (the fsck cross-check). Like
+// summaryMatches, float fields compare by bit pattern.
+func subSummariesMatch(sub *subSummaries, batch *DecodedBatch, ntags int) bool {
+	ref := subSummariesFromBatch(batch, ntags, sub.base)
+	if ref == nil || ref.start != sub.start || len(ref.buckets) != len(sub.buckets) {
+		return false
+	}
+	for i := range sub.buckets {
+		a, b := &sub.buckets[i], &ref.buckets[i]
+		if a.rows != b.rows {
+			return false
+		}
+		for tag := 0; tag < ntags; tag++ {
+			if a.nonNull[tag] != b.nonNull[tag] ||
+				math.Float64bits(a.sum[tag]) != math.Float64bits(b.sum[tag]) ||
+				math.Float64bits(a.min[tag]) != math.Float64bits(b.min[tag]) ||
+				math.Float64bits(a.max[tag]) != math.Float64bits(b.max[tag]) {
+				return false
+			}
 		}
 	}
 	return true
@@ -696,7 +1024,7 @@ func EncodeRTS(points []model.Point, ntags int, intervalMs int64, opts encodeOpt
 	for i, p := range points {
 		rows[i] = p.Values
 	}
-	cols, stats := encodeColumns(rows, ntags, opts)
+	cols, stats, effRows := encodeColumns(rows, ntags, opts)
 	dst = appendZoneMapsFromStats(dst, stats)
 	if !opts.legacy {
 		// RTS decode reconstructs timestamps from the record key and the
@@ -707,6 +1035,16 @@ func EncodeRTS(points []model.Point, ntags int, intervalMs int64, opts encodeOpt
 			last = base + int64(len(points)-1)*intervalMs
 		}
 		dst = appendSummaryBlock(dst, stats, int64(len(points)), base, base, last)
+		if opts.subBucketMs > 0 && len(points) > 0 {
+			ts := make([]int64, len(points))
+			for i := range ts {
+				ts[i] = base + int64(i)*intervalMs
+			}
+			if sub := subSummariesFromRows(ts, effRows, ntags, opts.subBucketMs, maxSubBucketsWrite); sub != nil {
+				dst[0] |= flagSubBuckets
+				dst = appendSubBucketBlock(dst, sub)
+			}
+		}
 	}
 	return append(dst, cols...)
 }
@@ -733,7 +1071,7 @@ func EncodeIRTS(points []model.Point, ntags int, opts encodeOpts) []byte {
 	for i, p := range points {
 		rows[i] = p.Values
 	}
-	cols, stats := encodeColumns(rows, ntags, opts)
+	cols, stats, effRows := encodeColumns(rows, ntags, opts)
 	dst = appendZoneMapsFromStats(dst, stats)
 	if !opts.legacy {
 		// IRTS timestamps ride inline and need not be sorted; bound them.
@@ -750,6 +1088,16 @@ func EncodeIRTS(points []model.Point, ntags int, opts encodeOpts) []byte {
 			}
 		}
 		dst = appendSummaryBlock(dst, stats, int64(len(points)), base, first, last)
+		if opts.subBucketMs > 0 && len(points) > 0 {
+			pts := make([]int64, len(points))
+			for i, p := range points {
+				pts[i] = p.TS
+			}
+			if sub := subSummariesFromRows(pts, effRows, ntags, opts.subBucketMs, maxSubBucketsWrite); sub != nil {
+				dst[0] |= flagSubBuckets
+				dst = appendSubBucketBlock(dst, sub)
+			}
+		}
 	}
 	ts := make([]int64, len(points))
 	for i, p := range points {
@@ -793,7 +1141,11 @@ func EncodeMG(present []bool, rows [][]float64, tsOffsets []int64, ntags int, op
 			}
 		}
 	}
-	cols, stats := encodeColumns(reported, ntags, opts)
+	// MG rows are stored in slot order, not time order, so the blob never
+	// carries a sub-bucket block (a sub-fold would emit groups in a
+	// different order than a row-by-row decode).
+	opts.subBucketMs = 0
+	cols, stats, _ := encodeColumns(reported, ntags, opts)
 	dst = appendZoneMapsFromStats(dst, stats)
 	if !opts.legacy {
 		// MG timestamps are offsets from the record's window base, which is
@@ -848,6 +1200,12 @@ func DecodeBlob(b []byte, baseTS int64, wantTags []int) (*DecodedBatch, error) {
 	rowOriented := b[0]&flagRowOriented != 0
 	hasZones := b[0]&flagZoneMaps != 0
 	hasSummary := b[0]&flagSummaries != 0
+	hasSub := b[0]&flagSubBuckets != 0
+	if hasSub && !hasSummary {
+		// The sub-bucket block rides behind the summary block; a blob
+		// claiming one without the other was never written by any encoder.
+		return nil, ErrCorruptBlob
+	}
 	b = b[1:]
 	ntagsU, n := binary.Uvarint(b)
 	if n <= 0 || ntagsU > 1<<16 {
@@ -879,6 +1237,11 @@ func DecodeBlob(b []byte, baseTS int64, wantTags []int) (*DecodedBatch, error) {
 			if b, err = skipSummaryBlock(b, ntags); err != nil {
 				return nil, err
 			}
+			if hasSub {
+				if b, err = skipSubBucketBlock(b, ntags); err != nil {
+					return nil, err
+				}
+			}
 		}
 		rows, err := decodeColumns(b, count, ntags, rowOriented, wantTags)
 		if err != nil {
@@ -907,6 +1270,11 @@ func DecodeBlob(b []byte, baseTS int64, wantTags []int) (*DecodedBatch, error) {
 			if b, err = skipSummaryBlock(b, ntags); err != nil {
 				return nil, err
 			}
+			if hasSub {
+				if b, err = skipSubBucketBlock(b, ntags); err != nil {
+					return nil, err
+				}
+			}
 		}
 		ts, rest, err := compress.DeltaOfDeltas(b)
 		if err != nil || len(ts) != count {
@@ -934,6 +1302,11 @@ func DecodeBlob(b []byte, baseTS int64, wantTags []int) (*DecodedBatch, error) {
 			var err error
 			if b, err = skipSummaryBlock(b, ntags); err != nil {
 				return nil, err
+			}
+			if hasSub {
+				if b, err = skipSubBucketBlock(b, ntags); err != nil {
+					return nil, err
+				}
 			}
 		}
 		bmLen := bitmapLen(memberCount)
@@ -982,9 +1355,11 @@ func (d *DecodedBatch) blobSpan() int64 {
 	return d.Timestamps[len(d.Timestamps)-1] - d.Timestamps[0]
 }
 
-// stubHeaderLen returns the length of a v2 blob's header through the end
-// of the summary block — the prefix a stub keeps. It requires zone maps
-// and a summary (every non-legacy blob carries both).
+// stubHeaderLen returns the length of a v2/v3 blob's header through the
+// end of the summary block — and, for v3, the sub-bucket block — the
+// prefix a stub keeps. It requires zone maps and a summary (every
+// non-legacy blob carries both); sub-summaries survive stubbing, so stubs
+// keep folding at sub-bucket granularity after the payload is gone.
 func stubHeaderLen(b []byte) (int, bool) {
 	if len(b) < 1 || b[0]&flagZoneMaps == 0 || b[0]&flagSummaries == 0 {
 		return 0, false
@@ -1020,6 +1395,11 @@ func stubHeaderLen(b []byte) (int, bool) {
 	rest, err := skipSummaryBlock(b[off:], ntags)
 	if err != nil {
 		return 0, false
+	}
+	if b[0]&flagSubBuckets != 0 {
+		if rest, err = skipSubBucketBlock(rest, ntags); err != nil {
+			return 0, false
+		}
 	}
 	return len(b) - len(rest), true
 }

@@ -78,6 +78,12 @@ type cacheEntry struct {
 	// from the decoded batch for legacy blobs (the lazy upgrade path).
 	// Like the batch, it is only valid for the tags sig selects.
 	summary *blobSummary
+	// sub holds the per-sub-bucket mini-summaries at the store's base
+	// width: parsed from v3 headers, computed from the decoded batch for
+	// v1/v2 blobs on their first aggregate decode (the same lazy upgrade
+	// as summary). nil when unavailable (MG batches, plain row scans,
+	// sub-buckets disabled). Valid only for the tags sig selects.
+	sub     *subSummaries
 	blobLen int64 // encoded size: the bytes a hit saves
 	size    int64 // decoded memory footprint charged against the budget
 	elem    *list.Element
@@ -167,7 +173,7 @@ func (c *blobCache) snapshotAll(dst *[cacheVerSlots]uint64) {
 
 // put caches a decoded blob unless the key was invalidated since ver was
 // snapshotted. The batch becomes shared and must not be mutated.
-func (c *blobCache) put(bk blobKey, sig string, ver uint64, batch *DecodedBatch, zones []zoneMap, hasZones bool, blobLen int64, summary *blobSummary) {
+func (c *blobCache) put(bk blobKey, sig string, ver uint64, batch *DecodedBatch, zones []zoneMap, hasZones bool, blobLen int64, summary *blobSummary, sub *subSummaries) {
 	size := decodedSize(batch, zones)
 	if size > c.maxBytes {
 		return // larger than the whole budget: not cacheable
@@ -185,7 +191,7 @@ func (c *blobCache) put(bk blobKey, sig string, ver uint64, batch *DecodedBatch,
 	if old, ok := variants[sig]; ok {
 		c.removeLocked(old)
 	}
-	e := &cacheEntry{bk: bk, sig: sig, batch: batch, zones: zones, hasZones: hasZones, summary: summary, blobLen: blobLen, size: size}
+	e := &cacheEntry{bk: bk, sig: sig, batch: batch, zones: zones, hasZones: hasZones, summary: summary, sub: sub, blobLen: blobLen, size: size}
 	e.elem = c.lru.PushFront(e)
 	variants[sig] = e
 	c.curBytes += size

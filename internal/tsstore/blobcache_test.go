@@ -176,13 +176,13 @@ func TestBlobCacheStaleInsertDropped(t *testing.T) {
 	var vers [cacheVerSlots]uint64
 	c.snapshotAll(&vers) // leaf-load-time snapshot
 	c.invalidateKey(bk)  // writer overwrote the blob between copy and insert
-	c.put(bk, "*", vers[bk.slot()], batch, nil, false, 64, nil)
+	c.put(bk, "*", vers[bk.slot()], batch, nil, false, 64, nil, nil)
 	if _, ok := c.get(bk, "*"); ok {
 		t.Fatal("stale insert was served")
 	}
 	// A fresh snapshot inserts fine.
 	c.snapshotAll(&vers)
-	c.put(bk, "*", vers[bk.slot()], batch, nil, false, 64, nil)
+	c.put(bk, "*", vers[bk.slot()], batch, nil, false, 64, nil, nil)
 	if _, ok := c.get(bk, "*"); !ok {
 		t.Fatal("fresh insert missing")
 	}

@@ -23,6 +23,11 @@ func FuzzValueBlobDecode(f *testing.F) {
 	f.Add(EncodeRTS(pts, 3, 50, encodeOpts{layout: layoutRowOriented}))
 	f.Add(EncodeRTS(pts, 3, 50, encodeOpts{disable: true}))
 	f.Add(EncodeIRTS(pts, 3, encodeOpts{}))
+	// v3 frames: sub-bucket blocks at several base widths, so mutations
+	// explore truncated/corrupt sub arrays, not just the v2 header shapes.
+	f.Add(EncodeRTS(pts, 3, 50, encodeOpts{subBucketMs: 100}))
+	f.Add(EncodeRTS(pts, 3, 50, encodeOpts{subBucketMs: 25}))
+	f.Add(EncodeIRTS(pts, 3, encodeOpts{subBucketMs: 200}))
 	present := []bool{true, false, true, true}
 	rows := [][]float64{{1.5}, nil, {2.5}, {model.NullValue}}
 	offsets := []int64{3, 0, 7, 12}
@@ -48,6 +53,34 @@ func FuzzValueBlobDecode(f *testing.F) {
 		}
 		// Zone-map peeking must never panic either.
 		_ = BlobOverlaps(blob, []TagRange{{Tag: 0, Lo: -1, Hi: 1}})
+		// v3 frames: the sub-bucket parser must reject corrupt blocks
+		// typed (ok=false), never panic, and anything it accepts must
+		// satisfy the fold invariants the aggregate path relies on.
+		if len(blob) > 0 && blob[0]&flagSubBuckets != 0 {
+			sub, ok := parseBlobSubSummaries(blob, 1000)
+			if !ok {
+				return
+			}
+			if sub.base <= 0 || len(sub.buckets) == 0 || len(sub.buckets) > maxSubBucketsRead {
+				t.Fatalf("accepted sub block with base=%d buckets=%d", sub.base, len(sub.buckets))
+			}
+			sum, okSum := parseBlobSummary(blob, 1000)
+			if !okSum {
+				t.Fatal("sub block parsed but summary did not")
+			}
+			var rows int64
+			for _, b := range sub.buckets {
+				rows += b.rows
+				for _, nn := range b.nonNull {
+					if nn < 0 || nn > b.rows {
+						t.Fatalf("accepted sub bucket with nonNull=%d rows=%d", nn, b.rows)
+					}
+				}
+			}
+			if rows != sum.rows {
+				t.Fatalf("accepted sub block totaling %d rows against a %d-row summary", rows, sum.rows)
+			}
+		}
 	})
 }
 

@@ -389,7 +389,7 @@ func (it *batchIter) loadOne() {
 	it.BlobBytesRead += int64(len(blob))
 	if it.cache != nil {
 		zones, hasZones := blobZoneMaps(blob)
-		it.cache.put(bk, it.sig, ver, batch, zones, hasZones, int64(len(blob)), cacheSummary(blob, baseTS, batch))
+		it.cache.put(bk, it.sig, ver, batch, zones, hasZones, int64(len(blob)), cacheSummary(blob, baseTS, batch), nil)
 	}
 	it.enqueue(batch)
 }
@@ -604,7 +604,7 @@ func (it *mgIter) Next() (model.Point, bool) {
 		it.BlobBytesRead += int64(len(blob))
 		if it.cache != nil {
 			zones, hasZones := blobZoneMaps(blob)
-			it.cache.put(bk, it.sig, ver, batch, zones, hasZones, int64(len(blob)), cacheSummary(blob, ts, batch))
+			it.cache.put(bk, it.sig, ver, batch, zones, hasZones, int64(len(blob)), cacheSummary(blob, ts, batch), nil)
 		}
 		it.fillQueue(batch)
 	}

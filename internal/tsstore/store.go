@@ -51,7 +51,19 @@ type Config struct {
 	// aggregate block). Test hook for the backward-compatibility suite;
 	// readers handle both formats regardless.
 	LegacyBlobFormat bool
+	// SubBucketMs is the base width of the per-sub-bucket mini-summaries
+	// written into v3 blobs (format flag 0x04): TIME_BUCKET grids that are
+	// positive integral multiples of this width fold straddling blobs
+	// without decoding. Zero picks DefaultSubBucketMs; negative disables
+	// sub-bucket blocks (v2 write format). Readers handle every format
+	// regardless.
+	SubBucketMs int64
 }
+
+// DefaultSubBucketMs is the sub-bucket base width when the caller does not
+// configure one: one minute, the finest grid of the operational roll-up
+// widths (1m/5m/1h) the historian workloads query.
+const DefaultSubBucketMs = 60_000
 
 func (c Config) withDefaults() Config {
 	if c.BatchSize <= 0 {
@@ -59,6 +71,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxOpenMGRows <= 0 {
 		c.MaxOpenMGRows = 4
+	}
+	switch {
+	case c.SubBucketMs == 0:
+		c.SubBucketMs = DefaultSubBucketMs
+	case c.SubBucketMs < 0:
+		c.SubBucketMs = 0 // disabled: write the v2 (whole-blob summary) format
 	}
 	return c
 }
@@ -81,6 +99,13 @@ type Stats struct {
 	// encoded blob bytes those folds avoided reading.
 	SummaryHits     int64
 	BytesNotDecoded int64
+	// SubBucketFolds counts blob records that straddled the query's bucket
+	// grid (or its window edges) and folded from per-sub-bucket
+	// mini-summaries instead of a boundary decode;
+	// SubBucketBytesNotDecoded totals the encoded bytes those folds
+	// avoided reading.
+	SubBucketFolds           int64
+	SubBucketBytesNotDecoded int64
 	// ColdCompactions counts hot records consumed by cold-tier passes;
 	// StubTransitions counts records truncated to summary-only stubs;
 	// TierBytesReclaimed is the net encoded bytes tier passes removed.
@@ -106,6 +131,8 @@ func (st *Stats) Add(other *Stats) {
 	st.ParallelParts += other.ParallelParts
 	st.SummaryHits += other.SummaryHits
 	st.BytesNotDecoded += other.BytesNotDecoded
+	st.SubBucketFolds += other.SubBucketFolds
+	st.SubBucketBytesNotDecoded += other.SubBucketBytesNotDecoded
 	st.ColdCompactions += other.ColdCompactions
 	st.StubTransitions += other.StubTransitions
 	st.TierBytesReclaimed += other.TierBytesReclaimed
@@ -162,9 +189,13 @@ type Store struct {
 	parallelParts atomic.Int64
 
 	// summaryHits/bytesNotDecoded count aggregate-pushdown folds that
-	// skipped a blob decode and the encoded bytes they avoided.
-	summaryHits     atomic.Int64
-	bytesNotDecoded atomic.Int64
+	// skipped a blob decode and the encoded bytes they avoided;
+	// subBucketFolds/subBucketBytesNotDecoded count the same for blobs
+	// folded at sub-bucket granularity.
+	summaryHits              atomic.Int64
+	bytesNotDecoded          atomic.Int64
+	subBucketFolds           atomic.Int64
+	subBucketBytesNotDecoded atomic.Int64
 
 	// Tier lifecycle counters (cumulative; see tier.go).
 	coldCompactions    atomic.Int64
@@ -312,15 +343,24 @@ func (s *Store) Stats() Stats {
 	st.ParallelParts = s.parallelParts.Load()
 	st.SummaryHits = s.summaryHits.Load()
 	st.BytesNotDecoded = s.bytesNotDecoded.Load()
+	st.SubBucketFolds = s.subBucketFolds.Load()
+	st.SubBucketBytesNotDecoded = s.subBucketBytesNotDecoded.Load()
 	st.ColdCompactions = s.coldCompactions.Load()
 	st.StubTransitions = s.stubTransitions.Load()
 	st.TierBytesReclaimed = s.tierBytesReclaimed.Load()
 	return st
 }
 
+// SubBucketMs returns the resolved sub-bucket base width (0 = disabled).
+func (s *Store) SubBucketMs() int64 { return s.cfg.SubBucketMs }
+
 // encodeOptsFor builds the blob codec options for a schema.
 func (s *Store) encodeOptsFor(schema *model.SchemaType) encodeOpts {
-	opts := encodeOpts{disable: s.cfg.DisableCompression, legacy: s.cfg.LegacyBlobFormat}
+	opts := encodeOpts{
+		disable:     s.cfg.DisableCompression,
+		legacy:      s.cfg.LegacyBlobFormat,
+		subBucketMs: s.cfg.SubBucketMs,
+	}
 	if s.cfg.RowOrientedBlobs {
 		opts.layout = layoutRowOriented
 	}
@@ -933,10 +973,15 @@ func (s *Store) VerifyBlobs() (checked int, corrupt []BlobRef, err error) {
 				// A stub's remaining contract is its summary header: the
 				// payload was dropped by tier policy, so a row decode is
 				// expected to fail and fsck only requires the header (and
-				// its zone maps) to parse.
+				// its zone maps — plus the sub-bucket block when the blob
+				// claims one) to parse.
 				_, sumOK := parseBlobSummary(blob, ts)
 				_, zonesOK := blobZoneMaps(blob)
-				if !sumOK || !zonesOK {
+				subOK := true
+				if len(blob) > 0 && blob[0]&flagSubBuckets != 0 {
+					_, subOK = parseBlobSubSummaries(blob, ts)
+				}
+				if !sumOK || !zonesOK || !subOK {
 					corrupt = append(corrupt, BlobRef{Tree: tr.name, Source: src, TS: ts})
 				}
 			default:
@@ -948,8 +993,19 @@ func (s *Store) VerifyBlobs() (checked int, corrupt []BlobRef, err error) {
 					// A summary that disagrees with its own columns would
 					// make pushdown answers drift from decode answers —
 					// flag it even though the row data itself is readable.
-					if sum, ok := parseBlobSummary(blob, ts); ok && !summaryMatches(sum, batch) {
+					sum, sumOK := parseBlobSummary(blob, ts)
+					if sumOK && !summaryMatches(sum, batch) {
 						corrupt = append(corrupt, BlobRef{Tree: tr.name, Source: src, TS: ts})
+						break
+					}
+					// Same contract one level down: a v3 sub-bucket block
+					// must fold bit-identically to decoding the rows it
+					// covers.
+					if blob[0]&flagSubBuckets != 0 {
+						sub, ok := parseBlobSubSummaries(blob, ts)
+						if !ok || !subSummariesMatch(sub, batch, len(sub.buckets[0].nonNull)) {
+							corrupt = append(corrupt, BlobRef{Tree: tr.name, Source: src, TS: ts})
+						}
 					}
 				}
 			}

@@ -148,6 +148,14 @@ type Options struct {
 	// summary folds, forcing the decode-and-group plan (ablation and
 	// drift debugging; the rewrite is on by default).
 	DisableAggPushdown bool
+	// SubBucketMs is the base width (ms) of the per-sub-bucket
+	// mini-summaries written into ValueBlob headers: TIME_BUCKET queries
+	// whose width is a positive integral multiple of this base fold blobs
+	// that straddle bucket edges without decoding them. Zero picks the
+	// default (60 000 ms — one minute); negative disables sub-bucket
+	// blocks, writing the v2 (whole-blob summary) format. Readers handle
+	// every format regardless of this setting.
+	SubBucketMs int64
 	// TierPolicies configures the storage lifecycle per schema name:
 	// TierNow applies each policy to its schema. Schemas without an entry
 	// never tier. See TierPolicy for the cutoffs.
@@ -241,6 +249,7 @@ func Open(dir string, opts Options) (*Historian, error) {
 		Shards:             opts.IngestShards,
 		BlobCacheBytes:     opts.BlobCacheBytes,
 		LegacyBlobFormat:   opts.legacyBlobFormat,
+		SubBucketMs:        opts.SubBucketMs,
 	})
 	if err != nil {
 		page.Close()
@@ -524,6 +533,12 @@ type HistorianStats struct {
 	// encoded blob bytes those folds avoided touching.
 	SummaryHits     int64
 	BytesNotDecoded int64
+	// SubBucketFolds counts straddling blob records an aggregate folded
+	// entirely from their per-sub-bucket mini-summaries without decoding;
+	// SubBucketBytesNotDecoded totals the encoded bytes those folds
+	// skipped. Disjoint from SummaryHits/BytesNotDecoded.
+	SubBucketFolds           int64
+	SubBucketBytesNotDecoded int64
 	// ColdCompactions / StubTransitions / TierBytesReclaimed count the
 	// storage lifecycle: hot records consumed by cold compaction, records
 	// truncated to summary-only stubs, and the net encoded bytes the tier
@@ -538,24 +553,26 @@ func (h *Historian) TotalStats() HistorianStats {
 	ts := h.ts.Stats()
 	ps := h.page.Stats()
 	st := HistorianStats{
-		PointsWritten:       ts.PointsWritten,
-		BatchesFlushed:      ts.BatchesFlushed,
-		BlobBytes:           int64(h.ts.BlobBytesTotal()),
-		StorageBytes:        h.page.SizeBytes(),
-		IOBytesWritten:      ps.BytesWritten,
-		IOBytesRead:         ps.BytesRead,
-		PoolHits:            ps.Hits,
-		PoolMisses:          ps.Misses,
-		PoolEvictions:       ps.Evictions,
-		PoolHitRate:         ps.HitRate(),
-		CorruptBlobsSkipped: ts.CorruptBlobsSkipped,
-		ParallelScans:       ts.ParallelScans,
-		ParallelParts:       ts.ParallelParts,
-		SummaryHits:         ts.SummaryHits,
-		BytesNotDecoded:     ts.BytesNotDecoded,
-		ColdCompactions:     ts.ColdCompactions,
-		StubTransitions:     ts.StubTransitions,
-		TierBytesReclaimed:  ts.TierBytesReclaimed,
+		PointsWritten:            ts.PointsWritten,
+		BatchesFlushed:           ts.BatchesFlushed,
+		BlobBytes:                int64(h.ts.BlobBytesTotal()),
+		StorageBytes:             h.page.SizeBytes(),
+		IOBytesWritten:           ps.BytesWritten,
+		IOBytesRead:              ps.BytesRead,
+		PoolHits:                 ps.Hits,
+		PoolMisses:               ps.Misses,
+		PoolEvictions:            ps.Evictions,
+		PoolHitRate:              ps.HitRate(),
+		CorruptBlobsSkipped:      ts.CorruptBlobsSkipped,
+		ParallelScans:            ts.ParallelScans,
+		ParallelParts:            ts.ParallelParts,
+		SummaryHits:              ts.SummaryHits,
+		BytesNotDecoded:          ts.BytesNotDecoded,
+		SubBucketFolds:           ts.SubBucketFolds,
+		SubBucketBytesNotDecoded: ts.SubBucketBytesNotDecoded,
+		ColdCompactions:          ts.ColdCompactions,
+		StubTransitions:          ts.StubTransitions,
+		TierBytesReclaimed:       ts.TierBytesReclaimed,
 	}
 	cs := h.ts.BlobCacheStats()
 	st.BlobCacheHits = cs.Hits
